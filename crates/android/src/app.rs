@@ -1,0 +1,393 @@
+//! Apps: static manifests and runtime location behavior.
+
+use crate::permission::{LocationClaim, Permission};
+use crate::provider::ProviderKind;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The static view of an app — what Apktool extracts from the APK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Manifest {
+    package: String,
+    permissions: BTreeSet<Permission>,
+    has_location_service: bool,
+}
+
+impl Manifest {
+    /// The app's package name (e.g. `com.example.maps`).
+    #[must_use]
+    pub fn package(&self) -> &str {
+        &self.package
+    }
+
+    /// The declared permissions.
+    #[must_use]
+    pub fn permissions(&self) -> &BTreeSet<Permission> {
+        &self.permissions
+    }
+
+    /// The location-permission posture of this manifest.
+    #[must_use]
+    pub fn location_claim(&self) -> LocationClaim {
+        LocationClaim::from_permissions(&self.permissions)
+    }
+
+    /// Whether the manifest declares a long-running service component
+    /// (needed to keep updating location after being killed from recents;
+    /// background listeners alone survive ordinary backgrounding).
+    #[must_use]
+    pub fn has_location_service(&self) -> bool {
+        self.has_location_service
+    }
+}
+
+/// Builds a bare [`Manifest`] without behavior — used by the manifest-XML
+/// parser and by tests that only care about the static view.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_android::app::ManifestBuilder;
+/// use backwatch_android::permission::Permission;
+///
+/// let mut b = ManifestBuilder::new("com.example.app");
+/// b.add_permission(Permission::AccessCoarseLocation);
+/// let manifest = b.build();
+/// assert!(manifest.location_claim().declares_location());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ManifestBuilder {
+    package: String,
+    permissions: BTreeSet<Permission>,
+    has_location_service: bool,
+}
+
+impl ManifestBuilder {
+    /// Starts a manifest for `package`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `package` is empty or contains whitespace.
+    #[must_use]
+    pub fn new(package: impl Into<String>) -> Self {
+        let package = package.into();
+        assert!(
+            !package.is_empty() && !package.contains(char::is_whitespace),
+            "package name must be non-empty and free of whitespace: {package:?}"
+        );
+        Self {
+            package,
+            permissions: BTreeSet::new(),
+            has_location_service: false,
+        }
+    }
+
+    /// Declares a permission.
+    pub fn add_permission(&mut self, p: Permission) {
+        self.permissions.insert(p);
+    }
+
+    /// Marks the manifest as declaring a location service component.
+    pub fn set_location_service(&mut self, yes: bool) {
+        self.has_location_service = yes;
+    }
+
+    /// Finishes the manifest.
+    #[must_use]
+    pub fn build(self) -> Manifest {
+        Manifest {
+            package: self.package,
+            permissions: self.permissions,
+            has_location_service: self.has_location_service,
+        }
+    }
+}
+
+/// What the app actually does with location at run time — the ground truth
+/// that dynamic analysis recovers.
+///
+/// Constructed via the provided combinators:
+///
+/// ```
+/// use backwatch_android::app::LocationBehavior;
+/// use backwatch_android::provider::ProviderKind;
+///
+/// let b = LocationBehavior::requester([ProviderKind::Gps, ProviderKind::Network], 5)
+///     .auto_start(true)
+///     .background_interval(30);
+/// assert!(b.accesses_in_background());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LocationBehavior {
+    providers: Vec<ProviderKind>,
+    foreground_interval_s: i64,
+    background_interval_s: Option<i64>,
+    auto_start: bool,
+}
+
+impl LocationBehavior {
+    /// An app that never requests location (the over-privileged case: it
+    /// may still *declare* permissions in its manifest).
+    #[must_use]
+    pub fn inert() -> Self {
+        Self {
+            providers: Vec::new(),
+            foreground_interval_s: 0,
+            background_interval_s: None,
+            auto_start: false,
+        }
+    }
+
+    /// An app that requests location from `providers` every
+    /// `interval_s` seconds while in the foreground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `providers` is empty or `interval_s < 1`.
+    #[must_use]
+    pub fn requester<I: IntoIterator<Item = ProviderKind>>(providers: I, interval_s: i64) -> Self {
+        let providers: Vec<ProviderKind> = providers.into_iter().collect();
+        assert!(!providers.is_empty(), "a requester needs at least one provider");
+        assert!(interval_s >= 1, "interval must be at least 1 s, got {interval_s}");
+        Self {
+            providers,
+            foreground_interval_s: interval_s,
+            background_interval_s: None,
+            auto_start: false,
+        }
+    }
+
+    /// Sets whether the app registers its listeners immediately on launch
+    /// (385 of the paper's 528 functional apps do) or only after a user
+    /// interaction.
+    #[must_use]
+    pub fn auto_start(mut self, yes: bool) -> Self {
+        self.auto_start = yes;
+        self
+    }
+
+    /// Makes the app keep updating location in the background, every
+    /// `interval_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s < 1` or the behavior is inert.
+    #[must_use]
+    pub fn background_interval(mut self, interval_s: i64) -> Self {
+        assert!(interval_s >= 1, "interval must be at least 1 s, got {interval_s}");
+        assert!(self.requests_location(), "an inert app cannot poll in background");
+        self.background_interval_s = Some(interval_s);
+        self
+    }
+
+    /// Whether the app functionally requests location at all.
+    #[must_use]
+    pub fn requests_location(&self) -> bool {
+        !self.providers.is_empty()
+    }
+
+    /// Whether the app keeps accessing location in the background.
+    #[must_use]
+    pub fn accesses_in_background(&self) -> bool {
+        self.background_interval_s.is_some()
+    }
+
+    /// Whether registration happens on launch without user action.
+    #[must_use]
+    pub fn is_auto_start(&self) -> bool {
+        self.auto_start
+    }
+
+    /// The providers the app registers.
+    #[must_use]
+    pub fn providers(&self) -> &[ProviderKind] {
+        &self.providers
+    }
+
+    /// Foreground update interval, seconds.
+    #[must_use]
+    pub fn foreground_interval_s(&self) -> i64 {
+        self.foreground_interval_s
+    }
+
+    /// Background update interval, seconds, if the app polls in background.
+    #[must_use]
+    pub fn background_interval_s(&self) -> Option<i64> {
+        self.background_interval_s
+    }
+}
+
+/// A complete app: manifest plus runtime behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct App {
+    manifest: Manifest,
+    behavior: LocationBehavior,
+}
+
+impl App {
+    /// The static manifest.
+    #[must_use]
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The runtime behavior.
+    #[must_use]
+    pub fn behavior(&self) -> &LocationBehavior {
+        &self.behavior
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.manifest.package, self.manifest.location_claim())
+    }
+}
+
+/// Builder for [`App`].
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_android::app::{AppBuilder, LocationBehavior};
+/// use backwatch_android::permission::Permission;
+/// use backwatch_android::provider::ProviderKind;
+///
+/// let app = AppBuilder::new("com.example.weather")
+///     .permission(Permission::AccessCoarseLocation)
+///     .permission(Permission::Internet)
+///     .behavior(LocationBehavior::requester([ProviderKind::Network], 60))
+///     .build();
+/// assert!(app.manifest().location_claim().declares_location());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AppBuilder {
+    package: String,
+    permissions: BTreeSet<Permission>,
+    has_location_service: bool,
+    behavior: LocationBehavior,
+}
+
+impl AppBuilder {
+    /// Starts building an app with the given package name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `package` is empty or contains whitespace.
+    #[must_use]
+    pub fn new(package: impl Into<String>) -> Self {
+        let package = package.into();
+        assert!(
+            !package.is_empty() && !package.contains(char::is_whitespace),
+            "package name must be non-empty and free of whitespace: {package:?}"
+        );
+        Self {
+            package,
+            permissions: BTreeSet::new(),
+            has_location_service: false,
+            behavior: LocationBehavior::inert(),
+        }
+    }
+
+    /// Declares a permission.
+    #[must_use]
+    pub fn permission(mut self, p: Permission) -> Self {
+        self.permissions.insert(p);
+        self
+    }
+
+    /// Declares the permissions of a [`LocationClaim`] wholesale.
+    #[must_use]
+    pub fn location_claim(mut self, claim: LocationClaim) -> Self {
+        self.permissions.extend(claim.to_permissions());
+        self
+    }
+
+    /// Declares a long-running location service component.
+    #[must_use]
+    pub fn location_service(mut self, yes: bool) -> Self {
+        self.has_location_service = yes;
+        self
+    }
+
+    /// Sets the runtime behavior.
+    #[must_use]
+    pub fn behavior(mut self, behavior: LocationBehavior) -> Self {
+        self.behavior = behavior;
+        self
+    }
+
+    /// Finishes the app.
+    #[must_use]
+    pub fn build(self) -> App {
+        App {
+            manifest: Manifest {
+                package: self.package,
+                permissions: self.permissions,
+                has_location_service: self.has_location_service,
+            },
+            behavior: self.behavior,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_manifest() {
+        let app = AppBuilder::new("com.x.y")
+            .permission(Permission::AccessFineLocation)
+            .permission(Permission::Internet)
+            .location_service(true)
+            .build();
+        assert_eq!(app.manifest().package(), "com.x.y");
+        assert_eq!(app.manifest().location_claim(), LocationClaim::FineOnly);
+        assert!(app.manifest().has_location_service());
+        assert!(!app.behavior().requests_location());
+    }
+
+    #[test]
+    fn claim_bulk_declaration() {
+        let app = AppBuilder::new("a.b").location_claim(LocationClaim::FineAndCoarse).build();
+        assert_eq!(app.manifest().location_claim(), LocationClaim::FineAndCoarse);
+    }
+
+    #[test]
+    fn behavior_flags() {
+        let b = LocationBehavior::requester([ProviderKind::Passive], 10);
+        assert!(b.requests_location());
+        assert!(!b.accesses_in_background());
+        let b = b.background_interval(600);
+        assert!(b.accesses_in_background());
+        assert_eq!(b.background_interval_s(), Some(600));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one provider")]
+    fn requester_needs_providers() {
+        let _ = LocationBehavior::requester([], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "inert app")]
+    fn inert_cannot_go_background() {
+        let _ = LocationBehavior::inert().background_interval(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "package name")]
+    fn empty_package_panics() {
+        let _ = AppBuilder::new("");
+    }
+
+    #[test]
+    fn display_shows_claim() {
+        let app = AppBuilder::new("p.q").location_claim(LocationClaim::CoarseOnly).build();
+        assert_eq!(app.to_string(), "p.q [coarse]");
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulated Android location stack.
+//!
+//! The paper's market study (§III) runs 2,800 real apps on a Nexus 4 and
+//! watches `dumpsys location` to see which apps keep requesting location
+//! from the background. This crate provides the pieces of Android that the
+//! study observes, as a discrete-time simulation:
+//!
+//! - [`permission`] — the location permissions and what they allow.
+//! - [`provider`] — the four location providers (GPS, network, passive,
+//!   fused) and the granularity of the fixes they deliver.
+//! - [`app`] — an app's [`app::Manifest`] (the static view Apktool
+//!   extracts) and its [`app::LocationBehavior`] (what it actually does at
+//!   run time — the ground truth the dynamic analysis tries to recover).
+//! - [`lifecycle`] — foreground/background/stopped states.
+//! - [`system`] — the [`system::Device`]: install/launch/trigger/background
+//!   apps, drive a position source, advance the clock; the embedded
+//!   `LocationManager` enforces permissions, schedules listener updates,
+//!   feeds the passive provider from the fix cache, and logs every access.
+//! - [`dumpsys`] — renders the device state as a `dumpsys location`-style
+//!   text report and parses it back; the market crate deliberately
+//!   round-trips through this text, as the paper's methodology did.
+//!
+//! # Examples
+//!
+//! ```
+//! use backwatch_android::app::{AppBuilder, LocationBehavior};
+//! use backwatch_android::permission::Permission;
+//! use backwatch_android::provider::ProviderKind;
+//! use backwatch_android::system::Device;
+//!
+//! let app = AppBuilder::new("com.example.tracker")
+//!     .permission(Permission::AccessFineLocation)
+//!     .behavior(
+//!         LocationBehavior::requester([ProviderKind::Gps], 5)
+//!             .auto_start(true)
+//!             .background_interval(10),
+//!     )
+//!     .build();
+//! let mut device = Device::new();
+//! let id = device.install(app);
+//! device.launch(id)?;
+//! device.move_to_background(id)?;
+//! device.advance(60);
+//! // The app kept polling GPS from the background.
+//! assert!(device.access_log().iter().any(|r| r.app == id && r.background));
+//! # Ok::<(), backwatch_android::system::DeviceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod dumpsys;
+pub mod energy;
+pub mod lifecycle;
+pub mod manifest_xml;
+pub mod permission;
+pub mod provider;
+pub mod system;
+
+pub use app::{App, AppBuilder};
+pub use system::{AppId, Device};

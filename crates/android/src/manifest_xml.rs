@@ -1,0 +1,179 @@
+//! AndroidManifest rendering and parsing.
+//!
+//! The paper's static step runs Apktool and reads the decoded
+//! `AndroidManifest.xml`. We reproduce that channel: a [`crate::app::Manifest`]
+//! renders to the XML subset the study cares about and parses back, so
+//! the market crate's static analysis can consume text exactly like the
+//! authors' scripts did (and inherits the same parsing failure modes).
+//!
+//! Only the elements the measurement reads are modelled:
+//! `<manifest package>`, `<uses-permission android:name>`, and a
+//! `<service>` with the study's location-service marker.
+
+use crate::app::{Manifest, ManifestBuilder};
+use crate::permission::Permission;
+use std::error::Error;
+use std::fmt;
+
+/// Renders the manifest as decoded-`AndroidManifest.xml`-style text.
+#[must_use]
+pub fn render(manifest: &Manifest) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n");
+    out.push_str(&format!("<manifest package=\"{}\">\n", manifest.package()));
+    for p in manifest.permissions() {
+        out.push_str(&format!("    <uses-permission android:name=\"{}\"/>\n", p.qualified_name()));
+    }
+    out.push_str("    <application>\n");
+    if manifest.has_location_service() {
+        out.push_str("        <service android:name=\".LocationService\" android:exported=\"false\"/>\n");
+    }
+    out.push_str("    </application>\n");
+    out.push_str("</manifest>\n");
+    out
+}
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseManifestError {
+    line: usize,
+    reason: String,
+}
+
+impl fmt::Display for ParseManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed manifest at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseManifestError {}
+
+/// Extracts the value of `attr="..."` from a tag line.
+fn attr_value<'a>(line: &'a str, attr: &str) -> Option<&'a str> {
+    let needle = format!("{attr}=\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Parses manifest text produced by [`render`] (or hand-written in the
+/// same subset) back into a [`Manifest`].
+///
+/// Unknown permissions are ignored — real manifests declare dozens of
+/// permissions the study does not track, and the authors' scripts grepped
+/// only for the location ones. Unknown elements are skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseManifestError`] if no `<manifest package="...">` root
+/// is present or an interesting tag is malformed.
+pub fn parse(text: &str) -> Result<Manifest, ParseManifestError> {
+    let mut package: Option<String> = None;
+    let mut builder: Option<ManifestBuilder> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |reason: &str| ParseManifestError {
+            line: i + 1,
+            reason: reason.to_owned(),
+        };
+        if line.starts_with("<manifest") {
+            let pkg = attr_value(line, "package").ok_or_else(|| err("<manifest> lacks a package attribute"))?;
+            if pkg.is_empty() || pkg.contains(char::is_whitespace) {
+                return Err(err("package attribute is not a valid package name"));
+            }
+            package = Some(pkg.to_owned());
+            builder = Some(ManifestBuilder::new(pkg));
+        } else if line.starts_with("<uses-permission") {
+            let b = builder.as_mut().ok_or_else(|| err("<uses-permission> before <manifest>"))?;
+            let name = attr_value(line, "android:name").ok_or_else(|| err("<uses-permission> lacks android:name"))?;
+            if let Some(p) = permission_from_name(name) {
+                b.add_permission(p);
+            }
+        } else if line.starts_with("<service") {
+            let b = builder.as_mut().ok_or_else(|| err("<service> before <manifest>"))?;
+            if attr_value(line, "android:name").is_some_and(|n| n.contains("LocationService")) {
+                b.set_location_service(true);
+            }
+        }
+    }
+    let _ = package;
+    builder
+        .map(ManifestBuilder::build)
+        .ok_or(ParseManifestError {
+            line: 0,
+            reason: "no <manifest> element found".to_owned(),
+        })
+}
+
+fn permission_from_name(name: &str) -> Option<Permission> {
+    [
+        Permission::AccessFineLocation,
+        Permission::AccessCoarseLocation,
+        Permission::Internet,
+        Permission::AccessNetworkState,
+        Permission::WakeLock,
+        Permission::ReceiveBootCompleted,
+    ]
+    .into_iter()
+    .find(|p| p.qualified_name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permission::LocationClaim;
+
+    fn sample() -> Manifest {
+        let mut b = ManifestBuilder::new("com.example.nav");
+        b.add_permission(Permission::AccessFineLocation);
+        b.add_permission(Permission::Internet);
+        b.set_location_service(true);
+        b.build()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = sample();
+        let xml = render(&m);
+        let back = parse(&xml).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn render_contains_qualified_permission_names() {
+        let xml = render(&sample());
+        assert!(xml.contains("android.permission.ACCESS_FINE_LOCATION"));
+        assert!(xml.contains("package=\"com.example.nav\""));
+        assert!(xml.contains("LocationService"));
+    }
+
+    #[test]
+    fn unknown_permissions_are_ignored() {
+        let xml = "<manifest package=\"a.b\">\n<uses-permission android:name=\"android.permission.CAMERA\"/>\n<uses-permission android:name=\"android.permission.ACCESS_COARSE_LOCATION\"/>\n</manifest>";
+        let m = parse(xml).unwrap();
+        assert_eq!(m.location_claim(), LocationClaim::CoarseOnly);
+        assert_eq!(m.permissions().len(), 1);
+    }
+
+    #[test]
+    fn missing_manifest_root_errors() {
+        let err = parse("<uses-permission android:name=\"x\"/>").unwrap_err();
+        assert!(err.to_string().contains("before <manifest>"));
+        let err = parse("").unwrap_err();
+        assert!(err.to_string().contains("no <manifest>"));
+    }
+
+    #[test]
+    fn malformed_package_errors() {
+        assert!(parse("<manifest package=\"\">").is_err());
+        assert!(parse("<manifest>").is_err());
+    }
+
+    #[test]
+    fn unrelated_services_do_not_mark_location_service() {
+        let xml = "<manifest package=\"a.b\">\n<service android:name=\".SyncService\"/>\n</manifest>";
+        let m = parse(xml).unwrap();
+        assert!(!m.has_location_service());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the simulated Android stack: lifecycle
+//! fuzzing, dumpsys robustness, and scheduling invariants.
+
+use backwatch_android::app::{AppBuilder, LocationBehavior};
+use backwatch_android::dumpsys;
+use backwatch_android::lifecycle::AppState;
+use backwatch_android::permission::LocationClaim;
+use backwatch_android::provider::ProviderKind;
+use backwatch_android::system::Device;
+use proptest::prelude::*;
+
+/// Random device operations.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Launch(u8),
+    Background(u8),
+    Foreground(u8),
+    Stop(u8),
+    Trigger(u8),
+    Advance(u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::Launch),
+        (0u8..4).prop_map(Op::Background),
+        (0u8..4).prop_map(Op::Foreground),
+        (0u8..4).prop_map(Op::Stop),
+        (0u8..4).prop_map(Op::Trigger),
+        (1u16..300).prop_map(Op::Advance),
+    ]
+}
+
+fn test_app(i: u8, bg: bool) -> backwatch_android::App {
+    let mut behavior = LocationBehavior::requester([ProviderKind::Gps, ProviderKind::Network], 5).auto_start(i.is_multiple_of(2));
+    if bg {
+        behavior = behavior.background_interval(i64::from(i) * 7 + 3);
+    }
+    AppBuilder::new(format!("com.fuzz.app{i}"))
+        .location_claim(LocationClaim::FineAndCoarse)
+        .behavior(behavior)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn device_survives_any_operation_sequence(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut device = Device::new();
+        let ids: Vec<_> = (0..4u8).map(|i| device.install(test_app(i, i < 2))).collect();
+        for op in ops {
+            // every operation either succeeds or returns a typed error —
+            // never panics, never corrupts state
+            let _ = match op {
+                Op::Launch(i) => device.launch(ids[i as usize % 4]),
+                Op::Background(i) => device.move_to_background(ids[i as usize % 4]),
+                Op::Foreground(i) => device.bring_to_foreground(ids[i as usize % 4]),
+                Op::Stop(i) => device.stop(ids[i as usize % 4]),
+                Op::Trigger(i) => device.trigger_location_use(ids[i as usize % 4]),
+                Op::Advance(s) => {
+                    device.advance(i64::from(s));
+                    Ok(())
+                }
+            };
+            // invariant: at most one app in the foreground
+            let fg = ids
+                .iter()
+                .filter(|&&id| device.state(id).unwrap() == AppState::Foreground)
+                .count();
+            prop_assert!(fg <= 1, "{fg} apps in foreground");
+        }
+        // the access log is always time-ordered
+        let log = device.access_log();
+        for w in log.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        // dumpsys always renders and re-parses
+        let report = dumpsys::render(&device);
+        prop_assert!(dumpsys::parse(&report).is_ok());
+    }
+
+    #[test]
+    fn access_log_respects_intervals(bg_interval in 1i64..120, horizon in 10i64..2000) {
+        let mut device = Device::new();
+        let app = AppBuilder::new("com.fuzz.single")
+            .location_claim(LocationClaim::FineAndCoarse)
+            .behavior(
+                LocationBehavior::requester([ProviderKind::Gps], 1)
+                    .auto_start(true)
+                    .background_interval(bg_interval),
+            )
+            .build();
+        let id = device.install(app);
+        device.launch(id).unwrap();
+        device.move_to_background(id).unwrap();
+        device.advance(horizon);
+        let times: Vec<i64> = device
+            .access_log()
+            .iter()
+            .filter(|r| r.app == id && r.background)
+            .map(|r| r.time.as_secs())
+            .collect();
+        for w in times.windows(2) {
+            prop_assert!(w[1] - w[0] >= bg_interval, "deliveries {w:?} violate interval {bg_interval}");
+        }
+        // delivery count is bounded by horizon / interval (+1 for the first)
+        prop_assert!(times.len() as i64 <= horizon / bg_interval + 1);
+    }
+
+    #[test]
+    fn dumpsys_parser_never_panics_on_arbitrary_text(text in "\\PC*") {
+        let _ = dumpsys::parse(&text);
+    }
+
+    #[test]
+    fn dumpsys_parser_never_panics_on_receiver_like_lines(
+        pkg in "[a-z.]{1,20}",
+        provider in "[a-z]{1,10}",
+        interval in "[0-9a-z]{1,6}",
+        tail in "\\PC{0,20}",
+    ) {
+        let line = format!("    Receiver[{pkg} Request[{provider} interval={interval}s]] {tail}");
+        let _ = dumpsys::parse(&line);
+    }
+
+    #[test]
+    fn stopping_is_always_safe(seq in prop::collection::vec(0u8..4, 0..20)) {
+        let mut device = Device::new();
+        let ids: Vec<_> = (0..4u8).map(|i| device.install(test_app(i, true))).collect();
+        for i in seq {
+            let id = ids[i as usize % 4];
+            let _ = device.launch(id);
+            device.stop(id).unwrap();
+            prop_assert_eq!(device.state(id).unwrap(), AppState::Stopped);
+        }
+        device.advance(100);
+        // stopped apps never appear in dumpsys
+        let entries = dumpsys::parse(&dumpsys::render(&device)).unwrap();
+        prop_assert!(entries.is_empty());
+    }
+}

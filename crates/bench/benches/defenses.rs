@@ -1,0 +1,84 @@
+//! Benchmarks of the LPPM mechanisms and their evaluation harness.
+
+use backwatch_bench::bench_user;
+use backwatch_core::adversary::ProfileStore;
+use backwatch_core::hisbin::Matcher;
+use backwatch_core::pattern::{PatternKind, Profile};
+use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch_defense::cloaking::KAnonymousCloaking;
+use backwatch_defense::decoy::SyntheticDecoy;
+use backwatch_defense::eval::{evaluate, EvalContext};
+use backwatch_defense::perturbation::GaussianPerturbation;
+use backwatch_defense::throttle::ReleaseThrottle;
+use backwatch_defense::truncation::GridTruncation;
+use backwatch_defense::{Lppm, NoDefense};
+use backwatch_geo::{Grid, LatLon};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn origin() -> LatLon {
+    LatLon::new(39.9042, 116.4074).unwrap()
+}
+
+fn mechanisms(c: &mut Criterion) {
+    let user = bench_user();
+    let anchors = vec![origin(), LatLon::new(39.95, 116.45).unwrap(), LatLon::new(39.85, 116.35).unwrap()];
+    let mechs: Vec<(&str, Box<dyn Lppm>)> = vec![
+        ("truncation", Box::new(GridTruncation::new(Grid::new(origin(), 1000.0)))),
+        ("perturbation", Box::new(GaussianPerturbation::new(100.0))),
+        ("cloaking", Box::new(KAnonymousCloaking::new(origin(), 250.0, 7, 2, anchors))),
+        ("throttle", Box::new(ReleaseThrottle::new(600))),
+        ("decoy", Box::new(SyntheticDecoy::new(origin(), 20.0, 500.0))),
+    ];
+    let mut g = c.benchmark_group("defense/apply");
+    g.throughput(Throughput::Elements(user.trace.len() as u64));
+    for (name, mech) in &mechs {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                mech.apply(black_box(&user.trace), &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn evaluation_harness(c: &mut Criterion) {
+    let user = bench_user();
+    let params = ExtractorParams::paper_set1();
+    let grid = Grid::new(origin(), 250.0);
+    let stays = SpatioTemporalExtractor::new(params).extract(&user.trace);
+    let profile = Profile::from_stays(PatternKind::MovementPattern, &stays, &grid);
+    let mut store = ProfileStore::new(PatternKind::MovementPattern);
+    store.insert(user.user_id, profile.clone());
+    let ctx = EvalContext {
+        user: &user,
+        store: &store,
+        true_profile: &profile,
+        grid: &grid,
+        params,
+        matcher: Matcher::paper(),
+    };
+    c.bench_function("defense/evaluate_throttle", |b| {
+        let mech = ReleaseThrottle::new(300);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            evaluate(black_box(&mech), &ctx, &mut rng)
+        });
+    });
+    c.bench_function("defense/evaluate_baseline", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            evaluate(black_box(&NoDefense), &ctx, &mut rng)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = mechanisms, evaluation_harness
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks regenerating the paper's §IV figures (Table III / Figure 2,
+//! Figure 3, Figure 4, Figure 5) at test scale.
+
+use backwatch_experiments::{fig2, fig3, fig4, fig5, prepare, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig2_bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::small();
+    c.bench_function("fig2/table3_sweep", |b| {
+        b.iter(|| fig2::run(black_box(&cfg)));
+    });
+}
+
+fn prepare_bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::small();
+    c.bench_function("prepare/users", |b| {
+        b.iter(|| prepare::prepare_users(black_box(&cfg)));
+    });
+}
+
+fn fig3_bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::small();
+    let users = prepare::prepare_users(&cfg);
+    c.bench_function("fig3/frequency_sweep", |b| {
+        b.iter(|| fig3::run(black_box(&cfg), black_box(&users)));
+    });
+}
+
+fn fig4_bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::small();
+    let users = prepare::prepare_users(&cfg);
+    c.bench_function("fig4/detection", |b| {
+        b.iter(|| fig4::run(black_box(&cfg), black_box(&users)));
+    });
+}
+
+fn fig5_bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::small();
+    let users = prepare::prepare_users(&cfg);
+    c.bench_function("fig5/entropy", |b| {
+        b.iter(|| fig5::run(black_box(&cfg), black_box(&users)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig2_bench, prepare_bench, fig3_bench, fig4_bench, fig5_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks regenerating the paper's §III artifacts: the headline
+//! statistics, Table I, and Figure 1, plus the pipeline stages behind
+//! them.
+
+use backwatch_market::corpus::{self, CorpusConfig};
+use backwatch_market::{dynamic_analysis, static_analysis, stats, run_study};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn corpus_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("market/corpus");
+    for per_cat in [10usize, 100] {
+        g.bench_function(format!("generate_28x{per_cat}"), |b| {
+            let cfg = CorpusConfig::scaled(per_cat);
+            b.iter(|| corpus::generate(black_box(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn pipeline_stages(c: &mut Criterion) {
+    let cfg = CorpusConfig::scaled(10);
+    let apps = corpus::generate(&cfg);
+    let mut g = c.benchmark_group("market/stages");
+    g.bench_function("static_analysis_280", |b| {
+        b.iter(|| static_analysis::analyze(black_box(&apps)));
+    });
+    g.bench_function("dynamic_analysis_declaring", |b| {
+        b.iter(|| dynamic_analysis::analyze_corpus(black_box(&apps)));
+    });
+    let statics = static_analysis::analyze(&apps);
+    let obs = dynamic_analysis::analyze_corpus(&apps);
+    g.bench_function("headline_aggregation", |b| {
+        b.iter(|| stats::headline(black_box(&apps), black_box(&statics), black_box(&obs)));
+    });
+    g.finish();
+}
+
+fn table1_bench(c: &mut Criterion) {
+    let cfg = CorpusConfig::scaled(10);
+    let apps = corpus::generate(&cfg);
+    let obs = dynamic_analysis::analyze_corpus(&apps);
+    c.bench_function("table1/provider_table", |b| {
+        b.iter(|| stats::provider_table(black_box(&apps), black_box(&obs)));
+    });
+}
+
+fn fig1_bench(c: &mut Criterion) {
+    let cfg = CorpusConfig::scaled(10);
+    let apps = corpus::generate(&cfg);
+    let obs = dynamic_analysis::analyze_corpus(&apps);
+    c.bench_function("fig1/interval_cdf", |b| {
+        b.iter_batched(
+            || obs.clone(),
+            |obs| stats::interval_cdf(black_box(&obs)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn full_study(c: &mut Criterion) {
+    c.bench_function("market/full_study_28x10", |b| {
+        let cfg = CorpusConfig::scaled(10);
+        b.iter(|| run_study(black_box(&cfg)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = corpus_generation, pipeline_stages, table1_bench, fig1_bench, full_study
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! PoI-extraction benchmarks, including the ablation DESIGN.md calls out:
+//! the paper's three-buffer Spatio-Temporal algorithm vs the naive
+//! anchor-based dwell detector, across sampling rates and parameters.
+
+use backwatch_bench::{bench_user, bench_user_long};
+use backwatch_core::poi::{cluster_stays, ExtractorParams, NaiveDwellExtractor, SpatioTemporalExtractor};
+use backwatch_trace::sampling;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn extractors_ablation(c: &mut Criterion) {
+    let user = bench_user();
+    let params = ExtractorParams::paper_set1();
+    let mut g = c.benchmark_group("poi/ablation");
+    g.throughput(Throughput::Elements(user.trace.len() as u64));
+    g.bench_function("three_buffer", |b| {
+        let e = SpatioTemporalExtractor::new(params);
+        b.iter(|| e.extract(black_box(&user.trace)));
+    });
+    g.bench_function("naive_anchor", |b| {
+        let e = NaiveDwellExtractor::new(params);
+        b.iter(|| e.extract(black_box(&user.trace)));
+    });
+    g.finish();
+}
+
+fn extraction_vs_sampling_rate(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let e = SpatioTemporalExtractor::new(params);
+    let mut g = c.benchmark_group("poi/by_interval");
+    for interval in [1i64, 60, 600] {
+        let trace = sampling::downsample(&user.trace, interval);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_function(format!("interval_{interval}s"), |b| {
+            b.iter(|| e.extract(black_box(&trace)));
+        });
+    }
+    g.finish();
+}
+
+fn table3_parameter_sets(c: &mut Criterion) {
+    let user = bench_user();
+    let mut g = c.benchmark_group("poi/table3_params");
+    for (i, params) in ExtractorParams::table3_sets().into_iter().enumerate() {
+        g.bench_function(format!("set{}", i + 1), |b| {
+            let e = SpatioTemporalExtractor::new(params);
+            b.iter(|| e.extract(black_box(&user.trace)));
+        });
+    }
+    g.finish();
+}
+
+fn clustering(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let stays = SpatioTemporalExtractor::new(params).extract(&user.trace);
+    c.bench_function("poi/cluster_stays", |b| {
+        b.iter(|| cluster_stays(black_box(&stays), 150.0, params.metric));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = extractors_ablation, extraction_vs_sampling_rate, table3_parameter_sets, clustering
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Benchmarks of the privacy model: profile building, His_bin matching
+//! (both patterns — the paper's central comparison), incremental
+//! detection, and the adversary's inference attack.
+
+use backwatch_bench::bench_stays;
+use backwatch_core::adversary::ProfileStore;
+use backwatch_core::anonymity::Weighting;
+use backwatch_core::hisbin::{detect_incremental, Matcher};
+use backwatch_core::pattern::{PatternKind, Profile};
+use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch_geo::{Grid, LatLon};
+use backwatch_trace::synth::{generate_user, SynthConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn grid() -> Grid {
+    Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), 250.0)
+}
+
+fn profile_building(c: &mut Criterion) {
+    let (_, stays) = bench_stays();
+    let g = grid();
+    let mut group = c.benchmark_group("privacy/profile");
+    for kind in [PatternKind::RegionVisits, PatternKind::RegionVisitCounts, PatternKind::MovementPattern] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| Profile::from_stays(black_box(kind), black_box(&stays), &g));
+        });
+    }
+    group.finish();
+}
+
+fn hisbin_compare(c: &mut Criterion) {
+    let (_, stays) = bench_stays();
+    let g = grid();
+    let matcher = Matcher::paper();
+    let mut group = c.benchmark_group("privacy/hisbin_compare");
+    for kind in [PatternKind::RegionVisits, PatternKind::MovementPattern] {
+        let profile = Profile::from_stays(kind, &stays, &g);
+        let half = Profile::from_stays(kind, &stays[..stays.len() / 2], &g);
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| matcher.compare(black_box(&half), black_box(&profile)));
+        });
+    }
+    group.finish();
+}
+
+fn incremental_detection(c: &mut Criterion) {
+    let (trace, stays) = bench_stays();
+    let g = grid();
+    let matcher = Matcher::paper();
+    let mut group = c.benchmark_group("privacy/detection");
+    for kind in [PatternKind::RegionVisits, PatternKind::MovementPattern] {
+        let profile = Profile::from_stays(kind, &stays, &g);
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| detect_incremental(black_box(&stays), trace.len(), &g, kind, &matcher, &profile));
+        });
+    }
+    group.finish();
+}
+
+fn adversary_inference(c: &mut Criterion) {
+    let mut cfg = SynthConfig::small();
+    cfg.n_users = 8;
+    cfg.days = 5;
+    let g = grid();
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+    let mut store = ProfileStore::new(PatternKind::MovementPattern);
+    let mut observed = None;
+    for i in 0..cfg.n_users {
+        let u = generate_user(&cfg, i);
+        let stays = extractor.extract(&u.trace);
+        let p = Profile::from_stays(PatternKind::MovementPattern, &stays, &g);
+        if i == 3 {
+            observed = Some(p.clone());
+        }
+        store.insert(i, p);
+    }
+    let observed = observed.expect("user 3 generated");
+    let matcher = Matcher::paper();
+    c.bench_function("privacy/adversary_infer_8_profiles", |b| {
+        b.iter(|| store.infer(black_box(&observed), &matcher, Weighting::PaperChiSquare));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = profile_building, hisbin_compare, incremental_detection, adversary_inference
+}
+criterion_main!(benches);

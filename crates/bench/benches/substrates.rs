@@ -1,0 +1,89 @@
+//! Substrate microbenches: distance ablation (haversine vs
+//! equirectangular), downsampling, mobility synthesis, chi-square, and
+//! the simulated device's tick loop.
+
+use backwatch_android::app::{AppBuilder, LocationBehavior};
+use backwatch_android::permission::Permission;
+use backwatch_android::provider::ProviderKind;
+use backwatch_android::system::{Device, PositionSource};
+use backwatch_bench::bench_user;
+use backwatch_geo::{distance, LatLon};
+use backwatch_stats::chi2;
+use backwatch_trace::{sampling, synth};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn distance_ablation(c: &mut Criterion) {
+    let a = LatLon::new(39.9042, 116.4074).unwrap();
+    let b_pt = LatLon::new(39.95, 116.48).unwrap();
+    let mut g = c.benchmark_group("geo/distance");
+    g.bench_function("haversine", |b| {
+        b.iter(|| distance::haversine(black_box(a), black_box(b_pt)));
+    });
+    g.bench_function("equirectangular", |b| {
+        b.iter(|| distance::equirectangular(black_box(a), black_box(b_pt)));
+    });
+    g.finish();
+}
+
+fn synthesis(c: &mut Criterion) {
+    let cfg = synth::SynthConfig::small();
+    c.bench_function("trace/synthesize_user_3days", |b| {
+        b.iter(|| synth::generate_user(black_box(&cfg), 0));
+    });
+}
+
+fn downsampling(c: &mut Criterion) {
+    let user = bench_user();
+    let mut g = c.benchmark_group("trace/downsample");
+    g.throughput(Throughput::Elements(user.trace.len() as u64));
+    for interval in [10i64, 600] {
+        g.bench_function(format!("interval_{interval}s"), |b| {
+            b.iter(|| sampling::downsample(black_box(&user.trace), interval));
+        });
+    }
+    g.finish();
+}
+
+fn chi_square(c: &mut Criterion) {
+    let observed: Vec<f64> = (1..=40).map(f64::from).collect();
+    let expected: Vec<f64> = (1..=40).map(|i| f64::from(i) * 1.05).collect();
+    let mut g = c.benchmark_group("stats/chi2");
+    g.bench_function("gof_40_categories", |b| {
+        b.iter(|| chi2::chi_square_gof(black_box(&observed), black_box(&expected)));
+    });
+    g.bench_function("inverse_cdf", |b| {
+        b.iter(|| chi2::inverse_cdf(black_box(0.95), black_box(39.0)));
+    });
+    g.finish();
+}
+
+fn device_ticks(c: &mut Criterion) {
+    let user = bench_user();
+    c.bench_function("android/device_3days_bg_app", |b| {
+        let horizon = user.trace.last().unwrap().time.as_secs();
+        b.iter(|| {
+            let mut device = Device::with_position(PositionSource::Trace(user.trace.clone()));
+            let app = AppBuilder::new("com.bench.app")
+                .permission(Permission::AccessFineLocation)
+                .behavior(
+                    LocationBehavior::requester([ProviderKind::Gps], 5)
+                        .auto_start(true)
+                        .background_interval(60),
+                )
+                .build();
+            let id = device.install(app);
+            device.launch(id).expect("launch succeeds");
+            device.move_to_background(id).expect("background succeeds");
+            device.advance(black_box(horizon));
+            device.access_log().len()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = distance_ablation, synthesis, downsampling, chi_square, device_ticks
+}
+criterion_main!(benches);

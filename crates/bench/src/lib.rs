@@ -1,0 +1,50 @@
+//! Shared fixtures for the backwatch benchmarks.
+//!
+//! The benches live under `benches/`; this library provides the inputs
+//! they share so fixture construction is not measured repeatedly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor, Stay};
+use backwatch_trace::synth::{generate_user, SynthConfig, UserTrace};
+use backwatch_trace::Trace;
+
+/// A small deterministic user for microbenches: 3 days of routine.
+#[must_use]
+pub fn bench_user() -> UserTrace {
+    let mut cfg = SynthConfig::small();
+    cfg.days = 3;
+    cfg.n_users = 1;
+    generate_user(&cfg, 0)
+}
+
+/// A longer user for pipeline benches: 10 days.
+#[must_use]
+pub fn bench_user_long() -> UserTrace {
+    let mut cfg = SynthConfig::small();
+    cfg.days = 10;
+    cfg.n_users = 1;
+    generate_user(&cfg, 0)
+}
+
+/// The stays of [`bench_user_long`] under the paper's parameters.
+#[must_use]
+pub fn bench_stays() -> (Trace, Vec<Stay>) {
+    let user = bench_user_long();
+    let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&user.trace);
+    (user.trace, stays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nonempty() {
+        assert!(!bench_user().trace.is_empty());
+        let (trace, stays) = bench_stays();
+        assert!(!trace.is_empty());
+        assert!(!stays.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! The adversary: a store of user profiles and the inference attack.
+//!
+//! The threat model (§IV-A) is an honest-but-curious third party — an LBS
+//! backend or data broker — that has accumulated (anonymized) location
+//! profiles of many users from various sources and tries to link newly
+//! collected data to one of them.
+
+use crate::anonymity::{assess, AnonymityOutcome, Weighting};
+use crate::hisbin::Matcher;
+use crate::pattern::{PatternKind, Profile};
+
+/// A collection of per-user profiles of one pattern kind.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_core::adversary::ProfileStore;
+/// use backwatch_core::pattern::{PatternKind, Profile};
+///
+/// let mut store = ProfileStore::new(PatternKind::MovementPattern);
+/// store.insert(7, Profile::new(PatternKind::MovementPattern));
+/// assert_eq!(store.len(), 1);
+/// assert!(store.profile_of(7).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStore {
+    kind: Option<PatternKind>,
+    users: Vec<u32>,
+    profiles: Vec<Profile>,
+}
+
+impl ProfileStore {
+    /// An empty store accepting profiles of `kind`.
+    #[must_use]
+    pub fn new(kind: PatternKind) -> Self {
+        Self {
+            kind: Some(kind),
+            users: Vec::new(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// Adds a user's profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's kind differs from the store's, or if the
+    /// user was already inserted.
+    pub fn insert(&mut self, user: u32, profile: Profile) {
+        let kind = self.kind.get_or_insert(profile.kind());
+        assert_eq!(*kind, profile.kind(), "store holds {kind} profiles");
+        assert!(!self.users.contains(&user), "user {user} already in store");
+        self.users.push(user);
+        self.profiles.push(profile);
+    }
+
+    /// Number of profiles held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The stored user ids, in insertion order.
+    #[must_use]
+    pub fn users(&self) -> &[u32] {
+        &self.users
+    }
+
+    /// The profile stored for `user`.
+    #[must_use]
+    pub fn profile_of(&self, user: u32) -> Option<&Profile> {
+        self.users.iter().position(|&u| u == user).map(|i| &self.profiles[i])
+    }
+
+    /// Runs the inference attack: matches `observed` against every stored
+    /// profile and reports the matched users, the posterior, and the
+    /// degree of anonymity.
+    #[must_use]
+    pub fn infer(&self, observed: &Profile, matcher: &Matcher, weighting: Weighting) -> Inference {
+        let outcome = assess(observed, &self.profiles, matcher, weighting);
+        let matched_users: Vec<u32> = outcome.matched.iter().map(|&i| self.users[i]).collect();
+        Inference {
+            matched_users,
+            outcome,
+        }
+    }
+}
+
+/// The result of one inference attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inference {
+    /// The user ids whose profiles matched.
+    pub matched_users: Vec<u32>,
+    /// The raw anonymity assessment (posterior indexed like
+    /// `matched_users`).
+    pub outcome: AnonymityOutcome,
+}
+
+impl Inference {
+    /// The uniquely identified user, if the anonymity set collapsed to
+    /// one.
+    #[must_use]
+    pub fn identified_user(&self) -> Option<u32> {
+        if self.matched_users.len() == 1 {
+            Some(self.matched_users[0])
+        } else {
+            None
+        }
+    }
+
+    /// The degree of anonymity, `None` when nothing matched.
+    #[must_use]
+    pub fn degree(&self) -> Option<f64> {
+        self.outcome.degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poi::Stay;
+    use backwatch_geo::{Grid, LatLon};
+    use backwatch_trace::Timestamp;
+
+    fn grid() -> Grid {
+        Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0)
+    }
+
+    fn user_profile(lat0: f64) -> Profile {
+        let stays: Vec<Stay> = (0..20)
+            .map(|i| Stay {
+                centroid: LatLon::new(lat0 + f64::from(i % 2) * 0.05, 116.4).unwrap(),
+                enter: Timestamp::from_secs(i64::from(i) * 20_000),
+                leave: Timestamp::from_secs(i64::from(i) * 20_000 + 900),
+                n_points: 900,
+                end_index: 0,
+            })
+            .collect();
+        Profile::from_stays(PatternKind::RegionVisits, &stays, &grid())
+    }
+
+    #[test]
+    fn store_identifies_the_right_user() {
+        let mut store = ProfileStore::new(PatternKind::RegionVisits);
+        for (id, lat) in [(10u32, 39.3), (20, 39.6), (30, 39.9)] {
+            store.insert(id, user_profile(lat));
+        }
+        let observed = user_profile(39.9);
+        let inference = store.infer(&observed, &Matcher::paper(), Weighting::PaperChiSquare);
+        assert_eq!(inference.identified_user(), Some(30));
+        assert_eq!(inference.degree(), Some(0.0));
+    }
+
+    #[test]
+    fn unknown_user_matches_nothing() {
+        let mut store = ProfileStore::new(PatternKind::RegionVisits);
+        store.insert(1, user_profile(39.3));
+        let observed = user_profile(38.0);
+        let inference = store.infer(&observed, &Matcher::paper(), Weighting::PaperChiSquare);
+        assert!(inference.matched_users.is_empty());
+        assert_eq!(inference.degree(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in store")]
+    fn duplicate_user_panics() {
+        let mut store = ProfileStore::new(PatternKind::RegionVisits);
+        store.insert(1, user_profile(39.3));
+        store.insert(1, user_profile(39.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "store holds")]
+    fn kind_mismatch_panics() {
+        let mut store = ProfileStore::new(PatternKind::RegionVisits);
+        store.insert(1, Profile::new(PatternKind::MovementPattern));
+    }
+
+    #[test]
+    fn lookup_by_user() {
+        let mut store = ProfileStore::new(PatternKind::RegionVisits);
+        store.insert(5, user_profile(39.5));
+        assert!(store.profile_of(5).is_some());
+        assert!(store.profile_of(6).is_none());
+        assert_eq!(store.users(), &[5]);
+    }
+}

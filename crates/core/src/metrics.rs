@@ -1,0 +1,117 @@
+//! Frequency-impact measurement: the `PoI_total` / `PoI_sensitive`
+//! metrics as functions of an app's access interval (Figure 3).
+
+use crate::poi::{cluster_stays, match_against_truth, sensitive_counts, ExtractorParams, SpatioTemporalExtractor};
+use backwatch_trace::sampling;
+use backwatch_trace::synth::UserTrace;
+
+/// The access intervals (seconds) swept by the paper's Figure 3/4/5
+/// frequency axes.
+pub const PAPER_INTERVALS: [i64; 10] = [1, 5, 10, 30, 60, 300, 600, 1800, 3600, 7200];
+
+/// What one user's trace yields at one access interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FrequencyImpact {
+    /// The app's polling interval, seconds.
+    pub interval_s: i64,
+    /// Fixes the app collected.
+    pub collected_points: usize,
+    /// PoI visits (stays) extracted from the collected fixes.
+    pub stays: usize,
+    /// Distinct places the stays cluster into.
+    pub places: usize,
+    /// Sensitive places at the paper's thresholds `[≤1, ≤2, ≤3]` visits.
+    pub sensitive: [usize; 3],
+    /// Recall against the user's ground-truth visits.
+    pub recall: f64,
+    /// Whether every eligible ground-truth visit was recovered.
+    pub complete: bool,
+}
+
+/// Radius used to merge stays into places and to match stays against
+/// ground truth, relative to the extraction radius.
+const MATCH_RADIUS_FACTOR: f64 = 3.0;
+
+/// Downsamples `user`'s trace to `interval_s`, extracts PoIs, and scores
+/// them.
+///
+/// # Panics
+///
+/// Panics if `interval_s <= 0`.
+#[must_use]
+pub fn measure_at_interval(user: &UserTrace, interval_s: i64, params: ExtractorParams) -> FrequencyImpact {
+    let collected = sampling::downsample(&user.trace, interval_s);
+    let extractor = SpatioTemporalExtractor::new(params);
+    let stays = extractor.extract(&collected);
+    let match_radius = params.radius_m * MATCH_RADIUS_FACTOR;
+    let places = cluster_stays(&stays, match_radius, params.metric);
+    let report = match_against_truth(&stays, user, params.min_visit_secs, match_radius, params.metric);
+    FrequencyImpact {
+        interval_s,
+        collected_points: collected.len(),
+        stays: stays.len(),
+        places: places.len(),
+        sensitive: sensitive_counts(&places),
+        recall: report.recall(),
+        complete: report.complete(),
+    }
+}
+
+/// Sweeps [`PAPER_INTERVALS`] for one user.
+#[must_use]
+pub fn sweep_intervals(user: &UserTrace, params: ExtractorParams) -> Vec<FrequencyImpact> {
+    PAPER_INTERVALS
+        .iter()
+        .map(|&i| measure_at_interval(user, i, params))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backwatch_trace::synth::{generate_user, SynthConfig};
+
+    #[test]
+    fn one_second_interval_collects_everything() {
+        let user = generate_user(&SynthConfig::small(), 0);
+        let m = measure_at_interval(&user, 1, ExtractorParams::paper_set1());
+        assert_eq!(m.collected_points, user.trace.len());
+        assert!(m.stays > 0);
+        assert!(m.recall > 0.8, "recall {}", m.recall);
+    }
+
+    #[test]
+    fn coarser_intervals_collect_fewer_points() {
+        let user = generate_user(&SynthConfig::small(), 1);
+        let sweep = sweep_intervals(&user, ExtractorParams::paper_set1());
+        for w in sweep.windows(2) {
+            assert!(w[1].collected_points <= w[0].collected_points);
+        }
+    }
+
+    #[test]
+    fn recall_degrades_from_first_to_last_interval() {
+        let user = generate_user(&SynthConfig::small(), 2);
+        let sweep = sweep_intervals(&user, ExtractorParams::paper_set1());
+        let first = sweep.first().unwrap();
+        let last = sweep.last().unwrap();
+        assert!(first.recall > last.recall, "1 s {} vs 7200 s {}", first.recall, last.recall);
+    }
+
+    #[test]
+    fn sensitive_counts_are_monotone_in_threshold() {
+        let user = generate_user(&SynthConfig::small(), 3);
+        let m = measure_at_interval(&user, 1, ExtractorParams::paper_set1());
+        assert!(m.sensitive[0] <= m.sensitive[1]);
+        assert!(m.sensitive[1] <= m.sensitive[2]);
+        assert!(m.sensitive[2] <= m.places);
+    }
+
+    #[test]
+    fn paper_intervals_are_sorted_and_span_the_paper_range() {
+        assert!(PAPER_INTERVALS.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(PAPER_INTERVALS[0], 1);
+        assert_eq!(*PAPER_INTERVALS.last().unwrap(), 7200);
+    }
+}

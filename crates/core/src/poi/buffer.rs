@@ -1,0 +1,224 @@
+//! Incremental centroid buffers — the building block of the
+//! Spatio-Temporal extractor's entry/PoI/exit windows.
+
+use backwatch_geo::distance::Metric;
+use backwatch_geo::LatLon;
+use backwatch_trace::TracePoint;
+use std::collections::VecDeque;
+
+/// A FIFO buffer of trace points with an O(1) centroid.
+///
+/// The paper's algorithm (§IV-B) keeps three such buffers and reasons
+/// about distances between their centroids. The centroid is the running
+/// average of latitude and longitude — adequate at PoI scales.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_core::poi::CentroidBuffer;
+/// use backwatch_trace::{TracePoint, Timestamp};
+/// use backwatch_geo::LatLon;
+///
+/// let mut buf = CentroidBuffer::new();
+/// buf.push(TracePoint::new(Timestamp::from_secs(0), LatLon::new(39.90, 116.40)?));
+/// buf.push(TracePoint::new(Timestamp::from_secs(1), LatLon::new(39.92, 116.42)?));
+/// let c = buf.centroid().unwrap();
+/// assert!((c.lat() - 39.91).abs() < 1e-9);
+/// # Ok::<(), backwatch_geo::LatLonError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CentroidBuffer {
+    points: VecDeque<TracePoint>,
+    sum_lat: f64,
+    sum_lon: f64,
+}
+
+impl CentroidBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: TracePoint) {
+        self.sum_lat += p.pos.lat();
+        self.sum_lon += p.pos.lon();
+        self.points.push_back(p);
+    }
+
+    /// Removes and returns the oldest point.
+    pub fn pop_front(&mut self) -> Option<TracePoint> {
+        let p = self.points.pop_front()?;
+        self.sum_lat -= p.pos.lat();
+        self.sum_lon -= p.pos.lon();
+        Some(p)
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&mut self) {
+        self.points.clear();
+        self.sum_lat = 0.0;
+        self.sum_lon = 0.0;
+    }
+
+    /// Number of buffered points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The buffered points, oldest first.
+    #[must_use]
+    pub fn points(&self) -> &VecDeque<TracePoint> {
+        &self.points
+    }
+
+    /// The oldest point.
+    #[must_use]
+    pub fn front(&self) -> Option<&TracePoint> {
+        self.points.front()
+    }
+
+    /// The newest point.
+    #[must_use]
+    pub fn back(&self) -> Option<&TracePoint> {
+        self.points.back()
+    }
+
+    /// Time span covered by the buffer, seconds (0 for < 2 points).
+    #[must_use]
+    pub fn span_secs(&self) -> i64 {
+        match (self.points.front(), self.points.back()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => 0,
+        }
+    }
+
+    /// The centroid (average lat/lon), or `None` when empty.
+    #[must_use]
+    pub fn centroid(&self) -> Option<LatLon> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let n = self.points.len() as f64;
+        Some(LatLon::clamped(self.sum_lat / n, self.sum_lon / n))
+    }
+
+    /// The largest distance from any buffered point to the centroid, in
+    /// meters (0 when empty). This is the "spatial spread" the extractor
+    /// compares to the PoI radius.
+    #[must_use]
+    pub fn spread_m(&self, metric: Metric) -> f64 {
+        let Some(c) = self.centroid() else {
+            return 0.0;
+        };
+        self.points
+            .iter()
+            .map(|p| metric.distance(p.pos, c))
+            .fold(0.0, f64::max)
+    }
+
+    /// Drops points from the front until the buffer spans at most
+    /// `max_span_secs`.
+    pub fn trim_to_span(&mut self, max_span_secs: i64) {
+        while self.span_secs() > max_span_secs {
+            self.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backwatch_trace::Timestamp;
+
+    fn pt(t: i64, lat: f64, lon: f64) -> TracePoint {
+        TracePoint::new(Timestamp::from_secs(t), LatLon::new(lat, lon).unwrap())
+    }
+
+    #[test]
+    fn centroid_is_running_mean() {
+        let mut b = CentroidBuffer::new();
+        assert!(b.centroid().is_none());
+        b.push(pt(0, 10.0, 20.0));
+        b.push(pt(1, 20.0, 40.0));
+        let c = b.centroid().unwrap();
+        assert!((c.lat() - 15.0).abs() < 1e-12);
+        assert!((c.lon() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pop_front_updates_centroid() {
+        let mut b = CentroidBuffer::new();
+        b.push(pt(0, 10.0, 10.0));
+        b.push(pt(1, 30.0, 30.0));
+        b.pop_front();
+        let c = b.centroid().unwrap();
+        assert!((c.lat() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_and_trim() {
+        let mut b = CentroidBuffer::new();
+        for t in 0..10 {
+            b.push(pt(t * 10, 39.9, 116.4));
+        }
+        assert_eq!(b.span_secs(), 90);
+        b.trim_to_span(30);
+        assert!(b.span_secs() <= 30);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.front().unwrap().time.as_secs(), 60);
+    }
+
+    #[test]
+    fn spread_of_tight_cluster_is_small() {
+        let mut b = CentroidBuffer::new();
+        for t in 0..5 {
+            b.push(pt(t, 39.9 + t as f64 * 1e-6, 116.4));
+        }
+        assert!(b.spread_m(Metric::Equirectangular) < 1.0);
+    }
+
+    #[test]
+    fn spread_grows_with_outlier() {
+        let mut b = CentroidBuffer::new();
+        b.push(pt(0, 39.9, 116.4));
+        b.push(pt(1, 39.9, 116.4));
+        let before = b.spread_m(Metric::Equirectangular);
+        b.push(pt(2, 39.91, 116.4)); // ~1.1 km away
+        assert!(b.spread_m(Metric::Equirectangular) > before + 500.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = CentroidBuffer::new();
+        b.push(pt(0, 1.0, 1.0));
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.centroid().is_none());
+        assert_eq!(b.span_secs(), 0);
+    }
+
+    #[test]
+    fn repeated_push_pop_has_no_drift() {
+        let mut b = CentroidBuffer::new();
+        for t in 0..1000 {
+            b.push(pt(t, 39.9 + (t % 7) as f64 * 1e-5, 116.4));
+            if t % 2 == 0 {
+                b.pop_front();
+            }
+        }
+        // recompute exactly and compare
+        let n = b.len() as f64;
+        let lat: f64 = b.points().iter().map(|p| p.pos.lat()).sum::<f64>() / n;
+        let c = b.centroid().unwrap();
+        assert!((c.lat() - lat).abs() < 1e-9);
+    }
+}

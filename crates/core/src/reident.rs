@@ -1,0 +1,174 @@
+//! Top-N location re-identification (Zang & Bolot, MobiCom 2011;
+//! Golle & Partridge 2009).
+//!
+//! The paper's motivation cites the classic result that a user's top two
+//! or three locations — usually home and work — already shrink the
+//! anonymity set to almost nothing. This module measures that directly
+//! on a population: for each user, the set of users sharing the same
+//! top-N region multiset is their anonymity set.
+
+use crate::poi::Stay;
+use backwatch_geo::{CellId, Grid};
+use std::collections::HashMap;
+
+/// The top `n` regions of a stay sequence, ranked by total dwell time,
+/// returned as a sorted (set-identity) vector.
+///
+/// Ties are broken by cell id so the result is deterministic.
+#[must_use]
+pub fn top_regions(stays: &[Stay], grid: &Grid, n: usize) -> Vec<CellId> {
+    let mut dwell: HashMap<CellId, i64> = HashMap::new();
+    for s in stays {
+        *dwell.entry(grid.cell_of(s.centroid)).or_insert(0) += s.dwell_secs();
+    }
+    let mut ranked: Vec<(CellId, i64)> = dwell.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut top: Vec<CellId> = ranked.into_iter().take(n).map(|(c, _)| c).collect();
+    top.sort();
+    top
+}
+
+/// Anonymity-set analysis over a population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopNReport {
+    /// `n` used for the analysis.
+    pub n: usize,
+    /// Per-user anonymity-set size (how many users, including self, share
+    /// the same top-N region set).
+    pub set_sizes: Vec<usize>,
+}
+
+impl TopNReport {
+    /// Users whose top-N set is unique (anonymity set of one).
+    #[must_use]
+    pub fn unique_users(&self) -> usize {
+        self.set_sizes.iter().filter(|&&s| s == 1).count()
+    }
+
+    /// Fraction of users uniquely identified by their top-N regions.
+    #[must_use]
+    pub fn unique_fraction(&self) -> f64 {
+        if self.set_sizes.is_empty() {
+            0.0
+        } else {
+            self.unique_users() as f64 / self.set_sizes.len() as f64
+        }
+    }
+
+    /// The largest anonymity set observed.
+    #[must_use]
+    pub fn max_set_size(&self) -> usize {
+        self.set_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the top-N anonymity sets for a population given each user's
+/// stay sequence.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn top_n_anonymity(population: &[Vec<Stay>], grid: &Grid, n: usize) -> TopNReport {
+    assert!(n >= 1, "n must be at least 1");
+    let tops: Vec<Vec<CellId>> = population.iter().map(|stays| top_regions(stays, grid, n)).collect();
+    let mut counts: HashMap<&[CellId], usize> = HashMap::new();
+    for t in &tops {
+        *counts.entry(t.as_slice()).or_insert(0) += 1;
+    }
+    let set_sizes = tops.iter().map(|t| counts[t.as_slice()]).collect();
+    TopNReport { n, set_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backwatch_geo::LatLon;
+    use backwatch_trace::Timestamp;
+
+    fn grid() -> Grid {
+        Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0)
+    }
+
+    fn stay(lat: f64, lon: f64, t: i64, dwell: i64) -> Stay {
+        Stay {
+            centroid: LatLon::new(lat, lon).unwrap(),
+            enter: Timestamp::from_secs(t),
+            leave: Timestamp::from_secs(t + dwell),
+            n_points: dwell as usize,
+            end_index: 0,
+        }
+    }
+
+    /// A user with home (long dwells) at `home_lat` and work at
+    /// `work_lat`.
+    fn user(home_lat: f64, work_lat: f64) -> Vec<Stay> {
+        let mut v = Vec::new();
+        for d in 0..5i64 {
+            v.push(stay(home_lat, 116.40, d * 86_400, 40_000));
+            v.push(stay(work_lat, 116.45, d * 86_400 + 45_000, 30_000));
+            v.push(stay(39.99, 116.49, d * 86_400 + 80_000, 1_000)); // shared cafe
+        }
+        v
+    }
+
+    #[test]
+    fn top_regions_ranked_by_dwell() {
+        let g = grid();
+        let stays = user(39.90, 39.95);
+        let top1 = top_regions(&stays, &g, 1);
+        assert_eq!(top1, vec![g.cell_of(LatLon::new(39.90, 116.40).unwrap())]);
+        let top2 = top_regions(&stays, &g, 2);
+        assert_eq!(top2.len(), 2);
+        assert!(top2.contains(&g.cell_of(LatLon::new(39.95, 116.45).unwrap())));
+    }
+
+    #[test]
+    fn top_n_caps_at_distinct_regions() {
+        let g = grid();
+        let stays = user(39.90, 39.95);
+        assert_eq!(top_regions(&stays, &g, 10).len(), 3);
+        assert!(top_regions(&[], &g, 3).is_empty());
+    }
+
+    #[test]
+    fn distinct_home_work_pairs_are_unique() {
+        let g = grid();
+        let population = vec![user(39.90, 39.95), user(39.80, 39.85), user(39.70, 39.75)];
+        let report = top_n_anonymity(&population, &g, 2);
+        assert_eq!(report.unique_users(), 3);
+        assert_eq!(report.unique_fraction(), 1.0);
+    }
+
+    #[test]
+    fn shared_home_work_pairs_form_anonymity_sets() {
+        let g = grid();
+        // two flatmates working at the same office
+        let population = vec![user(39.90, 39.95), user(39.90, 39.95), user(39.70, 39.75)];
+        let report = top_n_anonymity(&population, &g, 2);
+        assert_eq!(report.set_sizes, vec![2, 2, 1]);
+        assert_eq!(report.unique_users(), 1);
+        assert_eq!(report.max_set_size(), 2);
+    }
+
+    #[test]
+    fn more_regions_never_grow_the_set() {
+        let g = grid();
+        // flatmates distinguished only by their third place
+        let mut a = user(39.90, 39.95);
+        a.push(stay(39.60, 116.30, 10 * 86_400, 5_000));
+        let b = user(39.90, 39.95);
+        let population = vec![a, b];
+        let r2 = top_n_anonymity(&population, &g, 2);
+        let r3 = top_n_anonymity(&population, &g, 3);
+        for (s3, s2) in r3.set_sizes.iter().zip(&r2.set_sizes) {
+            assert!(s3 <= s2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be")]
+    fn zero_n_panics() {
+        let _ = top_n_anonymity(&[], &grid(), 0);
+    }
+}

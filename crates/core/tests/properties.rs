@@ -1,0 +1,164 @@
+//! Property-based tests for the privacy model.
+
+use backwatch_core::hisbin::Matcher;
+use backwatch_core::pattern::{PatternKind, Profile};
+use backwatch_core::poi::{cluster_stays, ExtractorParams, SpatioTemporalExtractor, Stay};
+use backwatch_geo::distance::Metric;
+use backwatch_geo::{Grid, LatLon};
+use backwatch_trace::{Timestamp, Trace, TracePoint};
+use proptest::prelude::*;
+
+/// A synthetic trace made of dwell and move segments around Beijing.
+/// Returns the trace plus the number of "long" dwells (>= 15 min) that
+/// are separated by real displacement.
+fn arb_day() -> impl Strategy<Value = (Trace, usize)> {
+    // each segment: (is_dwell, duration_minutes, dx_km, dy_km)
+    prop::collection::vec((any::<bool>(), 3u32..40, -2i32..=2, -2i32..=2), 1..12).prop_map(|segments| {
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        let (mut x, mut y) = (0.0f64, 0.0f64); // km offsets
+        let frame = backwatch_geo::enu::Frame::new(LatLon::new(39.9, 116.4).unwrap());
+        let mut long_dwells = 0usize;
+        for (is_dwell, minutes, dx, dy) in segments {
+            let secs = i64::from(minutes) * 60;
+            if is_dwell {
+                if minutes >= 15 && (f64::from(dx).abs() + f64::from(dy).abs()) >= 1.0 {
+                    long_dwells += 1;
+                }
+                for s in 0..secs {
+                    pts.push(TracePoint::new(
+                        Timestamp::from_secs(t + s),
+                        frame.to_latlon(x * 1000.0, y * 1000.0),
+                    ));
+                }
+                t += secs;
+                // displacement after the dwell
+                x += f64::from(dx);
+                y += f64::from(dy);
+            } else {
+                // move steadily to the next offset over `secs`
+                let (nx, ny) = (x + f64::from(dx), y + f64::from(dy));
+                for s in 0..secs {
+                    let f = s as f64 / secs as f64;
+                    pts.push(TracePoint::new(
+                        Timestamp::from_secs(t + s),
+                        frame.to_latlon((x + (nx - x) * f) * 1000.0, (y + (ny - y) * f) * 1000.0),
+                    ));
+                }
+                t += secs;
+                x = nx;
+                y = ny;
+            }
+        }
+        (Trace::from_points(pts), long_dwells)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stays_meet_visiting_time_and_are_ordered((trace, _) in arb_day()) {
+        let params = ExtractorParams::paper_set1();
+        let stays = SpatioTemporalExtractor::new(params).extract(&trace);
+        for s in &stays {
+            prop_assert!(s.dwell_secs() >= params.min_visit_secs);
+            prop_assert!(s.n_points >= 2);
+            prop_assert!(s.end_index < trace.len());
+        }
+        for w in stays.windows(2) {
+            prop_assert!(w[0].leave <= w[1].enter, "stays overlap");
+            prop_assert!(w[0].end_index < w[1].end_index);
+        }
+    }
+
+    #[test]
+    fn stay_centroid_lies_inside_trace_bbox((trace, _) in arb_day()) {
+        let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
+        if let Some(bb) = trace.bounding_box() {
+            for s in &stays {
+                // allow a meter of numerical slack
+                prop_assert!(s.centroid.lat() >= bb.min_lat() - 1e-5);
+                prop_assert!(s.centroid.lat() <= bb.max_lat() + 1e-5);
+                prop_assert!(s.centroid.lon() >= bb.min_lon() - 1e-5);
+                prop_assert!(s.centroid.lon() <= bb.max_lon() + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn downsampling_never_invents_stays((trace, _) in arb_day(), interval in 2i64..600) {
+        // Every stay found in the downsampled trace overlaps some stay of
+        // the full extraction or is subsumed by a longer dwell: weaker but
+        // robust invariant — downsampled extraction never finds more stays
+        // than the trace has dwell segments.
+        let params = ExtractorParams::paper_set1();
+        let full = SpatioTemporalExtractor::new(params).extract(&trace);
+        let sampled = backwatch_trace::sampling::downsample(&trace, interval);
+        let coarse = SpatioTemporalExtractor::new(params).extract(&sampled);
+        prop_assert!(coarse.len() <= full.len() + 1, "coarse {} vs full {}", coarse.len(), full.len());
+    }
+
+    #[test]
+    fn clustering_assignment_is_total((trace, _) in arb_day(), radius in 50.0f64..500.0) {
+        let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
+        let places = cluster_stays(&stays, radius, Metric::Equirectangular);
+        prop_assert_eq!(places.assignment().len(), stays.len());
+        let total: usize = places.places().iter().map(|p| p.visit_count()).sum();
+        prop_assert_eq!(total, stays.len());
+        // every member stay is within ~2x the merge radius of its place
+        for (i, s) in stays.iter().enumerate() {
+            let place = places.place_of_stay(i).unwrap();
+            let d = Metric::Equirectangular.distance(s.centroid, place.centroid);
+            prop_assert!(d <= radius * 2.0 + 1.0, "stay {i} is {d} m from its place");
+        }
+    }
+
+    #[test]
+    fn profiles_are_prefix_monotone((trace, _) in arb_day(), cut in 0.1f64..0.9) {
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0);
+        let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
+        let k = ((stays.len() as f64) * cut) as usize;
+        for kind in [PatternKind::RegionVisits, PatternKind::RegionVisitCounts, PatternKind::MovementPattern] {
+            let partial = Profile::from_stays(kind, &stays[..k], &grid);
+            let full = Profile::from_stays(kind, &stays, &grid);
+            prop_assert!(partial.histogram().total() <= full.histogram().total());
+            for (key, count) in partial.histogram().iter() {
+                prop_assert!(full.histogram().count(key) >= count, "prefix count exceeds full count");
+            }
+        }
+    }
+
+    #[test]
+    fn matcher_is_symmetric_in_safety_for_disjoint((trace, _) in arb_day(), shift in 1i32..5) {
+        // shift a copy of the stays far away: neither direction matches
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0);
+        let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
+        if stays.len() >= 3 {
+            let moved: Vec<Stay> = stays
+                .iter()
+                .map(|s| Stay {
+                    centroid: LatLon::clamped(s.centroid.lat() - f64::from(shift) * 0.5, s.centroid.lon()),
+                    ..*s
+                })
+                .collect();
+            let a = Profile::from_stays(PatternKind::RegionVisits, &stays, &grid);
+            let b = Profile::from_stays(PatternKind::RegionVisits, &moved, &grid);
+            let m = Matcher::paper();
+            prop_assert!(!m.compare(&a, &b).his_bin.is_leaky());
+            prop_assert!(!m.compare(&b, &a).his_bin.is_leaky());
+        }
+    }
+
+    #[test]
+    fn self_match_always_leaks((trace, _) in arb_day()) {
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0);
+        let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
+        for kind in [PatternKind::RegionVisits, PatternKind::MovementPattern] {
+            let p = Profile::from_stays(kind, &stays, &grid);
+            if !p.is_empty() {
+                prop_assert!(Matcher::paper().compare(&p, &p).his_bin.is_leaky());
+            }
+        }
+    }
+}

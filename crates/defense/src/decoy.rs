@@ -1,0 +1,156 @@
+//! Fake and shadow locations (MockDroid, TISSA).
+//!
+//! MockDroid lets the user hand an app *fake* data instead of revoking a
+//! permission; TISSA generalizes to shadow data. Two variants:
+//!
+//! - [`FixedDecoy`] — every background fix is the same innocuous anchor
+//!   (the app believes the user never moves).
+//! - [`SyntheticDecoy`] — fixes follow a plausible random walk around the
+//!   anchor, so naive liveness checks ("is the location changing?") still
+//!   pass while nothing real leaks.
+
+use crate::Lppm;
+use backwatch_geo::enu::Frame;
+use backwatch_geo::LatLon;
+use backwatch_stats::sampling::normal;
+use backwatch_trace::{Trace, TracePoint};
+use rand::RngCore;
+
+/// Release one fixed position for every request.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDecoy {
+    anchor: LatLon,
+}
+
+impl FixedDecoy {
+    /// Creates the mechanism with the position to expose.
+    #[must_use]
+    pub fn new(anchor: LatLon) -> Self {
+        Self { anchor }
+    }
+}
+
+impl Lppm for FixedDecoy {
+    fn name(&self) -> &str {
+        "fixed-decoy"
+    }
+
+    fn apply(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Trace {
+        trace.iter().map(|p| TracePoint::new(p.time, self.anchor)).collect()
+    }
+}
+
+/// Release a bounded random walk around an anchor.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticDecoy {
+    anchor: LatLon,
+    step_m: f64,
+    leash_m: f64,
+}
+
+impl SyntheticDecoy {
+    /// Creates the mechanism: per-fix Gaussian steps of `step_m` meters,
+    /// pulled back so the walk stays within `leash_m` of the anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_m < 0` or `leash_m <= 0`.
+    #[must_use]
+    pub fn new(anchor: LatLon, step_m: f64, leash_m: f64) -> Self {
+        assert!(step_m >= 0.0 && step_m.is_finite(), "step must be >= 0");
+        assert!(leash_m > 0.0 && leash_m.is_finite(), "leash must be positive");
+        Self { anchor, step_m, leash_m }
+    }
+}
+
+impl Lppm for SyntheticDecoy {
+    fn name(&self) -> &str {
+        "synthetic-decoy"
+    }
+
+    fn apply(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
+        let frame = Frame::new(self.anchor);
+        let (mut x, mut y) = (0.0f64, 0.0f64);
+        trace
+            .iter()
+            .map(|p| {
+                x += normal(rng, 0.0, self.step_m);
+                y += normal(rng, 0.0, self.step_m);
+                let r = (x * x + y * y).sqrt();
+                if r > self.leash_m {
+                    let scale = self.leash_m / r;
+                    x *= scale;
+                    y *= scale;
+                }
+                TracePoint::new(p.time, frame.to_latlon(x, y))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backwatch_geo::distance::haversine;
+    use backwatch_trace::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trace() -> Trace {
+        Trace::from_points(
+            (0..500)
+                .map(|i| {
+                    TracePoint::new(
+                        Timestamp::from_secs(i * 10),
+                        LatLon::new(39.9 + i as f64 * 1e-4, 116.4).unwrap(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn anchor() -> LatLon {
+        LatLon::new(40.0, 116.0).unwrap()
+    }
+
+    #[test]
+    fn fixed_decoy_reveals_nothing() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = FixedDecoy::new(anchor()).apply(&trace(), &mut rng);
+        assert_eq!(out.len(), trace().len());
+        assert!(out.iter().all(|p| p.pos == anchor()));
+        // timestamps preserved so the app sees a live feed
+        assert_eq!(out.first().unwrap().time, trace().first().unwrap().time);
+    }
+
+    #[test]
+    fn synthetic_decoy_moves_but_stays_leashed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = SyntheticDecoy::new(anchor(), 20.0, 500.0).apply(&trace(), &mut rng);
+        // it moves (liveness)…
+        let distinct: std::collections::HashSet<u64> =
+            out.iter().map(|p| p.pos.lat().to_bits() ^ p.pos.lon().to_bits()).collect();
+        assert!(distinct.len() > 100);
+        // …but never beyond the leash (small tolerance for projection)
+        for p in out.iter() {
+            assert!(haversine(p.pos, anchor()) <= 505.0);
+        }
+    }
+
+    #[test]
+    fn synthetic_decoy_is_unrelated_to_true_positions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = SyntheticDecoy::new(anchor(), 20.0, 500.0).apply(&trace(), &mut rng);
+        // every released fix is near the decoy anchor, not near the true
+        // route (which is ~15 km away)
+        for (t, r) in trace().iter().zip(out.iter()) {
+            assert!(haversine(t.pos, r.pos) > 5_000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leash")]
+    fn zero_leash_panics() {
+        let _ = SyntheticDecoy::new(anchor(), 10.0, 0.0);
+    }
+}

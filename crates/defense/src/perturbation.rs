@@ -1,0 +1,120 @@
+//! Gaussian perturbation: add zero-mean noise to every released fix.
+//!
+//! A soft alternative to truncation — positions stay roughly right on
+//! average, but dwell clusters smear beyond the PoI radius once the noise
+//! scale passes it.
+
+use crate::Lppm;
+use backwatch_geo::enu::Frame;
+use backwatch_stats::sampling::normal;
+use backwatch_trace::{Trace, TracePoint};
+use rand::RngCore;
+
+/// Independent per-fix Gaussian noise of `sigma_m` meters per axis.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianPerturbation {
+    sigma_m: f64,
+}
+
+impl GaussianPerturbation {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_m` is negative or non-finite.
+    #[must_use]
+    pub fn new(sigma_m: f64) -> Self {
+        assert!(sigma_m.is_finite() && sigma_m >= 0.0, "sigma must be >= 0, got {sigma_m}");
+        Self { sigma_m }
+    }
+
+    /// The configured noise scale.
+    #[must_use]
+    pub fn sigma_m(&self) -> f64 {
+        self.sigma_m
+    }
+}
+
+impl Lppm for GaussianPerturbation {
+    fn name(&self) -> &str {
+        "gaussian-perturbation"
+    }
+
+    fn apply(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
+        if self.sigma_m == 0.0 {
+            return trace.clone();
+        }
+        let Some(first) = trace.first() else {
+            return Trace::new();
+        };
+        let frame = Frame::new(first.pos);
+        trace
+            .iter()
+            .map(|p| {
+                let (e, n) = frame.to_enu(p.pos);
+                TracePoint::new(
+                    p.time,
+                    frame.to_latlon(e + normal(rng, 0.0, self.sigma_m), n + normal(rng, 0.0, self.sigma_m)),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backwatch_geo::distance::haversine;
+    use backwatch_geo::LatLon;
+    use backwatch_trace::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trace() -> Trace {
+        Trace::from_points(
+            (0..2000)
+                .map(|i| TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9, 116.4).unwrap()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = GaussianPerturbation::new(0.0).apply(&trace(), &mut rng);
+        assert_eq!(out, trace());
+    }
+
+    #[test]
+    fn mean_displacement_matches_rayleigh() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = GaussianPerturbation::new(50.0).apply(&trace(), &mut rng);
+        let mean: f64 = trace()
+            .iter()
+            .zip(out.iter())
+            .map(|(a, b)| haversine(a.pos, b.pos))
+            .sum::<f64>()
+            / 2000.0;
+        // E[Rayleigh(50)] = 50·sqrt(π/2) ≈ 62.7
+        assert!((mean - 62.7).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = GaussianPerturbation::new(10.0).apply(&trace(), &mut StdRng::seed_from_u64(3));
+        let b = GaussianPerturbation::new(10.0).apply(&trace(), &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_stays_empty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(GaussianPerturbation::new(10.0).apply(&Trace::new(), &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        let _ = GaussianPerturbation::new(-1.0);
+    }
+}

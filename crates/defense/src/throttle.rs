@@ -1,0 +1,85 @@
+//! Release throttling: cap how often a background app may receive
+//! location updates.
+//!
+//! The paper's measurement shows the privacy damage is a function of the
+//! update frequency (Figures 3–5), which makes an OS-enforced minimum
+//! interval the most direct mitigation: keep foreground behavior intact
+//! and slow the background stream below the PoI-extraction threshold.
+
+use crate::Lppm;
+use backwatch_trace::{sampling, Trace};
+use rand::RngCore;
+
+/// Enforce a minimum interval between released fixes.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleaseThrottle {
+    min_interval_s: i64,
+}
+
+impl ReleaseThrottle {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_interval_s < 1`.
+    #[must_use]
+    pub fn new(min_interval_s: i64) -> Self {
+        assert!(min_interval_s >= 1, "interval must be at least 1 s");
+        Self { min_interval_s }
+    }
+
+    /// The enforced minimum interval.
+    #[must_use]
+    pub fn min_interval_s(&self) -> i64 {
+        self.min_interval_s
+    }
+}
+
+impl Lppm for ReleaseThrottle {
+    fn name(&self) -> &str {
+        "release-throttle"
+    }
+
+    fn apply(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Trace {
+        sampling::downsample(trace, self.min_interval_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backwatch_geo::LatLon;
+    use backwatch_trace::{Timestamp, TracePoint};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trace() -> Trace {
+        Trace::from_points(
+            (0..600)
+                .map(|i| TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9, 116.4).unwrap()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn spacing_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = ReleaseThrottle::new(60).apply(&trace(), &mut rng);
+        for w in out.points().windows(2) {
+            assert!(w[1].time - w[0].time >= 60);
+        }
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn one_second_cap_is_identity_at_1hz() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ReleaseThrottle::new(1).apply(&trace(), &mut rng), trace());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        let _ = ReleaseThrottle::new(0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Location truncation (Micinski et al., MoST 2013; LP-Guardian).
+//!
+//! Every released fix is quantized to the center of a grid cell, so apps
+//! keep working ("find restaurants near me") while dwell positions lose
+//! the precision PoI extraction needs.
+
+use crate::Lppm;
+use backwatch_geo::Grid;
+use backwatch_trace::{coarsen, Trace};
+use rand::RngCore;
+
+/// Snap-to-grid truncation.
+#[derive(Debug, Clone, Copy)]
+pub struct GridTruncation {
+    grid: Grid,
+    name: &'static str,
+}
+
+impl GridTruncation {
+    /// Truncates to the given grid.
+    #[must_use]
+    pub fn new(grid: Grid) -> Self {
+        Self {
+            grid,
+            name: "grid-truncation",
+        }
+    }
+
+    /// The truncation grid.
+    #[must_use]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+}
+
+impl Lppm for GridTruncation {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn apply(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Trace {
+        coarsen::snap_to_grid(trace, &self.grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backwatch_geo::{distance::haversine, LatLon};
+    use backwatch_trace::{Timestamp, TracePoint};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trace() -> Trace {
+        Trace::from_points(
+            (0..100)
+                .map(|i| {
+                    TracePoint::new(
+                        Timestamp::from_secs(i),
+                        LatLon::new(39.9 + i as f64 * 1e-5, 116.4).unwrap(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn preserves_length_and_times() {
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 500.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = GridTruncation::new(g).apply(&trace(), &mut rng);
+        assert_eq!(out.len(), 100);
+        for (a, b) in trace().iter().zip(out.iter()) {
+            assert_eq!(a.time, b.time);
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_cell_diagonal() {
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 500.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = GridTruncation::new(g).apply(&trace(), &mut rng);
+        for (a, b) in trace().iter().zip(out.iter()) {
+            assert!(haversine(a.pos, b.pos) <= 500.0 * std::f64::consts::SQRT_2 / 2.0 * 1.02);
+        }
+    }
+
+    #[test]
+    fn quantizes_nearby_fixes_together() {
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 2000.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = GridTruncation::new(g).apply(&trace(), &mut rng);
+        let first = out.points()[0].pos;
+        assert!(out.iter().all(|p| p.pos == first));
+    }
+}

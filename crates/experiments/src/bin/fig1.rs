@@ -1,0 +1,13 @@
+//! Regenerates Figure 1: the CDF of background location-request
+//! intervals.
+
+use backwatch_market::{corpus::CorpusConfig, report, run_study};
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("--small") => CorpusConfig::scaled(10),
+        _ => CorpusConfig::paper_scale(),
+    };
+    let study = run_study(&cfg);
+    print!("{}", report::render_fig1(&study.interval_cdf));
+}

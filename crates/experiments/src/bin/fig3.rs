@@ -1,0 +1,13 @@
+//! Regenerates Figure 3: PoI_total and PoI_sensitive vs access frequency.
+
+use backwatch_experiments::{fig3, prepare, ExperimentConfig};
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("--small") => ExperimentConfig::small(),
+        _ => ExperimentConfig::paper(),
+    };
+    let users = prepare::prepare_users(&cfg);
+    let result = fig3::run(&cfg, &users);
+    print!("{}", fig3::render(&result));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 4: detection speed of His_bin under both patterns.
+
+use backwatch_experiments::{fig4, prepare, ExperimentConfig};
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("--small") => ExperimentConfig::small(),
+        _ => ExperimentConfig::paper(),
+    };
+    let users = prepare::prepare_users(&cfg);
+    let result = fig4::run(&cfg, &users);
+    print!("{}", fig4::render(&result));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 5: the entropy (degree of anonymity) comparison.
+
+use backwatch_experiments::{fig5, prepare, ExperimentConfig};
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("--small") => ExperimentConfig::small(),
+        _ => ExperimentConfig::paper(),
+    };
+    let users = prepare::prepare_users(&cfg);
+    let result = fig5::run(&cfg, &users);
+    print!("{}", fig5::render(&result));
+}

@@ -1,0 +1,16 @@
+//! Regenerates the §III-B headline statistics of the market study.
+
+use backwatch_market::{corpus::CorpusConfig, report, run_study};
+
+fn main() {
+    let cfg = scale_from_args();
+    let study = run_study(&cfg);
+    print!("{}", report::render_headline(&study.headline));
+}
+
+fn scale_from_args() -> CorpusConfig {
+    match std::env::args().nth(1).as_deref() {
+        Some("--small") => CorpusConfig::scaled(10),
+        _ => CorpusConfig::paper_scale(),
+    }
+}

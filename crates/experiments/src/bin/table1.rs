@@ -1,0 +1,13 @@
+//! Regenerates Table I: provider combinations × declared granularity of
+//! the background apps.
+
+use backwatch_market::{corpus::CorpusConfig, report, run_study};
+
+fn main() {
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("--small") => CorpusConfig::scaled(10),
+        _ => CorpusConfig::paper_scale(),
+    };
+    let study = run_study(&cfg);
+    print!("{}", report::render_table1(&study.provider_table));
+}

@@ -1,0 +1,174 @@
+//! Ablation experiment for the reconstruction decisions of DESIGN.md §5:
+//! how the His_bin match rule and the pattern-1 weighting change detection
+//! behaviour.
+//!
+//! Variants compared at full collection rate:
+//! - pattern 1 occupancy-weighted (the default) vs unweighted visit
+//!   counts vs pattern 2 transitions;
+//! - the reconstructed `ScaledUpperTail` rule vs the literal
+//!   `PaperLowerTail` reading (which degenerates — this experiment is the
+//!   evidence for that claim).
+
+use crate::prepare::UserData;
+use crate::ExperimentConfig;
+use backwatch_core::hisbin::{detect_incremental, MatchRule, Matcher};
+use backwatch_core::pattern::{PatternKind, Profile};
+use std::fmt::Write as _;
+
+/// One ablation variant's aggregate detection behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Human-readable variant label.
+    pub variant: String,
+    /// Users whose profile the collection eventually matched.
+    pub detected: usize,
+    /// Median fraction of the data needed among detected users.
+    pub median_fraction: Option<f64>,
+    /// Users where detection fired on the very first stay — the
+    /// degeneracy signature.
+    pub instant: usize,
+}
+
+/// The ablation bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// One row per (pattern, rule) variant.
+    pub rows: Vec<AblationRow>,
+    /// Population size.
+    pub users: usize,
+}
+
+fn median(mut xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+    Some(xs[xs.len() / 2])
+}
+
+/// Runs every variant over the prepared users' full-rate collections.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> AblationResult {
+    let grid = cfg.grid();
+    let variants: Vec<(String, PatternKind, MatchRule)> = vec![
+        ("p1 occupancy / scaled-upper".into(), PatternKind::RegionVisits, MatchRule::ScaledUpperTail),
+        ("p1 counts / scaled-upper".into(), PatternKind::RegionVisitCounts, MatchRule::ScaledUpperTail),
+        ("p2 moves / scaled-upper".into(), PatternKind::MovementPattern, MatchRule::ScaledUpperTail),
+        ("p1 occupancy / paper-lower".into(), PatternKind::RegionVisits, MatchRule::PaperLowerTail),
+        ("p2 moves / paper-lower".into(), PatternKind::MovementPattern, MatchRule::PaperLowerTail),
+    ];
+    let rows = variants
+        .into_iter()
+        .map(|(variant, kind, rule)| {
+            let matcher = Matcher::new(0.05, rule);
+            let mut fractions = Vec::new();
+            let mut instant = 0usize;
+            for u in users {
+                let data = &u.per_interval[0];
+                let profile = Profile::from_stays(kind, &data.stays, &grid);
+                if let Some(d) = detect_incremental(&data.stays, data.collected_points, &grid, kind, &matcher, &profile)
+                {
+                    fractions.push(d.fraction_of_points);
+                    if d.stays_needed <= 1 {
+                        instant += 1;
+                    }
+                }
+            }
+            AblationRow {
+                variant,
+                detected: fractions.len(),
+                median_fraction: median(fractions),
+                instant,
+            }
+        })
+        .collect();
+    AblationResult {
+        rows,
+        users: users.len(),
+    }
+}
+
+/// Renders the ablation table.
+#[must_use]
+pub fn render(result: &AblationResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "ABLATION: His_bin rule and pattern-1 weighting ({} users, 1 s access)", result.users);
+    let _ = writeln!(
+        s,
+        "{:<30} {:>9} {:>16} {:>9}",
+        "variant", "detected", "median_fraction", "instant"
+    );
+    for r in &result.rows {
+        let _ = writeln!(
+            s,
+            "{:<30} {:>9} {:>16} {:>9}",
+            r.variant,
+            r.detected,
+            r.median_fraction
+                .map_or_else(|| "-".to_owned(), |f| format!("{:.0}%", f * 100.0)),
+            r.instant
+        );
+    }
+    let _ = writeln!(
+        s,
+        "(`instant` counts first-stay detections — the degeneracy of the literal lower-tail rule)"
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::prepare_users;
+
+    fn result() -> AblationResult {
+        let cfg = ExperimentConfig::small();
+        let users = prepare_users(&cfg);
+        run(&cfg, &users)
+    }
+
+    #[test]
+    fn all_variants_are_reported() {
+        let r = result();
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            assert!(row.detected <= r.users);
+            assert!(row.instant <= row.detected);
+        }
+    }
+
+    #[test]
+    fn paper_lower_tail_degenerates_to_instant_detection() {
+        let r = result();
+        let lower = r
+            .rows
+            .iter()
+            .find(|r| r.variant.contains("p1 occupancy / paper-lower"))
+            .unwrap();
+        // the literal rule fires essentially immediately for everyone
+        assert_eq!(lower.detected, r.users);
+        assert!(lower.instant > 0, "lower-tail rule should fire on first stays");
+        if let Some(f) = lower.median_fraction {
+            assert!(f < 0.2, "median {f}");
+        }
+    }
+
+    #[test]
+    fn weighted_pattern1_needs_more_data_than_counts() {
+        let r = result();
+        let weighted = r.rows.iter().find(|r| r.variant.contains("p1 occupancy / scaled")).unwrap();
+        let counts = r.rows.iter().find(|r| r.variant.contains("p1 counts / scaled")).unwrap();
+        if let (Some(w), Some(c)) = (weighted.median_fraction, counts.median_fraction) {
+            assert!(w >= c, "occupancy weighting should delay detection: {w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_variant() {
+        let r = result();
+        let text = render(&r);
+        for row in &r.rows {
+            assert!(text.contains(&row.variant));
+        }
+    }
+}

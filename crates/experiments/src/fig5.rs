@@ -1,0 +1,217 @@
+//! Figure 5: entropy comparison — which pattern leaks identity harder.
+//!
+//! The adversary holds the ground-truth profiles of the whole population.
+//! For each user and access interval, the data an app collected is matched
+//! against every profile; the degree of anonymity of the resulting
+//! posterior measures the leak (smaller = worse). The figure counts, per
+//! interval, for how many users pattern 2 yields a strictly smaller degree
+//! than pattern 1 (more serious leakage) and vice versa.
+
+use crate::prepare::UserData;
+use crate::ExperimentConfig;
+use backwatch_core::adversary::ProfileStore;
+use backwatch_core::anonymity::Weighting;
+use backwatch_core::pattern::{PatternKind, Profile};
+use std::fmt::Write as _;
+
+/// Per-interval entropy comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// Access interval, seconds.
+    pub interval_s: i64,
+    /// Users for whom pattern 2's degree is strictly smaller (pattern 2
+    /// leaks harder).
+    pub p2_more_serious: usize,
+    /// Users for whom pattern 1's degree is strictly smaller.
+    pub p1_more_serious: usize,
+    /// Users where both degrees exist and are equal (often both 0: fully
+    /// identified either way).
+    pub ties: usize,
+    /// Users correctly and uniquely identified via pattern 1.
+    pub identified_p1: usize,
+    /// Users correctly and uniquely identified via pattern 2.
+    pub identified_p2: usize,
+    /// Mean degree of anonymity under pattern 1 (matched users only).
+    pub mean_degree_p1: f64,
+    /// Mean degree of anonymity under pattern 2 (matched users only).
+    pub mean_degree_p2: f64,
+}
+
+/// The Figure 5 bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Result {
+    /// One row per configured interval.
+    pub rows: Vec<Fig5Row>,
+}
+
+/// Runs the entropy comparison over the prepared users.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> Fig5Result {
+    let grid = cfg.grid();
+    let mut store1 = ProfileStore::new(PatternKind::RegionVisits);
+    let mut store2 = ProfileStore::new(PatternKind::MovementPattern);
+    for u in users {
+        store1.insert(u.user_id, u.profile1.clone());
+        store2.insert(u.user_id, u.profile2.clone());
+    }
+
+    let rows = cfg
+        .intervals
+        .iter()
+        .enumerate()
+        .map(|(k, &interval_s)| {
+            let mut row = Fig5Row {
+                interval_s,
+                p2_more_serious: 0,
+                p1_more_serious: 0,
+                ties: 0,
+                identified_p1: 0,
+                identified_p2: 0,
+                mean_degree_p1: 0.0,
+                mean_degree_p2: 0.0,
+            };
+            let mut sum1 = 0.0;
+            let mut n1 = 0usize;
+            let mut sum2 = 0.0;
+            let mut n2 = 0usize;
+            for u in users {
+                let data = &u.per_interval[k];
+                let obs1 = Profile::from_stays(PatternKind::RegionVisits, &data.stays, &grid);
+                let obs2 = Profile::from_stays(PatternKind::MovementPattern, &data.stays, &grid);
+                let inf1 = store1.infer(&obs1, &cfg.matcher, Weighting::PaperChiSquare);
+                let inf2 = store2.infer(&obs2, &cfg.matcher, Weighting::PaperChiSquare);
+                if inf1.identified_user() == Some(u.user_id) {
+                    row.identified_p1 += 1;
+                }
+                if inf2.identified_user() == Some(u.user_id) {
+                    row.identified_p2 += 1;
+                }
+                let d1 = inf1.degree();
+                let d2 = inf2.degree();
+                if let Some(d) = d1 {
+                    sum1 += d;
+                    n1 += 1;
+                }
+                if let Some(d) = d2 {
+                    sum2 += d;
+                    n2 += 1;
+                }
+                match (d1, d2) {
+                    (Some(a), Some(b)) if b < a - 1e-12 => row.p2_more_serious += 1,
+                    (Some(a), Some(b)) if a < b - 1e-12 => row.p1_more_serious += 1,
+                    (Some(_), Some(_)) => row.ties += 1,
+                    // a pattern that matches nothing leaks nothing: the
+                    // matching side is the (strictly) more serious leak
+                    (Some(_), None) => row.p1_more_serious += 1,
+                    (None, Some(_)) => row.p2_more_serious += 1,
+                    (None, None) => {}
+                }
+            }
+            row.mean_degree_p1 = if n1 == 0 { 1.0 } else { sum1 / n1 as f64 };
+            row.mean_degree_p2 = if n2 == 0 { 1.0 } else { sum2 / n2 as f64 };
+            row
+        })
+        .collect();
+    Fig5Result { rows }
+}
+
+/// The Figure 5 series as CSV
+/// (`interval_s,p2_serious,p1_serious,ties,ident_p1,ident_p2,deg_p1,deg_p2`).
+#[must_use]
+pub fn to_csv(result: &Fig5Result) -> String {
+    let mut s = String::from("interval_s,p2_serious,p1_serious,ties,ident_p1,ident_p2,deg_p1,deg_p2\n");
+    for r in &result.rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{:.6},{:.6}",
+            r.interval_s, r.p2_more_serious, r.p1_more_serious, r.ties, r.identified_p1, r.identified_p2, r.mean_degree_p1, r.mean_degree_p2
+        );
+    }
+    s
+}
+
+/// Renders the comparison table.
+#[must_use]
+pub fn render(result: &Fig5Result) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "FIGURE 5: entropy (degree of anonymity) comparison");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>12} {:>12} {:>6} {:>9} {:>9} {:>10} {:>10}",
+        "interval_s", "p2_serious", "p1_serious", "ties", "ident_p1", "ident_p2", "deg_p1", "deg_p2"
+    );
+    for r in &result.rows {
+        let _ = writeln!(
+            s,
+            "{:>10} {:>12} {:>12} {:>6} {:>9} {:>9} {:>10.3} {:>10.3}",
+            r.interval_s,
+            r.p2_more_serious,
+            r.p1_more_serious,
+            r.ties,
+            r.identified_p1,
+            r.identified_p2,
+            r.mean_degree_p1,
+            r.mean_degree_p2
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::prepare_users;
+
+    fn result() -> (ExperimentConfig, Fig5Result) {
+        let cfg = ExperimentConfig::small();
+        let users = prepare_users(&cfg);
+        let r = run(&cfg, &users);
+        (cfg, r)
+    }
+
+    #[test]
+    fn full_rate_identifies_most_users() {
+        let (cfg, r) = result();
+        let first = &r.rows[0];
+        let n = cfg.synth.n_users as usize;
+        // at 1 s access the collected data IS the profile: with distinct
+        // synthetic routines the anonymity set should collapse for most
+        assert!(first.identified_p1 + first.identified_p2 > 0);
+        assert!(first.identified_p1 <= n && first.identified_p2 <= n);
+    }
+
+    #[test]
+    fn counts_are_bounded_by_population() {
+        let (cfg, r) = result();
+        let n = cfg.synth.n_users as usize;
+        for row in &r.rows {
+            assert!(row.p1_more_serious + row.p2_more_serious + row.ties <= n);
+        }
+    }
+
+    #[test]
+    fn degrees_are_in_unit_interval() {
+        let (_, r) = result();
+        for row in &r.rows {
+            assert!((0.0..=1.0).contains(&row.mean_degree_p1));
+            assert!((0.0..=1.0).contains(&row.mean_degree_p2));
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let (cfg, r) = result();
+        let csv = to_csv(&r);
+        assert!(csv.starts_with("interval_s,"));
+        assert_eq!(csv.lines().count(), 1 + cfg.intervals.len());
+    }
+
+    #[test]
+    fn render_mentions_every_interval() {
+        let (cfg, r) = result();
+        let text = render(&r);
+        for &i in &cfg.intervals {
+            assert!(text.contains(&format!("{i}")));
+        }
+    }
+}

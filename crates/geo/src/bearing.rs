@@ -1,0 +1,100 @@
+//! Bearings and destination points on the sphere.
+//!
+//! Used by movement-model consumers and handy for any trajectory work:
+//! initial great-circle bearing between two coordinates, and the
+//! destination reached by travelling a distance along a bearing.
+
+use crate::{LatLon, EARTH_RADIUS_M};
+
+/// Initial great-circle bearing from `a` to `b`, in degrees clockwise from
+/// north, normalized to `[0, 360)`.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_geo::{bearing, LatLon};
+///
+/// let a = LatLon::new(39.9, 116.4)?;
+/// let north = LatLon::new(40.0, 116.4)?;
+/// assert!((bearing::initial_bearing(a, north) - 0.0).abs() < 0.01);
+/// let east = LatLon::new(39.9, 116.5)?;
+/// assert!((bearing::initial_bearing(a, east) - 90.0).abs() < 0.1);
+/// # Ok::<(), backwatch_geo::LatLonError>(())
+/// ```
+#[must_use]
+pub fn initial_bearing(a: LatLon, b: LatLon) -> f64 {
+    let (lat1, lat2) = (a.lat_rad(), b.lat_rad());
+    let dlon = b.lon_rad() - a.lon_rad();
+    let y = dlon.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+    (y.atan2(x).to_degrees() + 360.0) % 360.0
+}
+
+/// The point reached by travelling `distance_m` meters from `start` along
+/// the great circle at `bearing_deg` (clockwise from north).
+///
+/// # Panics
+///
+/// Panics if `distance_m` is negative or non-finite.
+#[must_use]
+pub fn destination(start: LatLon, bearing_deg: f64, distance_m: f64) -> LatLon {
+    assert!(
+        distance_m.is_finite() && distance_m >= 0.0,
+        "distance must be >= 0, got {distance_m}"
+    );
+    let delta = distance_m / EARTH_RADIUS_M;
+    let theta = bearing_deg.to_radians();
+    let lat1 = start.lat_rad();
+    let lon1 = start.lon_rad();
+    let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+    let lon2 = lon1
+        + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+    LatLon::clamped(lat2.to_degrees(), lon2.to_degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::haversine;
+
+    fn ll(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn cardinal_bearings() {
+        let a = ll(39.9, 116.4);
+        assert!((initial_bearing(a, ll(40.0, 116.4)) - 0.0).abs() < 0.01);
+        assert!((initial_bearing(a, ll(39.8, 116.4)) - 180.0).abs() < 0.01);
+        assert!((initial_bearing(a, ll(39.9, 116.5)) - 90.0).abs() < 0.1);
+        assert!((initial_bearing(a, ll(39.9, 116.3)) - 270.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn destination_round_trips_distance_and_bearing() {
+        let start = ll(39.9, 116.4);
+        for bearing in [0.0, 45.0, 137.0, 271.5] {
+            for dist in [100.0, 5_000.0, 80_000.0] {
+                let dest = destination(start, bearing, dist);
+                let measured = haversine(start, dest);
+                assert!((measured - dist).abs() < dist * 1e-6 + 0.01, "d={dist} b={bearing}");
+                let back = initial_bearing(start, dest);
+                let diff = (back - bearing).abs().min(360.0 - (back - bearing).abs());
+                assert!(diff < 0.1, "bearing {bearing} vs {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_distance_is_identity() {
+        let start = ll(39.9, 116.4);
+        let dest = destination(start, 123.0, 0.0);
+        assert!(haversine(start, dest) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn negative_distance_panics() {
+        let _ = destination(ll(0.0, 0.0), 0.0, -1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Geodesy substrate for the `backwatch` workspace.
+//!
+//! This crate provides the small set of geographic primitives that the rest
+//! of the reproduction builds on:
+//!
+//! - [`LatLon`] — a validated WGS-84 coordinate pair.
+//! - [`distance`] — great-circle ([`distance::haversine`]) and fast
+//!   equirectangular ([`distance::equirectangular`]) distances in meters.
+//! - [`BoundingBox`] — axis-aligned lat/lon boxes with containment and
+//!   expansion operations.
+//! - [`Grid`] — a quantization of the plane into square cells, used to turn
+//!   raw coordinates into discrete *regions* (the paper's "pattern 1"
+//!   profiles count visits per region).
+//! - [`enu`] — a local east-north-up tangent-plane projection used by the
+//!   mobility synthesizer to do metric geometry near a city anchor.
+//!
+//! # Examples
+//!
+//! ```
+//! use backwatch_geo::{LatLon, distance};
+//!
+//! let tiananmen = LatLon::new(39.9042, 116.4074).unwrap();
+//! let forbidden_city = LatLon::new(39.9163, 116.3972).unwrap();
+//! let d = distance::haversine(tiananmen, forbidden_city);
+//! assert!((d - 1_600.0).abs() < 200.0, "about 1.6 km apart, got {d}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod bearing;
+pub mod distance;
+pub mod enu;
+pub mod grid;
+pub mod point;
+
+pub use bbox::BoundingBox;
+pub use grid::{CellId, Grid};
+pub use point::{LatLon, LatLonError};
+
+/// Mean Earth radius in meters (IUGG definition), used by all spherical
+/// distance computations in this crate.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;

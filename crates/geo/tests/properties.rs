@@ -1,0 +1,99 @@
+//! Property-based tests for the geodesy substrate.
+
+use backwatch_geo::{distance, enu::Frame, BoundingBox, Grid, LatLon};
+use proptest::prelude::*;
+
+/// City-scale coordinates around Beijing so approximations hold.
+fn city_point() -> impl Strategy<Value = LatLon> {
+    (39.5f64..40.3, 115.9f64..116.9).prop_map(|(lat, lon)| LatLon::new(lat, lon).unwrap())
+}
+
+fn any_point() -> impl Strategy<Value = LatLon> {
+    (-89.0f64..89.0, -179.9f64..179.9).prop_map(|(lat, lon)| LatLon::new(lat, lon).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn haversine_symmetric(a in any_point(), b in any_point()) {
+        let ab = distance::haversine(a, b);
+        let ba = distance::haversine(b, a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_non_negative_and_identity(a in any_point(), b in any_point()) {
+        prop_assert!(distance::haversine(a, b) >= 0.0);
+        prop_assert!(distance::haversine(a, a) < 1e-9);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in city_point(), b in city_point(), c in city_point()) {
+        let ab = distance::haversine(a, b);
+        let bc = distance::haversine(b, c);
+        let ac = distance::haversine(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn equirectangular_matches_haversine_city_scale(a in city_point(), b in city_point()) {
+        let h = distance::haversine(a, b);
+        let e = distance::equirectangular(a, b);
+        // under 0.2% relative error (plus an absolute floor for tiny distances)
+        prop_assert!((h - e).abs() <= 0.002 * h + 0.01, "h={h} e={e}");
+    }
+
+    #[test]
+    fn bbox_contains_all_inputs(pts in prop::collection::vec(any_point(), 1..50)) {
+        let bb = BoundingBox::from_points(pts.clone()).unwrap();
+        for p in pts {
+            prop_assert!(bb.contains(p));
+        }
+    }
+
+    #[test]
+    fn bbox_center_contained(pts in prop::collection::vec(any_point(), 1..20)) {
+        let bb = BoundingBox::from_points(pts).unwrap();
+        prop_assert!(bb.contains(bb.center()));
+    }
+
+    #[test]
+    fn grid_snap_idempotent(p in city_point(), size in 10.0f64..2000.0) {
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), size);
+        let s = g.snap(p);
+        prop_assert_eq!(g.snap(s), s);
+    }
+
+    #[test]
+    fn grid_snap_bounded_displacement(p in city_point(), size in 10.0f64..2000.0) {
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), size);
+        let s = g.snap(p);
+        let d = distance::haversine(p, s);
+        // at most half the cell diagonal, with 2% tolerance for projection error
+        prop_assert!(d <= size * std::f64::consts::SQRT_2 / 2.0 * 1.02, "d={d} size={size}");
+    }
+
+    #[test]
+    fn grid_cell_center_round_trips(row in -500i64..500, col in -500i64..500, size in 20.0f64..500.0) {
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), size);
+        let cell = backwatch_geo::CellId { row, col };
+        prop_assert_eq!(g.cell_of(g.cell_center(cell)), cell);
+    }
+
+    #[test]
+    fn enu_round_trip(e in -30_000.0f64..30_000.0, n in -30_000.0f64..30_000.0) {
+        let frame = Frame::new(LatLon::new(39.9, 116.4).unwrap());
+        let p = frame.to_latlon(e, n);
+        let (e2, n2) = frame.to_enu(p);
+        prop_assert!((e - e2).abs() < 1e-5);
+        prop_assert!((n - n2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn enu_distance_consistent(e in -10_000.0f64..10_000.0, n in -10_000.0f64..10_000.0) {
+        let frame = Frame::new(LatLon::new(39.9, 116.4).unwrap());
+        let p = frame.to_latlon(e, n);
+        let planar = (e * e + n * n).sqrt();
+        let spherical = distance::haversine(frame.origin(), p);
+        prop_assert!((planar - spherical).abs() <= 0.002 * planar + 0.01);
+    }
+}

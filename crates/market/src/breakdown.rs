@@ -1,0 +1,183 @@
+//! Secondary analyses of the market study: per-category breakdowns and
+//! the over-privilege picture (Felt et al., CCS 2011 — apps declaring
+//! permissions they never exercise, which §III-B observes for location).
+
+use crate::category::{Category, ALL_CATEGORIES};
+use crate::corpus::MarketApp;
+use crate::dynamic_analysis::DynamicObservation;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-category location posture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CategoryRow {
+    /// The category.
+    pub category: Category,
+    /// Apps sampled in the category.
+    pub apps: usize,
+    /// Apps declaring a location permission.
+    pub declaring: usize,
+    /// Apps functionally accessing location.
+    pub functional: usize,
+    /// Apps accessing location in background.
+    pub background: usize,
+}
+
+/// Computes the per-category breakdown.
+#[must_use]
+pub fn category_breakdown(corpus: &[MarketApp], observations: &[DynamicObservation]) -> Vec<CategoryRow> {
+    let mut by_package: HashMap<&str, &DynamicObservation> =
+        HashMap::with_capacity(observations.len());
+    for o in observations {
+        by_package.insert(o.package.as_str(), o);
+    }
+    ALL_CATEGORIES
+        .iter()
+        .map(|&category| {
+            let apps_in: Vec<&MarketApp> = corpus.iter().filter(|a| a.category == category).collect();
+            let declaring = apps_in
+                .iter()
+                .filter(|a| a.app.manifest().location_claim().declares_location())
+                .count();
+            let functional = apps_in
+                .iter()
+                .filter_map(|a| by_package.get(a.app.manifest().package()))
+                .filter(|o| o.functional)
+                .count();
+            let background = apps_in
+                .iter()
+                .filter_map(|a| by_package.get(a.app.manifest().package()))
+                .filter(|o| o.background)
+                .count();
+            CategoryRow {
+                category,
+                apps: apps_in.len(),
+                declaring,
+                functional,
+                background,
+            }
+        })
+        .collect()
+}
+
+/// The over-privilege summary: declared-but-unused location permissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverprivilegeReport {
+    /// Apps declaring a location permission.
+    pub declaring: usize,
+    /// Declaring apps that never exercised the permission during the
+    /// dynamic run (the paper observes 1,137 − 528 = 609 such apps).
+    pub inert: usize,
+}
+
+impl OverprivilegeReport {
+    /// Fraction of declaring apps that are over-privileged.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.declaring == 0 {
+            0.0
+        } else {
+            self.inert as f64 / self.declaring as f64
+        }
+    }
+}
+
+/// Computes the over-privilege report from the observations.
+#[must_use]
+pub fn overprivilege(observations: &[DynamicObservation]) -> OverprivilegeReport {
+    let declaring = observations.len();
+    let inert = observations.iter().filter(|o| !o.functional).count();
+    OverprivilegeReport { declaring, inert }
+}
+
+/// Renders the category table, most background-hungry categories first.
+#[must_use]
+pub fn render_breakdown(rows: &[CategoryRow]) -> String {
+    let mut sorted: Vec<&CategoryRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.background.cmp(&a.background).then(b.declaring.cmp(&a.declaring)));
+    let mut s = String::new();
+    let _ = writeln!(s, "Per-category location posture (sorted by background pollers)");
+    let _ = writeln!(
+        s,
+        "{:<18} {:>6} {:>10} {:>11} {:>11}",
+        "category", "apps", "declaring", "functional", "background"
+    );
+    for r in sorted {
+        let _ = writeln!(
+            s,
+            "{:<18} {:>6} {:>10} {:>11} {:>11}",
+            r.category.slug(),
+            r.apps,
+            r.declaring,
+            r.functional,
+            r.background
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig, Quotas};
+    use crate::dynamic_analysis::analyze_corpus;
+
+    fn study() -> (Vec<MarketApp>, Vec<DynamicObservation>) {
+        let corpus = generate(&CorpusConfig::scaled(10));
+        let obs = analyze_corpus(&corpus);
+        (corpus, obs)
+    }
+
+    #[test]
+    fn breakdown_covers_all_categories_and_sums_match() {
+        let (corpus, obs) = study();
+        let rows = category_breakdown(&corpus, &obs);
+        assert_eq!(rows.len(), 28);
+        let q = Quotas::scaled(corpus.len());
+        assert_eq!(rows.iter().map(|r| r.apps).sum::<usize>(), q.total);
+        assert_eq!(rows.iter().map(|r| r.declaring).sum::<usize>(), q.declaring);
+        assert_eq!(rows.iter().map(|r| r.functional).sum::<usize>(), q.functional);
+        assert_eq!(rows.iter().map(|r| r.background).sum::<usize>(), q.background);
+    }
+
+    #[test]
+    fn row_counts_are_internally_consistent() {
+        let (corpus, obs) = study();
+        for r in category_breakdown(&corpus, &obs) {
+            assert!(r.declaring <= r.apps);
+            assert!(r.functional <= r.declaring);
+            assert!(r.background <= r.functional);
+        }
+    }
+
+    #[test]
+    fn location_heavy_categories_lead() {
+        let (corpus, obs) = study();
+        let rows = category_breakdown(&corpus, &obs);
+        let declaring_of = |c: Category| rows.iter().find(|r| r.category == c).unwrap().declaring;
+        assert!(declaring_of(Category::TravelAndLocal) > declaring_of(Category::Comics));
+    }
+
+    #[test]
+    fn overprivilege_matches_quota_arithmetic() {
+        let (corpus, obs) = study();
+        let q = Quotas::scaled(corpus.len());
+        let report = overprivilege(&obs);
+        assert_eq!(report.declaring, q.declaring);
+        assert_eq!(report.inert, q.declaring - q.functional);
+        let expected_fraction = (q.declaring - q.functional) as f64 / q.declaring as f64;
+        assert!((report.fraction() - expected_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_sorted_by_background() {
+        let (corpus, obs) = study();
+        let rows = category_breakdown(&corpus, &obs);
+        let text = render_breakdown(&rows);
+        assert!(text.contains("category"));
+        // every category slug appears
+        for r in &rows {
+            assert!(text.contains(r.category.slug()));
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! Calibrated synthetic app corpus.
+//!
+//! We cannot download the 2,800 APKs the paper measured, so we generate a
+//! corpus whose *ground truth* matches every marginal the paper reports:
+//! how many apps declare which location permissions, how many functionally
+//! access location, how many keep accessing it in the background, which
+//! provider combinations they register (Table I), and the distribution of
+//! their background update intervals (Figure 1). At the default 28 × 100
+//! scale the quotas equal the paper's integers exactly; at other scales
+//! they shrink proportionally via largest-remainder apportionment.
+//!
+//! Every generated app carries its [`GroundTruth`] so that the measurement
+//! pipeline's output can be verified against what was planted.
+
+use crate::category::{Category, ALL_CATEGORIES};
+use backwatch_android::app::{App, AppBuilder, LocationBehavior};
+use backwatch_android::permission::{LocationClaim, Permission};
+use backwatch_android::provider::ProviderKind;
+use backwatch_stats::sampling::weighted_index;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A provider combination — one column of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[allow(missing_docs)] // variants spell out their provider sets
+pub enum ProviderCombo {
+    Gps,
+    Network,
+    Passive,
+    GpsNetwork,
+    GpsPassive,
+    NetworkPassive,
+    GpsNetworkPassive,
+    FusedNetwork,
+    Fused,
+}
+
+/// Table I's eight columns, in the paper's order.
+pub const TABLE1_COLUMNS: [ProviderCombo; 8] = [
+    ProviderCombo::Gps,
+    ProviderCombo::Network,
+    ProviderCombo::Passive,
+    ProviderCombo::GpsNetwork,
+    ProviderCombo::GpsPassive,
+    ProviderCombo::NetworkPassive,
+    ProviderCombo::GpsNetworkPassive,
+    ProviderCombo::FusedNetwork,
+];
+
+impl ProviderCombo {
+    /// The providers in this combination.
+    #[must_use]
+    pub fn providers(&self) -> &'static [ProviderKind] {
+        use ProviderKind::{Fused, Gps, Network, Passive};
+        match self {
+            ProviderCombo::Gps => &[Gps],
+            ProviderCombo::Network => &[Network],
+            ProviderCombo::Passive => &[Passive],
+            ProviderCombo::GpsNetwork => &[Gps, Network],
+            ProviderCombo::GpsPassive => &[Gps, Passive],
+            ProviderCombo::NetworkPassive => &[Network, Passive],
+            ProviderCombo::GpsNetworkPassive => &[Gps, Network, Passive],
+            ProviderCombo::FusedNetwork => &[Fused, Network],
+            ProviderCombo::Fused => &[Fused],
+        }
+    }
+
+    /// Derives the combination from an unordered provider set, if it is one
+    /// of the combinations this module models.
+    #[must_use]
+    pub fn from_providers(set: &[ProviderKind]) -> Option<Self> {
+        let mut sorted: Vec<ProviderKind> = set.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        [
+            ProviderCombo::Gps,
+            ProviderCombo::Network,
+            ProviderCombo::Passive,
+            ProviderCombo::GpsNetwork,
+            ProviderCombo::GpsPassive,
+            ProviderCombo::NetworkPassive,
+            ProviderCombo::GpsNetworkPassive,
+            ProviderCombo::FusedNetwork,
+            ProviderCombo::Fused,
+        ]
+        .into_iter()
+        .find(|c| {
+            let mut p: Vec<ProviderKind> = c.providers().to_vec();
+            p.sort();
+            p == sorted
+        })
+    }
+
+    /// Whether the combination can deliver fine-granularity fixes to an app
+    /// whose permissions allow fine access (GPS or fused present).
+    #[must_use]
+    pub fn delivers_fine(&self) -> bool {
+        self.providers()
+            .iter()
+            .any(|p| matches!(p, ProviderKind::Gps | ProviderKind::Fused))
+    }
+}
+
+impl fmt::Display for ProviderCombo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.providers().iter().map(|p| p.name()).collect();
+        f.write_str(&names.join("+"))
+    }
+}
+
+/// The paper's §III quotas at a given corpus size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quotas {
+    /// Total apps (28 categories × apps per category).
+    pub total: usize,
+    /// Apps declaring at least one location permission (paper: 1,137).
+    pub declaring: usize,
+    /// Declaring apps with fine permission only (paper: 193 ≈ 17 %).
+    pub fine_only: usize,
+    /// Declaring apps with coarse permission only (paper: 182 ≈ 16 %).
+    pub coarse_only: usize,
+    /// Declaring apps with both permissions (paper: 762 ≈ 67 %).
+    pub both: usize,
+    /// Apps that functionally access location (paper: 528).
+    pub functional: usize,
+    /// Functional apps that auto-request at launch (paper: 393).
+    pub auto_start: usize,
+    /// Apps that access location in background (paper: 102).
+    pub background: usize,
+    /// Background apps that auto-start (paper: 85).
+    pub bg_auto_start: usize,
+    /// Table I cells: (declared claim, provider combo, count); cell counts
+    /// sum to `background`.
+    pub table1: Vec<(LocationClaim, ProviderCombo, usize)>,
+    /// Figure 1 anchors: (background interval seconds, count); counts sum
+    /// to `background`.
+    pub intervals: Vec<(i64, usize)>,
+}
+
+/// Paper Table I cells at full scale (claim, combo, count).
+const TABLE1_PAPER: [(LocationClaim, ProviderCombo, usize); 15] = [
+    (LocationClaim::FineOnly, ProviderCombo::Gps, 7),
+    (LocationClaim::FineOnly, ProviderCombo::Network, 3),
+    (LocationClaim::FineOnly, ProviderCombo::Passive, 4),
+    (LocationClaim::FineOnly, ProviderCombo::GpsNetwork, 2),
+    (LocationClaim::FineOnly, ProviderCombo::NetworkPassive, 1),
+    (LocationClaim::FineOnly, ProviderCombo::GpsNetworkPassive, 1),
+    (LocationClaim::CoarseOnly, ProviderCombo::Passive, 6),
+    (LocationClaim::FineAndCoarse, ProviderCombo::Gps, 32),
+    (LocationClaim::FineAndCoarse, ProviderCombo::Network, 9),
+    (LocationClaim::FineAndCoarse, ProviderCombo::Passive, 7),
+    (LocationClaim::FineAndCoarse, ProviderCombo::GpsNetwork, 14),
+    (LocationClaim::FineAndCoarse, ProviderCombo::GpsPassive, 5),
+    (LocationClaim::FineAndCoarse, ProviderCombo::NetworkPassive, 4),
+    (LocationClaim::FineAndCoarse, ProviderCombo::GpsNetworkPassive, 6),
+    (LocationClaim::FineAndCoarse, ProviderCombo::FusedNetwork, 1),
+];
+
+/// Figure 1 anchors at full scale: (interval, apps). The CDF these induce
+/// hits the paper's reported fractions: 57.8 % ≤ 10 s, 68.6 % ≤ 60 s,
+/// ≈ 83 % ≤ 600 s, and a single app at the 7,200 s maximum.
+const INTERVALS_PAPER: [(i64, usize); 12] = [
+    (1, 20),
+    (2, 15),
+    (5, 12),
+    (10, 12),
+    (30, 6),
+    (60, 5),
+    (120, 6),
+    (300, 5),
+    (600, 4),
+    (1800, 9),
+    (3600, 7),
+    (7200, 1),
+];
+
+/// Largest-remainder apportionment of `target` among weights `counts`.
+fn apportion(counts: &[usize], target: usize) -> Vec<usize> {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0; counts.len()];
+    }
+    let mut floors: Vec<usize> = Vec::with_capacity(counts.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(counts.len());
+    let mut assigned = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        let exact = c as f64 * target as f64 / total as f64;
+        let fl = exact.floor() as usize;
+        floors.push(fl);
+        assigned += fl;
+        remainders.push((i, exact - fl as f64));
+    }
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders").then(a.0.cmp(&b.0)));
+    let mut left = target.saturating_sub(assigned);
+    for (i, _) in remainders {
+        if left == 0 {
+            break;
+        }
+        // never promote a zero-weight cell
+        if counts[i] > 0 {
+            floors[i] += 1;
+            left -= 1;
+        }
+    }
+    floors
+}
+
+impl Quotas {
+    /// Quotas for a corpus of `total` apps, scaled from the paper's
+    /// 2,800-app study. At `total == 2800` the quotas are the paper's
+    /// integers exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    #[must_use]
+    pub fn scaled(total: usize) -> Self {
+        assert!(total > 0, "corpus must have at least one app");
+        let scale = |n: usize| -> usize { (n * total + 1400) / 2800 };
+        let declaring = scale(1137).min(total);
+        // split of declaring into the three claims
+        let claim_split = apportion(&[193, 182, 762], declaring);
+        let functional = scale(528).min(declaring);
+        let background = scale(102).min(functional).max(1);
+        let auto_start = scale(393).min(functional);
+        let bg_auto_start = scale(85).min(background).min(auto_start);
+
+        let t1_counts: Vec<usize> = TABLE1_PAPER.iter().map(|&(_, _, c)| c).collect();
+        let t1_scaled = apportion(&t1_counts, background);
+        let table1: Vec<(LocationClaim, ProviderCombo, usize)> = TABLE1_PAPER
+            .iter()
+            .zip(&t1_scaled)
+            .map(|(&(claim, combo, _), &c)| (claim, combo, c))
+            .collect();
+
+        let iv_counts: Vec<usize> = INTERVALS_PAPER.iter().map(|&(_, c)| c).collect();
+        let iv_scaled = apportion(&iv_counts, background);
+        let intervals: Vec<(i64, usize)> = INTERVALS_PAPER
+            .iter()
+            .zip(&iv_scaled)
+            .map(|(&(secs, _), &c)| (secs, c))
+            .collect();
+
+        Self {
+            total,
+            declaring,
+            fine_only: claim_split[0],
+            coarse_only: claim_split[1],
+            both: claim_split[2],
+            functional,
+            auto_start,
+            background,
+            bg_auto_start,
+            table1,
+            intervals,
+        }
+    }
+
+    /// Background apps per claim row of Table I.
+    #[must_use]
+    pub fn table1_row_total(&self, claim: LocationClaim) -> usize {
+        self.table1.iter().filter(|(c, _, _)| *c == claim).map(|(_, _, n)| n).sum()
+    }
+}
+
+/// The planted truth for one generated app — what a perfect measurement
+/// would recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroundTruth {
+    /// Declared permission posture.
+    pub claim: LocationClaim,
+    /// Whether the app ever requests location.
+    pub functional: bool,
+    /// Whether it requests right at launch.
+    pub auto_start: bool,
+    /// The provider combination it registers (if functional).
+    pub combo: Option<ProviderCombo>,
+    /// Its background polling interval (if it polls in background).
+    pub bg_interval_s: Option<i64>,
+}
+
+/// A corpus entry: the app, its store category, and the planted truth.
+#[derive(Debug, Clone)]
+pub struct MarketApp {
+    /// The installable app.
+    pub app: App,
+    /// Store category.
+    pub category: Category,
+    /// Ground truth for calibration checks.
+    pub truth: GroundTruth,
+}
+
+/// Corpus generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Apps per category (paper: 100).
+    pub apps_per_category: usize,
+    /// RNG seed for the assignment shuffles.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// The paper's scale: 28 categories × 100 apps.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self {
+            apps_per_category: 100,
+            seed: 0x5EED_AB99,
+        }
+    }
+
+    /// A scaled-down corpus with `apps_per_category` apps per category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps_per_category == 0`.
+    #[must_use]
+    pub fn scaled(apps_per_category: usize) -> Self {
+        assert!(apps_per_category > 0);
+        Self {
+            apps_per_category,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// Total apps this configuration generates.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        ALL_CATEGORIES.len() * self.apps_per_category
+    }
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// Generates the corpus described by `cfg`. Deterministic per seed.
+#[must_use]
+pub fn generate(cfg: &CorpusConfig) -> Vec<MarketApp> {
+    let quotas = Quotas::scaled(cfg.total());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Slot list: (category, rank within category).
+    let mut slots: Vec<(Category, usize)> = Vec::with_capacity(cfg.total());
+    for cat in ALL_CATEGORIES {
+        for rank in 0..cfg.apps_per_category {
+            slots.push((cat, rank));
+        }
+    }
+
+    // Pick which slots declare a location permission, weighted by category
+    // affinity (Efraimidis–Spirakis weighted sampling without replacement).
+    let mut keyed: Vec<(f64, usize)> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, (cat, _))| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            ((-u.ln()) / cat.location_affinity(), i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+    let mut declaring_idx: Vec<usize> = keyed.iter().take(quotas.declaring).map(|&(_, i)| i).collect();
+    declaring_idx.shuffle(&mut rng);
+
+    // Segment the declaring apps: background | foreground-only functional |
+    // inert over-privileged.
+    let bg_idx = &declaring_idx[..quotas.background];
+    let fg_idx = &declaring_idx[quotas.background..quotas.functional];
+    let inert_idx = &declaring_idx[quotas.functional..];
+
+    // Per-app plans, defaulting to "not declaring".
+    #[derive(Clone)]
+    struct Plan {
+        claim: LocationClaim,
+        behavior: LocationBehavior,
+        functional: bool,
+        auto_start: bool,
+        combo: Option<ProviderCombo>,
+        bg_interval: Option<i64>,
+        service: bool,
+    }
+    let mut plans: Vec<Plan> = vec![
+        Plan {
+            claim: LocationClaim::None,
+            behavior: LocationBehavior::inert(),
+            functional: false,
+            auto_start: false,
+            combo: None,
+            bg_interval: None,
+            service: false,
+        };
+        slots.len()
+    ];
+
+    // --- Background apps: Table I cells drive claim + combo. ---
+    let mut bg_assignments: Vec<(LocationClaim, ProviderCombo)> = Vec::with_capacity(quotas.background);
+    for &(claim, combo, count) in &quotas.table1 {
+        for _ in 0..count {
+            bg_assignments.push((claim, combo));
+        }
+    }
+    debug_assert_eq!(bg_assignments.len(), quotas.background);
+    bg_assignments.shuffle(&mut rng);
+
+    let mut bg_intervals: Vec<i64> = Vec::with_capacity(quotas.background);
+    for &(secs, count) in &quotas.intervals {
+        for _ in 0..count {
+            bg_intervals.push(secs);
+        }
+    }
+    debug_assert_eq!(bg_intervals.len(), quotas.background);
+    bg_intervals.shuffle(&mut rng);
+
+    for (k, &slot) in bg_idx.iter().enumerate() {
+        let (claim, combo) = bg_assignments[k];
+        let interval = bg_intervals[k];
+        let fg_interval = rng.gen_range(1..=30);
+        let behavior = LocationBehavior::requester(combo.providers().iter().copied(), fg_interval)
+            .auto_start(k < quotas.bg_auto_start)
+            .background_interval(interval);
+        plans[slot] = Plan {
+            claim,
+            auto_start: behavior.is_auto_start(),
+            behavior,
+            functional: true,
+            combo: Some(combo),
+            bg_interval: Some(interval),
+            service: true,
+        };
+    }
+
+    // --- Remaining claim pool for foreground-only + inert apps. ---
+    let mut claim_pool: Vec<LocationClaim> = Vec::new();
+    let used_fine = quotas.table1_row_total(LocationClaim::FineOnly);
+    let used_coarse = quotas.table1_row_total(LocationClaim::CoarseOnly);
+    let used_both = quotas.table1_row_total(LocationClaim::FineAndCoarse);
+    claim_pool.extend(std::iter::repeat_n(LocationClaim::FineOnly, quotas.fine_only.saturating_sub(used_fine)));
+    claim_pool.extend(std::iter::repeat_n(LocationClaim::CoarseOnly, quotas.coarse_only.saturating_sub(used_coarse)));
+    claim_pool.extend(std::iter::repeat_n(LocationClaim::FineAndCoarse, quotas.both.saturating_sub(used_both)));
+    // Rounding at tiny scales can leave the pool short; pad with the modal
+    // claim.
+    while claim_pool.len() < fg_idx.len() + inert_idx.len() {
+        claim_pool.push(LocationClaim::FineAndCoarse);
+    }
+    claim_pool.shuffle(&mut rng);
+    let mut claim_iter = claim_pool.into_iter();
+
+    // --- Foreground-only functional apps. ---
+    let fg_auto_quota = quotas.auto_start.saturating_sub(quotas.bg_auto_start).min(fg_idx.len());
+    for (k, &slot) in fg_idx.iter().enumerate() {
+        let claim = claim_iter.next().expect("claim pool sized above");
+        let combo = pick_fg_combo(claim, &mut rng);
+        let interval = rng.gen_range(1..=60);
+        let behavior = LocationBehavior::requester(combo.providers().iter().copied(), interval)
+            .auto_start(k < fg_auto_quota);
+        plans[slot] = Plan {
+            claim,
+            auto_start: behavior.is_auto_start(),
+            behavior,
+            functional: true,
+            combo: Some(combo),
+            bg_interval: None,
+            service: false,
+        };
+    }
+
+    // --- Over-privileged inert apps: declare but never request. ---
+    for &slot in inert_idx {
+        let claim = claim_iter.next().expect("claim pool sized above");
+        plans[slot].claim = claim;
+    }
+
+    // --- Materialize apps. ---
+    slots
+        .iter()
+        .zip(plans)
+        .map(|(&(category, rank), plan)| {
+            let package = format!("com.{}.app{rank:03}", category.slug());
+            let mut builder = AppBuilder::new(package)
+                .location_claim(plan.claim)
+                .permission(Permission::Internet)
+                .location_service(plan.service)
+                .behavior(plan.behavior);
+            if rng.gen::<f64>() < 0.5 {
+                builder = builder.permission(Permission::AccessNetworkState);
+            }
+            if plan.service {
+                builder = builder.permission(Permission::WakeLock);
+            }
+            MarketApp {
+                app: builder.build(),
+                category,
+                truth: GroundTruth {
+                    claim: plan.claim,
+                    functional: plan.functional,
+                    auto_start: plan.auto_start,
+                    combo: plan.combo,
+                    bg_interval_s: plan.bg_interval,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Combo choice for foreground-only requesters, respecting the claim.
+fn pick_fg_combo(claim: LocationClaim, rng: &mut StdRng) -> ProviderCombo {
+    if claim.allows_fine() {
+        const COMBOS: [ProviderCombo; 6] = [
+            ProviderCombo::Gps,
+            ProviderCombo::Fused,
+            ProviderCombo::GpsNetwork,
+            ProviderCombo::Network,
+            ProviderCombo::FusedNetwork,
+            ProviderCombo::Passive,
+        ];
+        const WEIGHTS: [f64; 6] = [0.35, 0.25, 0.15, 0.12, 0.08, 0.05];
+        COMBOS[weighted_index(rng, &WEIGHTS)]
+    } else {
+        const COMBOS: [ProviderCombo; 3] = [ProviderCombo::Network, ProviderCombo::Fused, ProviderCombo::Passive];
+        const WEIGHTS: [f64; 3] = [0.6, 0.25, 0.15];
+        COMBOS[weighted_index(rng, &WEIGHTS)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_quotas_match_paper_integers() {
+        let q = Quotas::scaled(2800);
+        assert_eq!(q.declaring, 1137);
+        assert_eq!(q.fine_only, 193);
+        assert_eq!(q.coarse_only, 182);
+        assert_eq!(q.both, 762);
+        assert_eq!(q.fine_only + q.coarse_only + q.both, 1137);
+        assert_eq!(q.functional, 528);
+        assert_eq!(q.auto_start, 393);
+        assert_eq!(q.background, 102);
+        assert_eq!(q.bg_auto_start, 85);
+        let t1_total: usize = q.table1.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(t1_total, 102);
+        assert_eq!(q.table1_row_total(LocationClaim::FineOnly), 18);
+        assert_eq!(q.table1_row_total(LocationClaim::CoarseOnly), 6);
+        assert_eq!(q.table1_row_total(LocationClaim::FineAndCoarse), 78);
+        let iv_total: usize = q.intervals.iter().map(|&(_, c)| c).sum();
+        assert_eq!(iv_total, 102);
+    }
+
+    #[test]
+    fn paper_interval_cdf_anchors() {
+        let q = Quotas::scaled(2800);
+        let at_or_below = |cut: i64| -> usize {
+            q.intervals.iter().filter(|&&(s, _)| s <= cut).map(|&(_, c)| c).sum()
+        };
+        assert_eq!(at_or_below(10), 59); // 57.8 %
+        assert_eq!(at_or_below(60), 70); // 68.6 %
+        assert_eq!(at_or_below(600), 85); // ≈ 83 %
+        assert_eq!(at_or_below(7200), 102);
+        // exactly one app at the 7200 s maximum
+        assert_eq!(q.intervals.iter().find(|&&(s, _)| s == 7200).unwrap().1, 1);
+    }
+
+    #[test]
+    fn scaled_quotas_are_consistent() {
+        for per_cat in [1usize, 3, 10, 25, 100, 250] {
+            let q = Quotas::scaled(per_cat * 28);
+            assert!(q.declaring <= q.total);
+            assert!(q.functional <= q.declaring);
+            assert!(q.background <= q.functional);
+            assert!(q.bg_auto_start <= q.background);
+            assert!(q.auto_start <= q.functional);
+            assert_eq!(q.fine_only + q.coarse_only + q.both, q.declaring);
+            let t1: usize = q.table1.iter().map(|&(_, _, c)| c).sum();
+            assert_eq!(t1, q.background, "table1 cells must sum to bg count at {per_cat}");
+            let iv: usize = q.intervals.iter().map(|&(_, c)| c).sum();
+            assert_eq!(iv, q.background);
+        }
+    }
+
+    #[test]
+    fn generation_matches_quotas_exactly() {
+        let cfg = CorpusConfig::scaled(20);
+        let corpus = generate(&cfg);
+        let q = Quotas::scaled(cfg.total());
+        assert_eq!(corpus.len(), q.total);
+        let declaring = corpus.iter().filter(|a| a.truth.claim.declares_location()).count();
+        assert_eq!(declaring, q.declaring);
+        let functional = corpus.iter().filter(|a| a.truth.functional).count();
+        assert_eq!(functional, q.functional);
+        let background = corpus.iter().filter(|a| a.truth.bg_interval_s.is_some()).count();
+        assert_eq!(background, q.background);
+        let bg_auto = corpus
+            .iter()
+            .filter(|a| a.truth.bg_interval_s.is_some() && a.truth.auto_start)
+            .count();
+        assert_eq!(bg_auto, q.bg_auto_start);
+        let auto = corpus.iter().filter(|a| a.truth.auto_start).count();
+        assert_eq!(auto, q.auto_start.min(q.bg_auto_start + (q.functional - q.background)));
+    }
+
+    #[test]
+    fn generated_behaviors_respect_declared_permissions() {
+        let corpus = generate(&CorpusConfig::scaled(15));
+        for entry in &corpus {
+            let claim = entry.app.manifest().location_claim();
+            assert_eq!(claim, entry.truth.claim);
+            for &p in entry.app.behavior().providers() {
+                assert!(p.permitted_for(claim), "{}: {p} not permitted under {claim}", entry.app);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CorpusConfig::scaled(5);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.app, y.app);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = CorpusConfig::scaled(5);
+        let a = generate(&cfg);
+        cfg.seed ^= 1;
+        let b = generate(&cfg);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.truth != y.truth));
+    }
+
+    #[test]
+    fn location_heavy_categories_declare_more() {
+        let corpus = generate(&CorpusConfig::paper_scale());
+        let rate = |cat: Category| -> f64 {
+            let apps: Vec<_> = corpus.iter().filter(|a| a.category == cat).collect();
+            apps.iter().filter(|a| a.truth.claim.declares_location()).count() as f64 / apps.len() as f64
+        };
+        assert!(rate(Category::TravelAndLocal) > rate(Category::Comics));
+        assert!(rate(Category::Weather) > rate(Category::LibrariesAndDemo));
+    }
+
+    #[test]
+    fn combo_round_trips_through_provider_sets() {
+        for combo in TABLE1_COLUMNS {
+            assert_eq!(ProviderCombo::from_providers(combo.providers()), Some(combo));
+        }
+        assert_eq!(
+            ProviderCombo::from_providers(&[ProviderKind::Network, ProviderKind::Gps]),
+            Some(ProviderCombo::GpsNetwork)
+        );
+        assert_eq!(ProviderCombo::from_providers(&[]), None);
+    }
+
+    #[test]
+    fn apportion_preserves_total_and_zeroes() {
+        let out = apportion(&[32, 14, 5, 0, 6], 10);
+        assert_eq!(out.iter().sum::<usize>(), 10);
+        assert_eq!(out[3], 0, "zero-weight cell must stay zero");
+        let out = apportion(&[1, 1, 1], 0);
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+}

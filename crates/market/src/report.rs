@@ -1,0 +1,189 @@
+//! Plain-text renderings of the study's tables and figures.
+
+use crate::corpus::TABLE1_COLUMNS;
+use crate::stats::{HeadlineStats, IntervalCdf, ProviderTable};
+use backwatch_android::permission::LocationClaim;
+use std::fmt::Write as _;
+
+/// Renders the §III-B headline numbers as indented prose-style lines.
+#[must_use]
+pub fn render_headline(h: &HeadlineStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Market study headline statistics");
+    let _ = writeln!(s, "  apps examined:                 {}", h.total_apps);
+    let _ = writeln!(
+        s,
+        "  declare location permission:   {} ({:.1}%)",
+        h.declaring,
+        pct(h.declaring, h.total_apps)
+    );
+    let _ = writeln!(
+        s,
+        "    fine only:                   {} ({:.0}%)",
+        h.fine_only,
+        pct(h.fine_only, h.declaring)
+    );
+    let _ = writeln!(
+        s,
+        "    coarse only:                 {} ({:.0}%)",
+        h.coarse_only,
+        pct(h.coarse_only, h.declaring)
+    );
+    let _ = writeln!(s, "    both:                        {} ({:.0}%)", h.both, pct(h.both, h.declaring));
+    let _ = writeln!(s, "  functionally access location:  {}", h.functional);
+    let _ = writeln!(s, "    auto-request at launch:      {}", h.auto_start);
+    let _ = writeln!(
+        s,
+        "  access location in background: {} ({:.1}% of functional)",
+        h.background,
+        100.0 * h.background_share_of_functional()
+    );
+    let _ = writeln!(s, "    of which auto-start:         {}", h.bg_auto_start);
+    let _ = writeln!(
+        s,
+        "    claim fine:                  {} ({:.2}%)",
+        h.bg_claim_fine,
+        pct(h.bg_claim_fine, h.background)
+    );
+    let _ = writeln!(
+        s,
+        "    use precise fixes:           {} ({:.1}%)",
+        h.bg_use_fine,
+        pct(h.bg_use_fine, h.bg_claim_fine)
+    );
+    let _ = writeln!(
+        s,
+        "    coarse despite fine claim:   {} ({:.1}%)",
+        h.bg_coarse_despite_fine,
+        pct(h.bg_coarse_despite_fine, h.bg_claim_fine)
+    );
+    s
+}
+
+/// Renders Table I (provider combinations × declared granularity).
+#[must_use]
+pub fn render_table1(t: &ProviderTable) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "TABLE I: Usage of location provider (background apps)");
+    let _ = write!(s, "{:<14}", "Granularity");
+    for combo in TABLE1_COLUMNS {
+        let _ = write!(s, "{:>18}", combo.to_string());
+    }
+    let _ = writeln!(s, "{:>8}", "total");
+    for claim in ProviderTable::rows() {
+        let label = match claim {
+            LocationClaim::FineOnly => "Fine",
+            LocationClaim::CoarseOnly => "Coarse",
+            LocationClaim::FineAndCoarse => "Fine & Coarse",
+            LocationClaim::None => "None",
+        };
+        let _ = write!(s, "{label:<14}");
+        for combo in TABLE1_COLUMNS {
+            let _ = write!(s, "{:>18}", t.cell(claim, combo));
+        }
+        let _ = writeln!(s, "{:>8}", t.row_total(claim));
+    }
+    if t.unclassified > 0 {
+        let _ = writeln!(s, "(unclassified provider sets: {})", t.unclassified);
+    }
+    s
+}
+
+/// Renders Figure 1 (interval CDF) as an `interval  fraction` series.
+#[must_use]
+pub fn render_fig1(cdf: &IntervalCdf) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "FIGURE 1: CDF of background location-request intervals ({} apps)", cdf.len());
+    let _ = writeln!(s, "{:>10}  {:>8}", "interval_s", "cdf");
+    for (x, f) in cdf.series() {
+        let _ = writeln!(s, "{x:>10}  {:>7.1}%", f * 100.0);
+    }
+    if let Some(max) = cdf.max_interval() {
+        let _ = writeln!(s, "max observed interval: {max} s");
+    }
+    s
+}
+
+/// Table I as CSV: one row per (granularity, combo) cell.
+#[must_use]
+pub fn table1_csv(t: &ProviderTable) -> String {
+    let mut s = String::from("granularity,combo,count\n");
+    for claim in ProviderTable::rows() {
+        let label = match claim {
+            LocationClaim::FineOnly => "fine",
+            LocationClaim::CoarseOnly => "coarse",
+            LocationClaim::FineAndCoarse => "fine_and_coarse",
+            LocationClaim::None => "none",
+        };
+        for combo in TABLE1_COLUMNS {
+            let _ = writeln!(s, "{label},{combo},{}", t.cell(claim, combo));
+        }
+    }
+    s
+}
+
+/// Figure 1 as CSV: `interval_s,cdf`.
+#[must_use]
+pub fn fig1_csv(cdf: &IntervalCdf) -> String {
+    let mut s = String::from("interval_s,cdf\n");
+    for (x, f) in cdf.series() {
+        let _ = writeln!(s, "{x},{f:.6}");
+    }
+    s
+}
+
+fn pct(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+    use crate::run_study;
+
+    #[test]
+    fn reports_render_without_panicking_and_mention_key_numbers() {
+        let study = run_study(&CorpusConfig::scaled(8));
+        let headline = render_headline(&study.headline);
+        assert!(headline.contains("background"));
+        assert!(headline.contains(&study.headline.background.to_string()));
+        let table = render_table1(&study.provider_table);
+        assert!(table.contains("TABLE I"));
+        assert!(table.contains("Fine & Coarse"));
+        let fig = render_fig1(&study.interval_cdf);
+        assert!(fig.contains("FIGURE 1"));
+        assert!(fig.contains("7200"));
+    }
+
+    #[test]
+    fn csv_exports_have_expected_shapes() {
+        let study = run_study(&CorpusConfig::scaled(8));
+        let t1 = table1_csv(&study.provider_table);
+        // header + 3 rows x 8 combos
+        assert_eq!(t1.lines().count(), 1 + 3 * 8);
+        let total: usize = t1
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, study.provider_table.total());
+        let f1 = fig1_csv(&study.interval_cdf);
+        assert!(f1.starts_with("interval_s,cdf"));
+        assert_eq!(f1.lines().count(), 1 + crate::stats::FIG1_POINTS.len());
+    }
+
+    #[test]
+    fn empty_study_renders_cleanly() {
+        let t = crate::stats::provider_table(&[], &[]);
+        let s = render_table1(&t);
+        assert!(s.contains("TABLE I"));
+        let cdf = crate::stats::interval_cdf(&[]);
+        let s = render_fig1(&cdf);
+        assert!(s.contains("FIGURE 1"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Aggregation of the study's observations into the paper's numbers.
+
+use crate::corpus::{MarketApp, ProviderCombo, TABLE1_COLUMNS};
+use crate::dynamic_analysis::DynamicObservation;
+use crate::static_analysis::StaticReport;
+use backwatch_android::permission::LocationClaim;
+use backwatch_stats::summary::Ecdf;
+use std::collections::BTreeMap;
+
+/// The §III-B prose numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadlineStats {
+    /// Apps examined (paper: 2,800).
+    pub total_apps: usize,
+    /// Apps declaring a location permission (paper: 1,137).
+    pub declaring: usize,
+    /// Fine-only / coarse-only / both splits of the declaring apps.
+    pub fine_only: usize,
+    /// Declaring apps with only the coarse permission.
+    pub coarse_only: usize,
+    /// Declaring apps with both permissions.
+    pub both: usize,
+    /// Apps observed to functionally request location (paper: 528).
+    pub functional: usize,
+    /// Functional apps that registered listeners at launch (paper: 393).
+    pub auto_start: usize,
+    /// Apps that kept listeners alive in the background (paper: 102).
+    pub background: usize,
+    /// Background apps that auto-start (paper: 85).
+    pub bg_auto_start: usize,
+    /// Background apps with a fine claim (paper: 96, i.e. 94.12 %).
+    pub bg_claim_fine: usize,
+    /// Background apps that in practice obtain precise fixes (paper: 68).
+    pub bg_use_fine: usize,
+    /// Background apps that claim fine but in practice only obtain coarse
+    /// fixes (paper: 28).
+    pub bg_coarse_despite_fine: usize,
+}
+
+impl HeadlineStats {
+    /// Background apps as a share of functional apps (paper: 19.3 %).
+    #[must_use]
+    pub fn background_share_of_functional(&self) -> f64 {
+        ratio(self.background, self.functional)
+    }
+
+    /// Background apps as a share of declaring apps (paper: ~9 %).
+    #[must_use]
+    pub fn background_share_of_declaring(&self) -> f64 {
+        ratio(self.background, self.declaring)
+    }
+}
+
+fn ratio(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Computes the headline statistics from the pipeline outputs.
+#[must_use]
+pub fn headline(corpus: &[MarketApp], statics: &StaticReport, observations: &[DynamicObservation]) -> HeadlineStats {
+    let functional = observations.iter().filter(|o| o.functional).count();
+    let auto_start = observations.iter().filter(|o| o.functional && o.auto_start).count();
+    let bg: Vec<&DynamicObservation> = observations.iter().filter(|o| o.background).collect();
+    let bg_auto_start = bg.iter().filter(|o| o.auto_start).count();
+    let bg_claim_fine = bg.iter().filter(|o| o.claim.allows_fine()).count();
+    let bg_use_fine = bg.iter().filter(|o| o.uses_fine_in_practice()).count();
+    let bg_coarse_despite_fine = bg
+        .iter()
+        .filter(|o| o.claim.allows_fine() && !o.uses_fine_in_practice())
+        .count();
+    HeadlineStats {
+        total_apps: corpus.len(),
+        declaring: statics.declaring,
+        fine_only: statics.fine_only,
+        coarse_only: statics.coarse_only,
+        both: statics.both,
+        functional,
+        auto_start,
+        background: bg.len(),
+        bg_auto_start,
+        bg_claim_fine,
+        bg_use_fine,
+        bg_coarse_despite_fine,
+    }
+}
+
+/// Table I: declared granularity rows × provider-combination columns over
+/// the background apps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderTable {
+    cells: BTreeMap<(LocationClaim, ProviderCombo), usize>,
+    /// Background observations whose provider set is not one of the
+    /// modelled combinations (always 0 for generated corpora; kept so real
+    /// measurements cannot silently drop apps).
+    pub unclassified: usize,
+}
+
+impl ProviderTable {
+    /// The count in one cell.
+    #[must_use]
+    pub fn cell(&self, claim: LocationClaim, combo: ProviderCombo) -> usize {
+        self.cells.get(&(claim, combo)).copied().unwrap_or(0)
+    }
+
+    /// Row total for a claim.
+    #[must_use]
+    pub fn row_total(&self, claim: LocationClaim) -> usize {
+        self.cells.iter().filter(|((c, _), _)| *c == claim).map(|(_, n)| n).sum()
+    }
+
+    /// Grand total (excluding unclassified).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.cells.values().sum()
+    }
+
+    /// The three claim rows in Table I order.
+    #[must_use]
+    pub fn rows() -> [LocationClaim; 3] {
+        [LocationClaim::FineOnly, LocationClaim::CoarseOnly, LocationClaim::FineAndCoarse]
+    }
+}
+
+/// Builds Table I from the background observations.
+#[must_use]
+pub fn provider_table(_corpus: &[MarketApp], observations: &[DynamicObservation]) -> ProviderTable {
+    let mut cells: BTreeMap<(LocationClaim, ProviderCombo), usize> = BTreeMap::new();
+    let mut unclassified = 0;
+    for o in observations.iter().filter(|o| o.background) {
+        match o.combo() {
+            Some(combo) => *cells.entry((o.claim, combo)).or_insert(0) += 1,
+            None => unclassified += 1,
+        }
+    }
+    ProviderTable { cells, unclassified }
+}
+
+/// Figure 1: the CDF of background update intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalCdf {
+    ecdf: Ecdf,
+}
+
+/// The x-axis sample points used when rendering Figure 1.
+pub const FIG1_POINTS: [i64; 13] = [1, 2, 5, 10, 30, 60, 120, 300, 600, 1200, 1800, 3600, 7200];
+
+impl IntervalCdf {
+    /// Number of background apps behind the CDF.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ecdf.len()
+    }
+
+    /// Whether no background apps were observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ecdf.is_empty()
+    }
+
+    /// Fraction of background apps updating at least every `secs` seconds.
+    #[must_use]
+    pub fn fraction_within(&self, secs: i64) -> f64 {
+        self.ecdf.fraction_at_or_below(secs as f64)
+    }
+
+    /// The largest observed interval, if any (paper: 7,200 s).
+    #[must_use]
+    pub fn max_interval(&self) -> Option<i64> {
+        self.ecdf.max().map(|x| x as i64)
+    }
+
+    /// The `(interval, fraction)` series over [`FIG1_POINTS`].
+    #[must_use]
+    pub fn series(&self) -> Vec<(i64, f64)> {
+        FIG1_POINTS.iter().map(|&x| (x, self.fraction_within(x))).collect()
+    }
+}
+
+/// Builds Figure 1 from the background observations.
+#[must_use]
+pub fn interval_cdf(observations: &[DynamicObservation]) -> IntervalCdf {
+    let intervals: Vec<f64> = observations
+        .iter()
+        .filter_map(|o| o.bg_interval_s)
+        .map(|s| s as f64)
+        .collect();
+    IntervalCdf {
+        ecdf: Ecdf::new(intervals),
+    }
+}
+
+/// Sanity view: every Table I column has at least one named column constant.
+#[must_use]
+pub fn table1_columns() -> &'static [ProviderCombo] {
+    &TABLE1_COLUMNS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig, Quotas};
+    use crate::dynamic_analysis::analyze_corpus;
+    use crate::static_analysis::analyze;
+
+    fn small_study() -> (Vec<MarketApp>, StaticReport, Vec<DynamicObservation>) {
+        let cfg = CorpusConfig::scaled(8);
+        let corpus = generate(&cfg);
+        let statics = analyze(&corpus);
+        let obs = analyze_corpus(&corpus);
+        (corpus, statics, obs)
+    }
+
+    #[test]
+    fn headline_matches_quotas() {
+        let (corpus, statics, obs) = small_study();
+        let q = Quotas::scaled(corpus.len());
+        let h = headline(&corpus, &statics, &obs);
+        assert_eq!(h.total_apps, q.total);
+        assert_eq!(h.declaring, q.declaring);
+        assert_eq!(h.functional, q.functional);
+        assert_eq!(h.background, q.background);
+        assert_eq!(h.bg_auto_start, q.bg_auto_start);
+        assert_eq!(h.bg_claim_fine, q.table1_row_total(LocationClaim::FineOnly) + q.table1_row_total(LocationClaim::FineAndCoarse));
+    }
+
+    #[test]
+    fn provider_table_sums_to_background_count() {
+        let (corpus, _, obs) = small_study();
+        let q = Quotas::scaled(corpus.len());
+        let t = provider_table(&corpus, &obs);
+        assert_eq!(t.total() + t.unclassified, q.background);
+        assert_eq!(t.unclassified, 0, "generated corpora only use modelled combos");
+        let rows_sum: usize = ProviderTable::rows().iter().map(|&r| t.row_total(r)).sum();
+        assert_eq!(rows_sum, t.total());
+    }
+
+    #[test]
+    fn provider_table_matches_planted_cells() {
+        let (corpus, _, obs) = small_study();
+        let t = provider_table(&corpus, &obs);
+        let q = Quotas::scaled(corpus.len());
+        for (claim, combo, count) in &q.table1 {
+            assert_eq!(t.cell(*claim, *combo), *count, "cell {claim:?}/{combo}");
+        }
+    }
+
+    #[test]
+    fn interval_cdf_is_monotone_and_complete() {
+        let (_, _, obs) = small_study();
+        let cdf = interval_cdf(&obs);
+        assert!(!cdf.is_empty());
+        let series = cdf.series();
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn fine_use_counts_are_consistent() {
+        let (corpus, statics, obs) = small_study();
+        let h = headline(&corpus, &statics, &obs);
+        assert_eq!(h.bg_use_fine + h.bg_coarse_despite_fine, h.bg_claim_fine);
+        assert!(h.background_share_of_functional() > 0.0);
+    }
+
+    #[test]
+    fn empty_observations_yield_empty_aggregates() {
+        let t = provider_table(&[], &[]);
+        assert_eq!(t.total(), 0);
+        let cdf = interval_cdf(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.max_interval(), None);
+        assert_eq!(cdf.fraction_within(10), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Divergences between discrete distributions.
+//!
+//! Complements the chi-square machinery with the information-theoretic
+//! distances commonly used to compare mobility profiles: Kullback–Leibler
+//! divergence, the symmetric bounded Jensen–Shannon divergence, and total
+//! variation distance. All operate on parallel probability vectors (use
+//! [`crate::CountHistogram::align`] plus [`crate::entropy::normalize`] to
+//! produce them).
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in bits.
+///
+/// Returns `f64::INFINITY` when `p` has mass where `q` has none (the
+/// standard convention). Zero-mass entries of `p` contribute nothing.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, or entries are negative or
+/// non-finite, or either does not sum to ≈ 1.
+#[must_use]
+pub fn kl_divergence_bits(p: &[f64], q: &[f64]) -> f64 {
+    validate_dist("p", p);
+    validate_dist("q", q);
+    assert_eq!(p.len(), q.len(), "distributions must have equal support size");
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return f64::INFINITY;
+            }
+            d += pi * (pi / qi).log2();
+        }
+    }
+    d.max(0.0)
+}
+
+/// Jensen–Shannon divergence in bits: symmetric, bounded in `[0, 1]`.
+///
+/// # Panics
+///
+/// As [`kl_divergence_bits`].
+#[must_use]
+pub fn js_divergence_bits(p: &[f64], q: &[f64]) -> f64 {
+    validate_dist("p", p);
+    validate_dist("q", q);
+    assert_eq!(p.len(), q.len(), "distributions must have equal support size");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| (a + b) / 2.0).collect();
+    (kl_divergence_bits(p, &m) + kl_divergence_bits(q, &m)) / 2.0
+}
+
+/// Total variation distance `½ Σ |p − q|`, in `[0, 1]`.
+///
+/// # Panics
+///
+/// As [`kl_divergence_bits`].
+#[must_use]
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    validate_dist("p", p);
+    validate_dist("q", q);
+    assert_eq!(p.len(), q.len(), "distributions must have equal support size");
+    p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / 2.0
+}
+
+fn validate_dist(name: &str, xs: &[f64]) {
+    assert!(!xs.is_empty(), "{name} must be non-empty");
+    let mut sum = 0.0;
+    for &x in xs {
+        assert!(x.is_finite() && x >= 0.0, "{name} entries must be finite and >= 0, got {x}");
+        sum += x;
+    }
+    assert!((sum - 1.0).abs() < 1e-6, "{name} must sum to 1, sums to {sum}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_is_zero_iff_equal() {
+        let p = [0.5, 0.3, 0.2];
+        assert!(kl_divergence_bits(&p, &p).abs() < 1e-12);
+        let q = [0.4, 0.4, 0.2];
+        assert!(kl_divergence_bits(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let pq = kl_divergence_bits(&p, &q);
+        let qp = kl_divergence_bits(&q, &p);
+        assert!((pq - qp).abs() > 0.01);
+    }
+
+    #[test]
+    fn kl_infinite_on_missing_support() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert_eq!(kl_divergence_bits(&p, &q), f64::INFINITY);
+        // but not the other way: q has no mass where p has none
+        assert!(kl_divergence_bits(&q, &p).is_finite());
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = [0.9, 0.1, 0.0];
+        let q = [0.0, 0.1, 0.9];
+        let a = js_divergence_bits(&p, &q);
+        let b = js_divergence_bits(&q, &p);
+        assert!((a - b).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&a));
+        // disjoint supports give the maximum of 1 bit
+        let disjoint = js_divergence_bits(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((disjoint - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_matches_hand_computation() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.5, 0.3, 0.2];
+        // ½(0.2 + 0.1 + 0.1) = 0.2
+        assert!((total_variation(&p, &q) - 0.2).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn tv_bounds_js() {
+        // Pinsker-flavored sanity: on the same pair, both vanish together
+        let p = [0.25, 0.25, 0.25, 0.25];
+        let q = [0.251, 0.249, 0.25, 0.25];
+        assert!(js_divergence_bits(&p, &q) < 0.001);
+        assert!(total_variation(&p, &q) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn unnormalized_input_panics() {
+        let _ = total_variation(&[0.5, 0.1], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal support")]
+    fn mismatched_lengths_panic() {
+        let _ = kl_divergence_bits(&[1.0], &[0.5, 0.5]);
+    }
+}

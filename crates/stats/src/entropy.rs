@@ -1,0 +1,173 @@
+//! Shannon entropy and the degree of anonymity.
+//!
+//! The paper measures how much an inference attack narrows down a user's
+//! identity with the entropy of the adversary's posterior over candidate
+//! profiles (§IV-B, Formulas 3–5): `Deg_anonymity = H(X) / H_M` where
+//! `H_M = log₂ N` is the entropy of a uniform guess over the `N` profiles
+//! the adversary holds.
+
+/// Shannon entropy, in bits, of a probability vector.
+///
+/// Zero-probability entries contribute nothing. Entries are *not* required
+/// to sum exactly to one (callers may pass unnormalized posteriors through
+/// [`normalize`] first), but every entry must be non-negative and finite.
+///
+/// # Panics
+///
+/// Panics if any probability is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_stats::entropy::shannon_bits;
+///
+/// assert_eq!(shannon_bits(&[1.0]), 0.0);
+/// assert!((shannon_bits(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn shannon_bits(probabilities: &[f64]) -> f64 {
+    let mut h = 0.0;
+    for &p in probabilities {
+        assert!(p.is_finite() && p >= 0.0, "probabilities must be finite and >= 0, got {p}");
+        if p > 0.0 {
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Normalizes non-negative weights into a probability vector.
+///
+/// Returns `None` if the weights sum to zero (no distribution exists).
+///
+/// # Panics
+///
+/// Panics if any weight is negative or non-finite.
+#[must_use]
+pub fn normalize(weights: &[f64]) -> Option<Vec<f64>> {
+    let mut sum = 0.0;
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0, got {w}");
+        sum += w;
+    }
+    if sum <= 0.0 {
+        return None;
+    }
+    Some(weights.iter().map(|w| w / sum).collect())
+}
+
+/// The paper's degree of anonymity (Formula 5): `H(X) / log₂ N`, where the
+/// posterior `X` is formed by normalizing `weights` and `N = weights.len()`
+/// is the size of the adversary's profile collection.
+///
+/// Returns a value in `[0, 1]`:
+/// - `0.0` — the posterior is a point mass (or only one candidate exists):
+///   the adversary has identified the user, maximal leakage.
+/// - `1.0` — the posterior is uniform: the release revealed nothing.
+///
+/// Returns `None` if `weights` is empty or sums to zero.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_stats::entropy::degree_of_anonymity;
+///
+/// // Matching exactly one of four profiles: fully identified.
+/// assert_eq!(degree_of_anonymity(&[3.2, 0.0, 0.0, 0.0]), Some(0.0));
+/// // Matching all four equally: full anonymity.
+/// assert_eq!(degree_of_anonymity(&[1.0, 1.0, 1.0, 1.0]), Some(1.0));
+/// ```
+#[must_use]
+pub fn degree_of_anonymity(weights: &[f64]) -> Option<f64> {
+    if weights.is_empty() {
+        return None;
+    }
+    let probs = normalize(weights)?;
+    let n = weights.len();
+    if n == 1 {
+        // A single candidate: the adversary trivially identifies the user.
+        return Some(0.0);
+    }
+    let h = shannon_bits(&probs);
+    let h_max = (n as f64).log2();
+    Some((h / h_max).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        assert_eq!(shannon_bits(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        for n in [2usize, 4, 8, 100] {
+            let probs = vec![1.0 / n as f64; n];
+            let h = shannon_bits(&probs);
+            assert!((h - (n as f64).log2()).abs() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn entropy_is_maximal_at_uniform() {
+        let skewed = shannon_bits(&[0.7, 0.1, 0.1, 0.1]);
+        let uniform = shannon_bits(&[0.25; 4]);
+        assert!(skewed < uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn negative_probability_panics() {
+        let _ = shannon_bits(&[-0.1, 1.1]);
+    }
+
+    #[test]
+    fn normalize_standard_case() {
+        let p = normalize(&[2.0, 6.0]).unwrap();
+        assert_eq!(p, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_zero_sum_is_none() {
+        assert!(normalize(&[0.0, 0.0]).is_none());
+        assert!(normalize(&[]).is_none());
+    }
+
+    #[test]
+    fn degree_bounds() {
+        // Any posterior yields a degree in [0, 1].
+        for weights in [vec![1.0, 2.0, 3.0], vec![5.0, 0.001], vec![1.0; 10]] {
+            let d = degree_of_anonymity(&weights).unwrap();
+            assert!((0.0..=1.0).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn degree_single_candidate_is_zero() {
+        assert_eq!(degree_of_anonymity(&[42.0]), Some(0.0));
+    }
+
+    #[test]
+    fn degree_empty_is_none() {
+        assert_eq!(degree_of_anonymity(&[]), None);
+    }
+
+    #[test]
+    fn degree_matches_paper_example() {
+        // Paper Formula 2: user matched 5 profiles with chi-square weights;
+        // equal statistics give the maximum anonymity set.
+        let d = degree_of_anonymity(&[2.0; 5]).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        // Unequal statistics strictly reduce the degree.
+        let d2 = degree_of_anonymity(&[10.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(d2 < 1.0);
+        assert!(d2 > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Statistics substrate for the `backwatch` workspace.
+//!
+//! The paper's privacy model leans on a handful of statistical tools that we
+//! implement from scratch (no external stats crates):
+//!
+//! - [`gamma`] — log-gamma and the regularized incomplete gamma functions,
+//!   the numerical core behind the chi-square distribution.
+//! - [`chi2`] — chi-square CDF/survival/inverse and Pearson's goodness-of-fit
+//!   test, used to compute the paper's `His_bin` metric (§IV-B, Formula 1).
+//! - [`histogram`] — sparse categorical count histograms over arbitrary
+//!   hashable keys (regions for pattern 1, movement transitions for
+//!   pattern 2).
+//! - [`entropy`] — Shannon entropy and the normalized *degree of anonymity*
+//!   (§IV-B, Formulas 3–5).
+//! - [`sampling`] — the random distributions the synthetic substrates need
+//!   (normal via Box-Muller, truncated normal, Zipf, weighted choice),
+//!   implemented over [`rand`]'s uniform source.
+//! - [`summary`] — small descriptive-statistics helpers (mean, quantiles,
+//!   empirical CDFs) used by the measurement reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use backwatch_stats::chi2;
+//!
+//! // The 95th percentile of chi-square with 3 degrees of freedom is 7.815.
+//! let p = chi2::survival(7.815, 3.0);
+//! assert!((p - 0.05).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod divergence;
+pub mod entropy;
+pub mod gamma;
+pub mod histogram;
+pub mod sampling;
+pub mod summary;
+
+pub use chi2::{chi_square_gof, GofOutcome, GofTest};
+pub use histogram::CountHistogram;

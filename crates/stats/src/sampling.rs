@@ -1,0 +1,249 @@
+//! Random distributions for the synthetic substrates.
+//!
+//! Only `rand`'s uniform source is taken as a dependency; the distributions
+//! themselves (normal via Box-Muller, truncated normal, exponential, Zipf,
+//! weighted categorical) are implemented here so the workspace does not need
+//! `rand_distr`.
+
+use rand::Rng;
+
+/// Samples a standard-normal variate with the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, sd²)`.
+///
+/// # Panics
+///
+/// Panics if `sd` is negative or either parameter is non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0, "bad normal params mean={mean} sd={sd}");
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples `N(mean, sd²)` truncated to `[lo, hi]` by rejection, falling back
+/// to clamping after 64 rejections (only reachable for pathological bounds).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or any parameter is non-finite.
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad bounds lo={lo} hi={hi}");
+    for _ in 0..64 {
+        let x = normal(rng, mean, sd);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Samples an exponential variate with the given `rate` (λ).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`.
+///
+/// Human place-visit popularity is famously Zipf-like; the mobility
+/// synthesizer uses this to pick which of a user's places a day's errand
+/// targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution table for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be >= 0, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has no ranks (never true — `new` requires
+    /// `n > 0` — but provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0-based index of the Zipf rank).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Picks an index proportionally to `weights`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, any weight is negative/non-finite, or all
+/// weights are zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+    let mut total = 0.0;
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0, got {w}");
+        total += w;
+    }
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Returns `true` with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBACC_57A7)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut r, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut r = rng();
+        let z = Zipf::new(10, 1.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[5]);
+        // P(rank 1) = 1 / H_10 ≈ 0.341
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((p0 - 0.341).abs() < 0.02, "p0={p0}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut r = rng();
+        let z = Zipf::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            let p = c as f64 / 40_000.0;
+            assert!((p - 0.25).abs() < 0.02, "p={p}");
+        }
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let p3 = counts[3] as f64 / 100_000.0;
+        assert!((p3 - 0.6).abs() < 0.01, "p3={p3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn weighted_index_empty_panics() {
+        let mut r = rng();
+        let _ = weighted_index(&mut r, &[]);
+    }
+
+    #[test]
+    fn coin_extremes() {
+        let mut r = rng();
+        assert!(!coin(&mut r, 0.0));
+        assert!(coin(&mut r, 1.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a).to_bits(), standard_normal(&mut b).to_bits());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Descriptive statistics and empirical CDFs for measurement reports.
+
+/// Arithmetic mean; `None` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some((xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// Quantile by linear interpolation between order statistics
+/// (the common "type 7" definition); `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q ∉ [0, 1]`.
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_stats::summary::Ecdf;
+///
+/// let ecdf = Ecdf::new(vec![1.0, 2.0, 2.0, 10.0]);
+/// assert_eq!(ecdf.fraction_at_or_below(2.0), 0.75);
+/// assert_eq!(ecdf.fraction_at_or_below(0.5), 0.0);
+/// assert_eq!(ecdf.fraction_at_or_below(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from a sample, taking ownership and sorting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-finite.
+    #[must_use]
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(sample.iter().all(|x| x.is_finite()), "ECDF sample must be finite");
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted: sample }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of observations `<= x`; `0.0` for an empty sample.
+    #[must_use]
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The largest observation, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The smallest observation, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Evaluates the ECDF at each of `points`, producing `(x, F(x))` pairs —
+    /// the series plotted in the paper's Figure 1.
+    #[must_use]
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(3.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), Some(2.5));
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0, 3.0]);
+        assert_eq!(e.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.9), 0.25);
+        assert_eq!(e.fraction_at_or_below(3.0), 0.75);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(5.0));
+    }
+
+    #[test]
+    fn ecdf_series_matches_pointwise() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let s = e.series(&[0.5, 1.5, 3.5]);
+        assert_eq!(s, vec![(0.5, 0.0), (1.5, 1.0 / 3.0), (3.5, 1.0)]);
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(Vec::new());
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(e.max(), None);
+    }
+}

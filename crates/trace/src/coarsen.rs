@@ -1,0 +1,162 @@
+//! Location coarsening and jitter.
+//!
+//! Two transformations on traces model the fidelity of what an app
+//! receives:
+//!
+//! - [`snap_to_grid`] — the *coarse* location a network provider or a
+//!   defensive OS returns: every fix is quantized to the center of a grid
+//!   cell (the truncation defense of LP-Guardian / Micinski et al. that the
+//!   paper discusses).
+//! - [`jitter`] — zero-mean Gaussian noise applied per fix, modelling GPS
+//!   measurement error on *fine* locations.
+
+use crate::trajectory::Trace;
+use backwatch_geo::{enu::Frame, Grid, LatLon};
+use backwatch_stats::sampling::normal;
+use rand::Rng;
+
+/// Quantizes every fix of `trace` to the center of its cell in `grid`.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_trace::{coarsen, Trace, TracePoint, Timestamp};
+/// use backwatch_geo::{Grid, LatLon};
+///
+/// let origin = LatLon::new(39.9, 116.4)?;
+/// let grid = Grid::new(origin, 1000.0);
+/// let trace = Trace::from_points(vec![
+///     TracePoint::new(Timestamp::from_secs(0), LatLon::new(39.9001, 116.4001)?),
+///     TracePoint::new(Timestamp::from_secs(1), LatLon::new(39.9002, 116.4003)?),
+/// ]);
+/// let coarse = coarsen::snap_to_grid(&trace, &grid);
+/// // Both fixes land on the same cell center.
+/// assert_eq!(coarse.points()[0].pos, coarse.points()[1].pos);
+/// # Ok::<(), backwatch_geo::LatLonError>(())
+/// ```
+#[must_use]
+pub fn snap_to_grid(trace: &Trace, grid: &Grid) -> Trace {
+    let pts = trace
+        .iter()
+        .map(|p| {
+            let mut q = *p;
+            q.pos = grid.snap(p.pos);
+            q
+        })
+        .collect();
+    Trace::from_points(pts)
+}
+
+/// Adds independent zero-mean Gaussian noise of standard deviation
+/// `sigma_m` meters (per axis) to every fix.
+///
+/// # Panics
+///
+/// Panics if `sigma_m` is negative or non-finite.
+#[must_use]
+pub fn jitter<R: Rng + ?Sized>(trace: &Trace, sigma_m: f64, rng: &mut R) -> Trace {
+    assert!(sigma_m.is_finite() && sigma_m >= 0.0, "sigma must be >= 0, got {sigma_m}");
+    if trace.is_empty() || sigma_m == 0.0 {
+        return trace.clone();
+    }
+    let frame = Frame::new(trace.first().expect("non-empty").pos);
+    let pts = trace
+        .iter()
+        .map(|p| {
+            let (e, n) = frame.to_enu(p.pos);
+            let mut q = *p;
+            q.pos = frame.to_latlon(e + normal(rng, 0.0, sigma_m), n + normal(rng, 0.0, sigma_m));
+            q
+        })
+        .collect();
+    Trace::from_points(pts)
+}
+
+/// Jitters a single coordinate by Gaussian noise of `sigma_m` meters per
+/// axis around itself.
+#[must_use]
+pub fn jitter_point<R: Rng + ?Sized>(pos: LatLon, sigma_m: f64, rng: &mut R) -> LatLon {
+    let frame = Frame::new(pos);
+    frame.to_latlon(normal(rng, 0.0, sigma_m), normal(rng, 0.0, sigma_m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{Timestamp, TracePoint};
+    use backwatch_geo::distance::haversine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trace_of(n: i64) -> Trace {
+        Trace::from_points(
+            (0..n)
+                .map(|i| {
+                    TracePoint::new(
+                        Timestamp::from_secs(i),
+                        LatLon::new(39.9 + i as f64 * 1e-5, 116.4).unwrap(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn snap_preserves_times() {
+        let tr = trace_of(5);
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 500.0);
+        let snapped = snap_to_grid(&tr, &grid);
+        assert_eq!(snapped.len(), tr.len());
+        for (a, b) in tr.iter().zip(snapped.iter()) {
+            assert_eq!(a.time, b.time);
+        }
+    }
+
+    #[test]
+    fn snap_quantizes_nearby_points_together() {
+        let tr = trace_of(5);
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 1000.0);
+        let snapped = snap_to_grid(&tr, &grid);
+        let first = snapped.points()[0].pos;
+        assert!(snapped.iter().all(|p| p.pos == first));
+    }
+
+    #[test]
+    fn jitter_zero_sigma_is_identity() {
+        let tr = trace_of(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(jitter(&tr, 0.0, &mut rng), tr);
+    }
+
+    #[test]
+    fn jitter_displacement_is_bounded_statistically() {
+        let tr = trace_of(1000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = jitter(&tr, 5.0, &mut rng);
+        let mean_disp: f64 = tr
+            .iter()
+            .zip(noisy.iter())
+            .map(|(a, b)| haversine(a.pos, b.pos))
+            .sum::<f64>()
+            / tr.len() as f64;
+        // mean of Rayleigh(σ=5) is σ√(π/2) ≈ 6.27 m
+        assert!((mean_disp - 6.27).abs() < 0.8, "mean displacement {mean_disp}");
+    }
+
+    #[test]
+    fn jitter_point_stays_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = LatLon::new(39.9, 116.4).unwrap();
+        for _ in 0..100 {
+            let q = jitter_point(p, 3.0, &mut rng);
+            assert!(haversine(p, q) < 30.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = jitter(&trace_of(1), -1.0, &mut rng);
+    }
+}

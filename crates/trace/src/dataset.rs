@@ -1,0 +1,433 @@
+//! Multi-user datasets and text (de)serialization.
+//!
+//! Traces round-trip through two text formats:
+//!
+//! - a Geolife-compatible **PLT** layout (six header lines, then
+//!   `lat,lon,0,alt,exceldays,date,time` records) so real Geolife files can
+//!   be loaded if the user has them;
+//! - a simple **CSV** (`lat,lon,t_secs`) used by the examples.
+
+use crate::point::{Timestamp, TracePoint};
+use crate::synth::{generate_user, SynthConfig, UserTrace};
+use crate::trajectory::Trace;
+use backwatch_geo::LatLon;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A collection of user traces.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_trace::{Dataset, synth::SynthConfig};
+///
+/// let ds = Dataset::synthesize(&SynthConfig::small());
+/// assert_eq!(ds.users().len(), 4);
+/// assert!(ds.total_points() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    users: Vec<UserTrace>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { users: Vec::new() }
+    }
+
+    /// Generates the full population described by `cfg`.
+    #[must_use]
+    pub fn synthesize(cfg: &SynthConfig) -> Self {
+        Self {
+            users: (0..cfg.n_users).map(|i| generate_user(cfg, i)).collect(),
+        }
+    }
+
+    /// Adds a user trace.
+    pub fn push(&mut self, user: UserTrace) {
+        self.users.push(user);
+    }
+
+    /// The user traces.
+    #[must_use]
+    pub fn users(&self) -> &[UserTrace] {
+        &self.users
+    }
+
+    /// Total recorded fixes across all users.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.users.iter().map(|u| u.trace.len()).sum()
+    }
+
+    /// Total ground-truth visits across all users.
+    #[must_use]
+    pub fn total_visits(&self) -> usize {
+        self.users.iter().map(|u| u.true_visits.len()).sum()
+    }
+
+    /// Total path length in kilometers across all users.
+    #[must_use]
+    pub fn total_distance_km(&self) -> f64 {
+        self.users.iter().map(|u| u.trace.path_length_m()).sum::<f64>() / 1000.0
+    }
+}
+
+impl FromIterator<UserTrace> for Dataset {
+    fn from_iter<I: IntoIterator<Item = UserTrace>>(iter: I) -> Self {
+        Self {
+            users: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Error from parsing a trace text format.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record, with its 1-based line number.
+    Malformed {
+        /// Line number of the bad record.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Malformed { line, reason } => write!(f, "malformed trace record at line {line}: {reason}"),
+        }
+    }
+}
+
+impl Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Geolife's PLT epoch (1899-12-30) offset: our simulation second 0 maps to
+/// Excel day 39448 (2008-01-01), matching the dataset's era.
+const PLT_EPOCH_EXCEL_DAYS: f64 = 39_448.0;
+
+/// Writes `trace` in Geolife PLT format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_plt<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "Geolife trajectory")?;
+    writeln!(w, "WGS 84")?;
+    writeln!(w, "Altitude is in Feet")?;
+    writeln!(w, "Reserved 3")?;
+    writeln!(w, "0,2,255,My Track,0,0,2,8421376")?;
+    writeln!(w, "0")?;
+    for p in trace.iter() {
+        let days = PLT_EPOCH_EXCEL_DAYS + p.time.as_secs() as f64 / 86_400.0;
+        let sod = p.time.second_of_day();
+        writeln!(
+            w,
+            "{:.6},{:.6},0,180,{:.9},2008-01-01,{:02}:{:02}:{:02}",
+            p.pos.lat(),
+            p.pos.lon(),
+            days,
+            sod / 3600,
+            (sod % 3600) / 60,
+            sod % 60
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a Geolife PLT stream back into a [`Trace`].
+///
+/// Timestamps are reconstructed from the Excel-days field, quantized to
+/// whole seconds relative to the epoch used by [`write_plt`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure or malformed records.
+pub fn read_plt<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+    let mut pts = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if i < 6 {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 7 {
+            return Err(ParseTraceError::Malformed {
+                line: i + 1,
+                reason: format!("expected 7 fields, got {}", fields.len()),
+            });
+        }
+        let lat: f64 = fields[0].trim().parse().map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: format!("bad latitude: {e}"),
+        })?;
+        let lon: f64 = fields[1].trim().parse().map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: format!("bad longitude: {e}"),
+        })?;
+        let days: f64 = fields[4].trim().parse().map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: format!("bad days field: {e}"),
+        })?;
+        let pos = LatLon::new(lat, lon).map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: e.to_string(),
+        })?;
+        let secs = ((days - PLT_EPOCH_EXCEL_DAYS) * 86_400.0).round() as i64;
+        pts.push(TracePoint::new(Timestamp::from_secs(secs), pos));
+    }
+    Ok(Trace::from_points(pts))
+}
+
+/// Reads every `.plt` file in a Geolife user's `Trajectory/` directory
+/// (sorted by file name, which Geolife names chronologically) and merges
+/// them into one trace.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure or malformed records.
+pub fn read_plt_dir(dir: &std::path::Path) -> Result<Trace, ParseTraceError> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "plt"))
+        .collect();
+    files.sort();
+    let mut points = Vec::new();
+    for file in files {
+        let reader = std::io::BufReader::new(std::fs::File::open(file)?);
+        points.extend(read_plt(reader)?.into_points());
+    }
+    Ok(Trace::from_points(points))
+}
+
+/// Loads a Geolife-layout dataset: `root/<user-id>/Trajectory/*.plt`,
+/// returning `(user-id, trace)` pairs sorted by user id. Users without a
+/// `Trajectory` directory are skipped.
+///
+/// This is the hook for running the evaluation on the *real* Geolife data
+/// if a copy is available locally; the synthetic generator covers the
+/// repository's own tests and experiments.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure or malformed records.
+pub fn load_geolife(root: &std::path::Path) -> Result<Vec<(String, Trace)>, ParseTraceError> {
+    let mut users: Vec<(String, Trace)> = Vec::new();
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(root)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    for user_dir in entries {
+        let traj = user_dir.join("Trajectory");
+        if !traj.is_dir() {
+            continue;
+        }
+        let name = user_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        users.push((name, read_plt_dir(&traj)?));
+    }
+    Ok(users)
+}
+
+/// Writes `trace` as `lat,lon,t_secs` CSV with a header line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "lat,lon,t_secs")?;
+    for p in trace.iter() {
+        writeln!(w, "{:.6},{:.6},{}", p.pos.lat(), p.pos.lon(), p.time.as_secs())?;
+    }
+    Ok(())
+}
+
+/// Reads `lat,lon,t_secs` CSV (header optional) into a [`Trace`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure or malformed records.
+pub fn read_csv<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+    let mut pts = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (i == 0 && trimmed.starts_with("lat")) {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 3 {
+            return Err(ParseTraceError::Malformed {
+                line: i + 1,
+                reason: format!("expected 3 fields, got {}", fields.len()),
+            });
+        }
+        let lat: f64 = fields[0].parse().map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: format!("bad latitude: {e}"),
+        })?;
+        let lon: f64 = fields[1].parse().map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: format!("bad longitude: {e}"),
+        })?;
+        let t: i64 = fields[2].parse().map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: format!("bad timestamp: {e}"),
+        })?;
+        let pos = LatLon::new(lat, lon).map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: e.to_string(),
+        })?;
+        pts.push(TracePoint::new(Timestamp::from_secs(t), pos));
+    }
+    Ok(Trace::from_points(pts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::from_points(
+            (0..20)
+                .map(|i| {
+                    TracePoint::new(
+                        Timestamp::from_secs(i * 5),
+                        LatLon::new(39.9 + i as f64 * 1e-4, 116.4 - i as f64 * 1e-4).unwrap(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn plt_round_trip() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_plt(&tr, &mut buf).unwrap();
+        let back = read_plt(&buf[..]).unwrap();
+        assert_eq!(back.len(), tr.len());
+        for (a, b) in tr.iter().zip(back.iter()) {
+            assert_eq!(a.time, b.time);
+            assert!((a.pos.lat() - b.pos.lat()).abs() < 1e-6);
+            assert!((a.pos.lon() - b.pos.lon()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        write_csv(&tr, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), tr.len());
+        assert_eq!(back.first().unwrap().time, tr.first().unwrap().time);
+    }
+
+    #[test]
+    fn plt_rejects_short_records() {
+        let input = "h\nh\nh\nh\nh\nh\n1.0,2.0,0\n";
+        let err = read_plt(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn csv_rejects_bad_latitude() {
+        let input = "lat,lon,t_secs\nnope,116.4,0\n";
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad latitude"));
+    }
+
+    #[test]
+    fn csv_rejects_out_of_range() {
+        let input = "95.0,116.4,0\n";
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid coordinate"));
+    }
+
+    #[test]
+    fn geolife_layout_round_trips() {
+        // build root/007/Trajectory/{a,b}.plt and root/008/Trajectory/c.plt
+        let root = std::env::temp_dir().join(format!("backwatch-geolife-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let t1 = Trace::from_points((0..10).map(|i| {
+            TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9, 116.4).unwrap())
+        }).collect());
+        let t2 = Trace::from_points((100..110).map(|i| {
+            TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.95, 116.45).unwrap())
+        }).collect());
+        for (user, parts) in [("007", vec![("a.plt", &t1), ("b.plt", &t2)]), ("008", vec![("c.plt", &t1)])] {
+            let dir = root.join(user).join("Trajectory");
+            std::fs::create_dir_all(&dir).unwrap();
+            for (name, tr) in parts {
+                let mut buf = Vec::new();
+                write_plt(tr, &mut buf).unwrap();
+                std::fs::write(dir.join(name), buf).unwrap();
+            }
+        }
+        // a non-user directory to be skipped
+        std::fs::create_dir_all(root.join("notes")).unwrap();
+
+        let users = load_geolife(&root).unwrap();
+        assert_eq!(users.len(), 2);
+        assert_eq!(users[0].0, "007");
+        assert_eq!(users[0].1.len(), 20, "two trajectories merged");
+        assert_eq!(users[1].0, "008");
+        assert_eq!(users[1].1.len(), 10);
+        // merged trace is strictly ordered
+        assert!(users[0].1.points().windows(2).all(|w| w[0].time < w[1].time));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn read_plt_dir_missing_path_errors() {
+        let missing = std::env::temp_dir().join("backwatch-definitely-missing-dir");
+        assert!(read_plt_dir(&missing).is_err());
+    }
+
+    #[test]
+    fn dataset_aggregates() {
+        let ds = Dataset::synthesize(&SynthConfig::small());
+        assert_eq!(ds.users().len(), 4);
+        assert!(ds.total_points() > 1000);
+        assert!(ds.total_visits() > 10);
+        assert!(ds.total_distance_km() > 1.0);
+    }
+
+    #[test]
+    fn dataset_from_iterator() {
+        let cfg = SynthConfig::small();
+        let ds: Dataset = (0..2).map(|i| crate::synth::generate_user(&cfg, i)).collect();
+        assert_eq!(ds.users().len(), 2);
+    }
+}

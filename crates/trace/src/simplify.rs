@@ -1,0 +1,172 @@
+//! Trajectory simplification (Douglas–Peucker).
+//!
+//! Apps that upload traces rarely send every 1 Hz fix; they simplify the
+//! polyline first. This module provides the standard Douglas–Peucker
+//! algorithm with a metric tolerance, which also serves as another
+//! "what does the backend actually receive" transformation to feed the
+//! privacy pipeline: unlike [`crate::sampling::downsample`], it keeps
+//! geometry and drops *redundancy*, so dwells collapse to few points while
+//! turns survive.
+
+use crate::point::TracePoint;
+use crate::trajectory::Trace;
+use backwatch_geo::enu::Frame;
+
+/// Simplifies `trace` with tolerance `epsilon_m` meters: the result keeps
+/// the first and last fix and every fix whose removal would displace the
+/// polyline by more than `epsilon_m`.
+///
+/// # Panics
+///
+/// Panics if `epsilon_m` is negative or non-finite.
+#[must_use]
+pub fn douglas_peucker(trace: &Trace, epsilon_m: f64) -> Trace {
+    assert!(epsilon_m.is_finite() && epsilon_m >= 0.0, "epsilon must be >= 0, got {epsilon_m}");
+    let pts = trace.points();
+    if pts.len() <= 2 || epsilon_m == 0.0 {
+        return trace.clone();
+    }
+    let frame = Frame::new(pts[0].pos);
+    let planar: Vec<(f64, f64)> = pts.iter().map(|p| frame.to_enu(p.pos)).collect();
+
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    // iterative stack of (start, end) index ranges
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((a, b)) = stack.pop() {
+        if b <= a + 1 {
+            continue;
+        }
+        let (mut max_d, mut max_i) = (0.0f64, a + 1);
+        for (i, &p) in planar.iter().enumerate().take(b).skip(a + 1) {
+            let d = perpendicular_distance(planar[a], planar[b], p);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > epsilon_m {
+            keep[max_i] = true;
+            stack.push((a, max_i));
+            stack.push((max_i, b));
+        }
+    }
+    let kept: Vec<TracePoint> = pts
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect();
+    Trace::from_points(kept)
+}
+
+/// Distance from point `p` to the segment `a`–`b` in planar meters.
+fn perpendicular_distance(a: (f64, f64), b: (f64, f64), p: (f64, f64)) -> f64 {
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (px, py) = p;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    if len2 == 0.0 {
+        return ((px - ax).powi(2) + (py - ay).powi(2)).sqrt();
+    }
+    let t = (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0);
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Timestamp;
+    use backwatch_geo::LatLon;
+
+    fn pt(t: i64, lat: f64, lon: f64) -> TracePoint {
+        TracePoint::new(Timestamp::from_secs(t), LatLon::new(lat, lon).unwrap())
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let pts: Vec<TracePoint> = (0..100)
+            .map(|i| pt(i, 39.9 + i as f64 * 1e-5, 116.4))
+            .collect();
+        let trace = Trace::from_points(pts);
+        let simplified = douglas_peucker(&trace, 5.0);
+        assert_eq!(simplified.len(), 2);
+        assert_eq!(simplified.first(), trace.first());
+        assert_eq!(simplified.last(), trace.last());
+    }
+
+    #[test]
+    fn corners_survive() {
+        // an L-shaped route: east then north
+        let mut pts: Vec<TracePoint> = (0..50).map(|i| pt(i, 39.9, 116.4 + i as f64 * 1e-4)).collect();
+        pts.extend((0..50).map(|i| pt(50 + i, 39.9 + i as f64 * 1e-4, 116.4 + 49.0 * 1e-4)));
+        let trace = Trace::from_points(pts);
+        let simplified = douglas_peucker(&trace, 10.0);
+        assert!(simplified.len() >= 3, "the corner must survive: {}", simplified.len());
+        assert!(simplified.len() < 10);
+    }
+
+    #[test]
+    fn error_is_bounded_by_epsilon() {
+        // a noisy wiggle around a line
+        let pts: Vec<TracePoint> = (0..200)
+            .map(|i| {
+                let wiggle = ((i % 7) as f64 - 3.0) * 2e-6;
+                pt(i, 39.9 + i as f64 * 1e-5 + wiggle, 116.4)
+            })
+            .collect();
+        let trace = Trace::from_points(pts);
+        let eps = 20.0;
+        let simplified = douglas_peucker(&trace, eps);
+        // DP guarantee: every dropped point lies within eps of the segment
+        // between the surrounding kept points
+        let frame = Frame::new(trace.first().unwrap().pos);
+        let kept: Vec<(i64, (f64, f64))> = simplified
+            .iter()
+            .map(|p| (p.time.as_secs(), frame.to_enu(p.pos)))
+            .collect();
+        for p in trace.iter() {
+            let t = p.time.as_secs();
+            let seg_end = kept.partition_point(|&(kt, _)| kt < t).min(kept.len() - 1).max(1);
+            let a = kept[seg_end - 1].1;
+            let b = kept[seg_end].1;
+            let d = perpendicular_distance(a, b, frame.to_enu(p.pos));
+            assert!(d <= eps + 0.5, "dropped point {d} m from its segment");
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_keeps_fewer_points() {
+        let pts: Vec<TracePoint> = (0..300)
+            .map(|i| pt(i, 39.9 + (f64::from(i as u32) * 0.07).sin() * 1e-3, 116.4 + i as f64 * 1e-5))
+            .collect();
+        let trace = Trace::from_points(pts);
+        let fine = douglas_peucker(&trace, 5.0);
+        let coarse = douglas_peucker(&trace, 100.0);
+        assert!(coarse.len() <= fine.len());
+        assert!(fine.len() < trace.len());
+    }
+
+    #[test]
+    fn tiny_traces_pass_through() {
+        let trace = Trace::from_points(vec![pt(0, 39.9, 116.4), pt(1, 39.91, 116.4)]);
+        assert_eq!(douglas_peucker(&trace, 50.0), trace);
+        assert_eq!(douglas_peucker(&Trace::new(), 50.0), Trace::new());
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        let pts: Vec<TracePoint> = (0..10).map(|i| pt(i, 39.9 + i as f64 * 1e-5, 116.4)).collect();
+        let trace = Trace::from_points(pts);
+        assert_eq!(douglas_peucker(&trace, 0.0), trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn negative_epsilon_panics() {
+        let _ = douglas_peucker(&Trace::new(), -1.0);
+    }
+}

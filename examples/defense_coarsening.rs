@@ -1,0 +1,62 @@
+//! Evaluating the coarsening defense the paper discusses (LP-Guardian,
+//! location truncation): snap every released fix to a grid cell and see
+//! how much of the PoI/His_bin leak survives.
+//!
+//! Run with: `cargo run --release --example defense_coarsening`
+
+use backwatch::model::hisbin::{detect_incremental, Matcher};
+use backwatch::model::pattern::{PatternKind, Profile};
+use backwatch::model::poi::{match_against_truth, ExtractorParams, SpatioTemporalExtractor};
+use backwatch::prelude::Grid;
+use backwatch::trace::coarsen;
+use backwatch::trace::synth::{generate_user, SynthConfig};
+
+fn main() {
+    let mut cfg = SynthConfig::small();
+    cfg.days = 10;
+    let user = generate_user(&cfg, 0);
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+    let profile_grid = Grid::new(cfg.city_center, 250.0);
+
+    // Ground truth profile from the raw trace.
+    let true_stays = extractor.extract(&user.trace);
+    let profile = Profile::from_stays(PatternKind::MovementPattern, &true_stays, &profile_grid);
+
+    println!("releasing fixes snapped to grids of increasing cell size:");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10} {:>16}",
+        "cell_m", "visits", "recall", "precision", "his_bin_detect"
+    );
+    for cell_m in [0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0] {
+        let released = if cell_m == 0.0 {
+            user.trace.clone()
+        } else {
+            coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, cell_m))
+        };
+        let stays = extractor.extract(&released);
+        let report = match_against_truth(&stays, &user, params.min_visit_secs, 300.0, params.metric);
+        let detection = detect_incremental(
+            &stays,
+            released.len(),
+            &profile_grid,
+            PatternKind::MovementPattern,
+            &Matcher::paper(),
+            &profile,
+        );
+        println!(
+            "{:>10} {:>8} {:>7.0}% {:>9.0}% {:>16}",
+            cell_m,
+            stays.len(),
+            report.recall() * 100.0,
+            report.precision() * 100.0,
+            match detection {
+                Some(d) => format!("at {:.0}% of data", d.fraction_of_points * 100.0),
+                None => "never".to_owned(),
+            }
+        );
+    }
+    println!();
+    println!("coarser cells destroy PoI recovery and His_bin matching — the defense works,");
+    println!("at the cost of every location-based feature seeing kilometer-level positions.");
+}

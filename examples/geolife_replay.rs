@@ -1,0 +1,59 @@
+//! Run the privacy analysis on the *real* Geolife dataset, if you have a
+//! copy — or on a synthetic stand-in otherwise.
+//!
+//! Set `GEOLIFE_DIR` to the directory containing the per-user folders
+//! (`000/Trajectory/*.plt`, `001/…`) and run:
+//!
+//! ```sh
+//! GEOLIFE_DIR=~/Geolife/Data cargo run --release --example geolife_replay
+//! ```
+//!
+//! Without the variable, a synthetic population demonstrates the same
+//! pipeline end to end.
+
+use backwatch::model::report::PrivacyReport;
+use backwatch::prelude::{Grid, SynthConfig};
+use backwatch::trace::dataset::load_geolife;
+use backwatch::trace::synth::generate_user;
+use backwatch::trace::Trace;
+
+fn main() {
+    let (label, traces): (String, Vec<(String, Trace)>) = match std::env::var("GEOLIFE_DIR") {
+        Ok(dir) => {
+            println!("loading Geolife from {dir} ...");
+            let users = load_geolife(std::path::Path::new(&dir)).expect("Geolife layout readable");
+            (format!("Geolife ({dir})"), users)
+        }
+        Err(_) => {
+            let cfg = SynthConfig::small();
+            let users = (0..cfg.n_users)
+                .map(|i| (format!("synthetic-{i}"), generate_user(&cfg, i).trace))
+                .collect();
+            ("synthetic stand-in (set GEOLIFE_DIR for the real data)".to_owned(), users)
+        }
+    };
+
+    println!("dataset: {label}");
+    println!("users: {}\n", traces.len());
+
+    // Anchor the region grid at the densest user's first fix.
+    let anchor = traces
+        .iter()
+        .max_by_key(|(_, t)| t.len())
+        .and_then(|(_, t)| t.first())
+        .map_or_else(|| SynthConfig::small().city_center, |p| p.pos);
+    let grid = Grid::new(anchor, 250.0);
+
+    for (name, trace) in traces.iter().take(8) {
+        println!("user {name}:");
+        if trace.is_empty() {
+            println!("  (empty trace)\n");
+            continue;
+        }
+        let report = PrivacyReport::analyze(trace, &grid);
+        println!("{report}\n");
+    }
+    if traces.len() > 8 {
+        println!("... ({} more users)", traces.len() - 8);
+    }
+}

@@ -1,0 +1,54 @@
+//! OS-side per-app location policies (MockDroid / TISSA / LP-Guardian):
+//! the same stalking app under Allow / Coarsen / Fake / Block, measured
+//! with the privacy report.
+//!
+//! Run with: `cargo run --release --example os_policy`
+
+use backwatch::android::system::LocationPolicy;
+use backwatch::model::report::PrivacyReport;
+use backwatch::prelude::*;
+use backwatch::trace::synth::generate_user;
+
+fn main() {
+    let mut cfg = SynthConfig::small();
+    cfg.days = 7;
+    let user = generate_user(&cfg, 0);
+    let horizon = user.trace.last().expect("non-empty trace").time.as_secs();
+    let grid = Grid::new(cfg.city_center, 250.0);
+
+    let policies = [
+        ("Allow (default)", LocationPolicy::Allow),
+        ("Coarsen", LocationPolicy::Coarsen),
+        ("Fake", LocationPolicy::Fake(cfg.city_center)),
+        ("Block", LocationPolicy::Block),
+    ];
+
+    println!("one stalking app (gps, 30 s background polling), four OS policies:\n");
+    for (name, policy) in policies {
+        let mut device = Device::with_position(PositionSource::Trace(user.trace.clone()));
+        let app = AppBuilder::new("com.example.stalker")
+            .permission(backwatch::android::permission::Permission::AccessFineLocation)
+            .behavior(
+                LocationBehavior::requester([backwatch::android::provider::ProviderKind::Gps], 5)
+                    .auto_start(true)
+                    .background_interval(30),
+            )
+            .build();
+        let id = device.install(app);
+        device.set_location_policy(id, policy).expect("fresh handle");
+        device.launch(id).expect("launch succeeds");
+        device.move_to_background(id).expect("background succeeds");
+        device.advance(horizon);
+
+        let collected = device.collected_trace(id).expect("fresh handle");
+        let report = PrivacyReport::analyze(&collected, &grid);
+        println!("policy: {name}");
+        println!("{report}");
+        println!(
+            "  (energy billed to the app: {:.0} units)\n",
+            device.energy_used(id).expect("fresh handle")
+        );
+    }
+    println!("Block and Fake zero out the report; Coarsen leaves visit *timing* visible;");
+    println!("only Allow reproduces the paper's full breach.");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: what does a background app learn about you?
+//!
+//! Generates one synthetic user, simulates apps polling location at
+//! different intervals, and reports how much of the user's life each
+//! interval reveals.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use backwatch::model::metrics::{measure_at_interval, PAPER_INTERVALS};
+use backwatch::model::poi::ExtractorParams;
+use backwatch::trace::synth::{generate_user, SynthConfig};
+
+fn main() {
+    // A small population: 4 users, 3 simulated days each.
+    let cfg = SynthConfig::small();
+    let user = generate_user(&cfg, 0);
+    println!(
+        "user {}: {} recorded fixes over {} days, {} true place visits",
+        user.user_id,
+        user.trace.len(),
+        cfg.days,
+        user.true_visits.len()
+    );
+    println!();
+    println!("what an app sees at each background polling interval:");
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>12} {:>8}",
+        "interval_s", "fixes", "visits", "places", "sensitive<=3", "recall"
+    );
+    let params = ExtractorParams::paper_set1();
+    for &interval in &PAPER_INTERVALS {
+        let m = measure_at_interval(&user, interval, params);
+        println!(
+            "{:>10} {:>10} {:>8} {:>8} {:>12} {:>7.0}%",
+            interval,
+            m.collected_points,
+            m.stays,
+            m.places,
+            m.sensitive[2],
+            m.recall * 100.0
+        );
+    }
+    println!();
+    println!("(the paper's Figure 3, for one user — run repro_all for the full population)");
+}

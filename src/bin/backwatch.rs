@@ -1,0 +1,184 @@
+//! The `backwatch` command-line tool: the library's main entry points
+//! without writing a program.
+//!
+//! ```text
+//! backwatch audit [--apps-per-category N]      run the market study
+//! backwatch synth --users N --days D --out DIR write synthetic traces (CSV)
+//! backwatch report <trace.csv|trace.plt>       privacy report for a trace
+//! backwatch diary <trace.csv|trace.plt>        reconstruct the visit diary
+//! ```
+
+use backwatch::market::{corpus::CorpusConfig, report as market_report, run_study};
+use backwatch::model::diary::Diary;
+use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch::model::report::PrivacyReport;
+use backwatch::prelude::{Grid, SynthConfig};
+use backwatch::trace::dataset::{read_csv, read_plt, write_csv};
+use backwatch::trace::synth::generate_user;
+use backwatch::trace::Trace;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  backwatch audit [--apps-per-category N]
+  backwatch synth --users N --days D --out DIR
+  backwatch report <trace.csv|trace.plt> [--cell-m M]
+  backwatch diary  <trace.csv|trace.plt>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` style options.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let p = Path::new(path);
+    let file = std::fs::File::open(p).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let trace = if p.extension().is_some_and(|e| e == "plt") {
+        read_plt(reader).map_err(|e| e.to_string())?
+    } else {
+        read_csv(reader).map_err(|e| e.to_string())?
+    };
+    if trace.is_empty() {
+        return Err(format!("{path} contains no fixes"));
+    }
+    Ok(trace)
+}
+
+/// The testable command dispatcher: returns the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("audit") => {
+            let per_cat: usize = flag_value(args, "--apps-per-category")
+                .map_or(Ok(100), str::parse)
+                .map_err(|e| format!("bad --apps-per-category: {e}"))?;
+            if per_cat == 0 {
+                return Err("--apps-per-category must be at least 1".to_owned());
+            }
+            let study = run_study(&CorpusConfig::scaled(per_cat));
+            Ok(format!(
+                "{}\n{}\n{}",
+                market_report::render_headline(&study.headline),
+                market_report::render_table1(&study.provider_table),
+                market_report::render_fig1(&study.interval_cdf)
+            ))
+        }
+        Some("synth") => {
+            let users: u32 = flag_value(args, "--users")
+                .ok_or("synth needs --users")?
+                .parse()
+                .map_err(|e| format!("bad --users: {e}"))?;
+            let days: u32 = flag_value(args, "--days")
+                .ok_or("synth needs --days")?
+                .parse()
+                .map_err(|e| format!("bad --days: {e}"))?;
+            let out = flag_value(args, "--out").ok_or("synth needs --out")?;
+            let mut cfg = SynthConfig::small();
+            cfg.n_users = users.max(1);
+            cfg.days = days.max(1);
+            std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+            let mut summary = String::new();
+            for i in 0..cfg.n_users {
+                let user = generate_user(&cfg, i);
+                let path = Path::new(out).join(format!("user{i:03}.csv"));
+                let file = std::fs::File::create(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                write_csv(&user.trace, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+                summary.push_str(&format!("wrote {} ({} fixes)\n", path.display(), user.trace.len()));
+            }
+            Ok(summary)
+        }
+        Some("report") => {
+            let path = args.get(1).ok_or("report needs a trace file")?;
+            let cell_m: f64 = flag_value(args, "--cell-m")
+                .map_or(Ok(250.0), str::parse)
+                .map_err(|e| format!("bad --cell-m: {e}"))?;
+            let trace = load_trace(path)?;
+            let anchor = trace.first().expect("non-empty").pos;
+            let grid = Grid::new(anchor, cell_m);
+            let report = PrivacyReport::analyze(&trace, &grid);
+            Ok(format!("{report}\n"))
+        }
+        Some("diary") => {
+            let path = args.get(1).ok_or("diary needs a trace file")?;
+            let trace = load_trace(path)?;
+            let params = ExtractorParams::paper_set1();
+            let stays = SpatioTemporalExtractor::new(params).extract(&trace);
+            let diary = Diary::from_stays(&stays, params.radius_m * 3.0, params.metric);
+            Ok(diary.render())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_command_is_an_error() {
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn audit_small_produces_the_tables() {
+        let out = run(&s(&["audit", "--apps-per-category", "5"])).unwrap();
+        assert!(out.contains("TABLE I"));
+        assert!(out.contains("FIGURE 1"));
+        assert!(out.contains("140")); // 28 x 5 apps examined
+    }
+
+    #[test]
+    fn synth_report_diary_round_trip() {
+        let dir = std::env::temp_dir().join(format!("backwatch-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&s(&["synth", "--users", "1", "--days", "2", "--out", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("user000.csv"));
+        let trace_path = dir.join("user000.csv");
+        let trace_arg = trace_path.to_str().unwrap();
+
+        let report = run(&s(&["report", trace_arg])).unwrap();
+        assert!(report.contains("privacy report"));
+        assert!(report.contains("severity"));
+
+        let diary = run(&s(&["diary", trace_arg])).unwrap();
+        assert!(diary.contains("diary:"));
+        assert!(diary.contains("day 0"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_on_missing_file_errors() {
+        let err = run(&s(&["report", "/definitely/not/here.csv"])).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+
+    #[test]
+    fn bad_flags_error_cleanly() {
+        assert!(run(&s(&["audit", "--apps-per-category", "zero"])).is_err());
+        assert!(run(&s(&["audit", "--apps-per-category", "0"])).is_err());
+        assert!(run(&s(&["synth", "--users", "1"])).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! # backwatch
+//!
+//! A reproduction of *Location Privacy Breach: Apps Are Watching You in
+//! Background* (Liu, Gao, Wang — ICDCS 2017) as a Rust workspace: the
+//! paper's market measurement study, its privacy model, and every
+//! substrate they need, built from scratch.
+//!
+//! This crate is the facade: it re-exports the workspace crates under
+//! short names so applications can depend on a single crate.
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`geo`] | `backwatch-geo` | coordinates, distances, region grids |
+//! | [`stats`] | `backwatch-stats` | chi-square, histograms, entropy, sampling |
+//! | [`trace`] | `backwatch-trace` | traces, downsampling, synthetic mobility |
+//! | [`android`] | `backwatch-android` | the simulated Android location stack |
+//! | [`market`] | `backwatch-market` | the §III app-market measurement study |
+//! | [`model`] | `backwatch-core` | the §IV privacy model (PoIs, patterns, His_bin, anonymity) |
+//! | [`defense`] | `backwatch-defense` | LPPMs (truncation, cloaking, decoys, …) and their evaluation |
+//!
+//! ## Quickstart
+//!
+//! Generate a synthetic user, pretend a background app polls its location
+//! every 30 s, and measure what the app's backend learns:
+//!
+//! ```
+//! use backwatch::model::metrics::measure_at_interval;
+//! use backwatch::model::poi::ExtractorParams;
+//! use backwatch::trace::synth::{generate_user, SynthConfig};
+//!
+//! let user = generate_user(&SynthConfig::small(), 0);
+//! let impact = measure_at_interval(&user, 30, ExtractorParams::paper_set1());
+//! println!(
+//!     "a 30s-interval app recovers {:.0}% of the user's PoIs ({} visits, {} sensitive places)",
+//!     impact.recall * 100.0,
+//!     impact.stays,
+//!     impact.sensitive[2],
+//! );
+//! assert!(impact.recall > 0.5);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios: the market
+//! audit pipeline, profile building and His_bin detection, the adversary's
+//! identification attack, and a coarsening defense evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use backwatch_android as android;
+pub use backwatch_core as model;
+pub use backwatch_defense as defense;
+pub use backwatch_geo as geo;
+pub use backwatch_market as market;
+pub use backwatch_stats as stats;
+pub use backwatch_trace as trace;
+
+/// Convenience re-exports of the types most programs start from.
+pub mod prelude {
+    pub use backwatch_android::app::{AppBuilder, LocationBehavior};
+    pub use backwatch_android::system::{Device, PositionSource};
+    pub use backwatch_core::hisbin::Matcher;
+    pub use backwatch_core::pattern::{PatternKind, Profile};
+    pub use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
+    pub use backwatch_geo::{Grid, LatLon};
+    pub use backwatch_market::corpus::CorpusConfig;
+    pub use backwatch_trace::synth::SynthConfig;
+    pub use backwatch_trace::{Timestamp, Trace, TracePoint};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let cfg = crate::trace::synth::SynthConfig::small();
+        assert_eq!(cfg.n_users, 4);
+        let params = crate::model::poi::ExtractorParams::paper_set1();
+        assert_eq!(params.radius_m, 50.0);
+        let corpus = crate::market::corpus::CorpusConfig::scaled(1);
+        assert_eq!(corpus.total(), 28);
+    }
+}

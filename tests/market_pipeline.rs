@@ -1,0 +1,93 @@
+//! Integration of the §III market pipeline: corpus → static triage →
+//! dynamic analysis → aggregated tables, verified against the planted
+//! ground truth.
+
+use backwatch::market::corpus::{CorpusConfig, Quotas};
+use backwatch::market::{report, run_study};
+use backwatch_android::permission::LocationClaim;
+
+#[test]
+fn scaled_study_recovers_every_planted_quota() {
+    let cfg = CorpusConfig::scaled(12);
+    let q = Quotas::scaled(cfg.total());
+    let study = run_study(&cfg);
+
+    assert_eq!(study.headline.total_apps, q.total);
+    assert_eq!(study.headline.declaring, q.declaring);
+    assert_eq!(study.headline.fine_only, q.fine_only);
+    assert_eq!(study.headline.coarse_only, q.coarse_only);
+    assert_eq!(study.headline.both, q.both);
+    assert_eq!(study.headline.functional, q.functional);
+    assert_eq!(study.headline.background, q.background);
+    assert_eq!(study.headline.bg_auto_start, q.bg_auto_start);
+
+    assert_eq!(study.provider_table.total(), q.background);
+    assert_eq!(study.provider_table.unclassified, 0);
+    for (claim, combo, count) in &q.table1 {
+        assert_eq!(study.provider_table.cell(*claim, *combo), *count);
+    }
+
+    assert_eq!(study.interval_cdf.len(), q.background);
+    let max = study.interval_cdf.max_interval().unwrap();
+    assert!(q.intervals.iter().any(|&(s, c)| s == max && c > 0));
+}
+
+#[test]
+fn paper_scale_reproduces_the_papers_headlines() {
+    let study = run_study(&CorpusConfig::paper_scale());
+    let h = &study.headline;
+    // §III-B prose numbers, exactly.
+    assert_eq!(h.total_apps, 2800);
+    assert_eq!(h.declaring, 1137);
+    assert_eq!(h.functional, 528);
+    assert_eq!(h.auto_start, 393);
+    assert_eq!(h.background, 102);
+    assert_eq!(h.bg_auto_start, 85);
+    assert_eq!(h.bg_claim_fine, 96);
+    assert_eq!(h.bg_use_fine, 68);
+    assert_eq!(h.bg_coarse_despite_fine, 28);
+    assert!((h.background_share_of_functional() - 0.193).abs() < 0.001);
+    assert!((h.background_share_of_declaring() - 0.09).abs() < 0.001);
+
+    // Table I row totals.
+    assert_eq!(study.provider_table.row_total(LocationClaim::FineOnly), 18);
+    assert_eq!(study.provider_table.row_total(LocationClaim::CoarseOnly), 6);
+    assert_eq!(study.provider_table.row_total(LocationClaim::FineAndCoarse), 78);
+
+    // Figure 1 anchors.
+    let cdf = &study.interval_cdf;
+    assert!((cdf.fraction_within(10) - 0.578).abs() < 0.005);
+    assert!((cdf.fraction_within(60) - 0.686).abs() < 0.005);
+    assert!(cdf.fraction_within(600) > 0.82);
+    assert_eq!(cdf.max_interval(), Some(7200));
+}
+
+#[test]
+fn reports_render_the_key_numbers() {
+    let study = run_study(&CorpusConfig::scaled(10));
+    let text = format!(
+        "{}{}{}",
+        report::render_headline(&study.headline),
+        report::render_table1(&study.provider_table),
+        report::render_fig1(&study.interval_cdf)
+    );
+    assert!(text.contains("TABLE I"));
+    assert!(text.contains("FIGURE 1"));
+    assert!(text.contains(&study.headline.background.to_string()));
+}
+
+#[test]
+fn observations_never_contradict_manifests() {
+    let study = run_study(&CorpusConfig::scaled(10));
+    for o in &study.observations {
+        // no app registers a provider its claim forbids
+        for p in &o.providers {
+            assert!(p.permitted_for(o.claim), "{}: {p} under {:?}", o.package, o.claim);
+        }
+        // background apps are a subset of functional apps
+        if o.background {
+            assert!(o.functional, "{}", o.package);
+            assert!(o.bg_interval_s.is_some(), "{}", o.package);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end integration: synthetic user → simulated device collection →
+//! PoI extraction → profiles → detection → adversary inference.
+
+use backwatch::model::adversary::ProfileStore;
+use backwatch::model::anonymity::Weighting;
+use backwatch::model::hisbin::{detect_incremental, Matcher};
+use backwatch::model::pattern::{PatternKind, Profile};
+use backwatch::model::poi::{cluster_stays, match_against_truth, ExtractorParams, SpatioTemporalExtractor};
+use backwatch::prelude::*;
+use backwatch::trace::synth::generate_user;
+
+fn test_cfg() -> SynthConfig {
+    let mut cfg = SynthConfig::small();
+    cfg.n_users = 6;
+    cfg.days = 8;
+    cfg
+}
+
+#[test]
+fn device_collection_equals_downsampled_trace_for_gps_app() {
+    let cfg = test_cfg();
+    let user = generate_user(&cfg, 0);
+    let mut device = Device::with_position(PositionSource::Trace(user.trace.clone()));
+    let app = AppBuilder::new("com.test.bg")
+        .permission(backwatch::android::permission::Permission::AccessFineLocation)
+        .behavior(
+            LocationBehavior::requester([backwatch::android::provider::ProviderKind::Gps], 1)
+                .auto_start(true)
+                .background_interval(30),
+        )
+        .build();
+    let id = device.install(app);
+    device.launch(id).unwrap();
+    device.move_to_background(id).unwrap();
+    device.advance(user.trace.last().unwrap().time.as_secs() + 60);
+
+    let collected = device.collected_trace(id).unwrap();
+    // One fix every >= 30 s while the device moves along the trace.
+    assert!(collected.len() > 100);
+    for w in collected.points().windows(2) {
+        assert!(w[1].time - w[0].time >= 30);
+    }
+    // Positions come straight from the route (GPS is not coarsened), so
+    // every collected fix must equal some recorded fix position.
+    let route: std::collections::HashSet<u64> = user
+        .trace
+        .iter()
+        .map(|p| p.pos.lat().to_bits() ^ p.pos.lon().to_bits())
+        .collect();
+    let hits = collected
+        .iter()
+        .filter(|p| route.contains(&(p.pos.lat().to_bits() ^ p.pos.lon().to_bits())))
+        .count();
+    assert_eq!(hits, collected.len());
+}
+
+#[test]
+fn stolen_trace_still_yields_the_users_pois() {
+    let cfg = test_cfg();
+    let user = generate_user(&cfg, 1);
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+
+    let mut device = Device::with_position(PositionSource::Trace(user.trace.clone()));
+    let app = AppBuilder::new("com.test.stalker")
+        .permission(backwatch::android::permission::Permission::AccessFineLocation)
+        .behavior(
+            LocationBehavior::requester([backwatch::android::provider::ProviderKind::Gps], 1)
+                .auto_start(true)
+                .background_interval(10),
+        )
+        .build();
+    let id = device.install(app);
+    device.launch(id).unwrap();
+    device.move_to_background(id).unwrap();
+    device.advance(user.trace.last().unwrap().time.as_secs() + 60);
+
+    let stolen = device.collected_trace(id).unwrap();
+    let stays = extractor.extract(&stolen);
+    let report = match_against_truth(&stays, &user, params.min_visit_secs, 200.0, params.metric);
+    assert!(
+        report.recall() > 0.8,
+        "a 10 s background poller should recover most PoIs, got {}",
+        report.recall()
+    );
+}
+
+#[test]
+fn full_attack_chain_identifies_the_victim() {
+    let cfg = test_cfg();
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+    let grid = Grid::new(cfg.city_center, 250.0);
+
+    let mut store = ProfileStore::new(PatternKind::MovementPattern);
+    for i in 0..cfg.n_users {
+        let u = generate_user(&cfg, i);
+        let stays = extractor.extract(&u.trace);
+        store.insert(i, Profile::from_stays(PatternKind::MovementPattern, &stays, &grid));
+    }
+
+    let victim = generate_user(&cfg, 3);
+    let collected = backwatch::trace::sampling::downsample(&victim.trace, 30);
+    let stays = extractor.extract(&collected);
+    let observed = Profile::from_stays(PatternKind::MovementPattern, &stays, &grid);
+    let inference = store.infer(&observed, &Matcher::paper(), Weighting::PaperChiSquare);
+    assert_eq!(
+        inference.identified_user(),
+        Some(3),
+        "matched set: {:?}",
+        inference.matched_users
+    );
+}
+
+#[test]
+fn pattern2_detects_faster_than_pattern1_for_most_users() {
+    // The paper's headline claim (Figure 4(d)) at integration-test scale.
+    let cfg = test_cfg();
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+    let grid = Grid::new(cfg.city_center, 250.0);
+    let matcher = Matcher::paper();
+
+    let mut p2_wins = 0i32;
+    let mut p1_wins = 0i32;
+    for i in 0..cfg.n_users {
+        let u = generate_user(&cfg, i);
+        let stays = extractor.extract(&u.trace);
+        let p1 = Profile::from_stays(PatternKind::RegionVisits, &stays, &grid);
+        let p2 = Profile::from_stays(PatternKind::MovementPattern, &stays, &grid);
+        let d1 = detect_incremental(&stays, u.trace.len(), &grid, PatternKind::RegionVisits, &matcher, &p1);
+        let d2 = detect_incremental(&stays, u.trace.len(), &grid, PatternKind::MovementPattern, &matcher, &p2);
+        match (d1, d2) {
+            (Some(a), Some(b)) if b.points_needed < a.points_needed => p2_wins += 1,
+            (Some(a), Some(b)) if a.points_needed < b.points_needed => p1_wins += 1,
+            _ => {}
+        }
+    }
+    assert!(
+        p2_wins > p1_wins,
+        "movement patterns should detect faster (p2 {p2_wins} vs p1 {p1_wins})"
+    );
+}
+
+#[test]
+fn coarse_only_app_cannot_pinpoint_sensitive_places() {
+    let cfg = test_cfg();
+    let user = generate_user(&cfg, 2);
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+
+    // Full-resolution view.
+    let fine_stays = extractor.extract(&user.trace);
+    let fine_places = cluster_stays(&fine_stays, 150.0, params.metric);
+
+    // Released through a 1 km coarsening grid (the defense).
+    let coarse_trace = backwatch::trace::coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, 1000.0));
+    let coarse_stays = extractor.extract(&coarse_trace);
+    let coarse_report = match_against_truth(&coarse_stays, &user, params.min_visit_secs, 200.0, params.metric);
+    let fine_report = match_against_truth(&fine_stays, &user, params.min_visit_secs, 200.0, params.metric);
+    assert!(fine_report.recall() > 0.8);
+    assert!(
+        coarse_report.recall() < fine_report.recall() / 2.0,
+        "1 km coarsening must destroy most precise PoI recovery: fine {} coarse {}",
+        fine_report.recall(),
+        coarse_report.recall()
+    );
+    assert!(!fine_places.is_empty());
+}
+
+#[test]
+fn trace_serialization_round_trips_through_plt() {
+    let cfg = test_cfg();
+    let user = generate_user(&cfg, 4);
+    let mut buf = Vec::new();
+    backwatch::trace::dataset::write_plt(&user.trace, &mut buf).unwrap();
+    let back = backwatch::trace::dataset::read_plt(&buf[..]).unwrap();
+    assert_eq!(back.len(), user.trace.len());
+    // PoI extraction on the round-tripped trace gives the same stays
+    // (coordinates survive to 1e-6 degrees ≈ 0.1 m).
+    let params = ExtractorParams::paper_set1();
+    let a = SpatioTemporalExtractor::new(params).extract(&user.trace);
+    let b = SpatioTemporalExtractor::new(params).extract(&back);
+    assert_eq!(a.len(), b.len());
+}

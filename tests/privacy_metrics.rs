@@ -1,0 +1,124 @@
+//! Integration of the auxiliary privacy metrics: re-identification,
+//! time-to-confusion, similarity, diary, and mobility statistics agreeing
+//! on the same synthetic population.
+
+use backwatch::model::diary::Diary;
+use backwatch::model::pattern::{PatternKind, Profile};
+use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch::model::reident::top_n_anonymity;
+use backwatch::model::similarity;
+use backwatch::model::timeconfusion::{time_to_confusion, TtcConfig};
+use backwatch::prelude::{Grid, SynthConfig};
+use backwatch::trace::sampling;
+use backwatch::trace::stats::mobility_stats;
+use backwatch::trace::synth::generate_user;
+
+fn population() -> (SynthConfig, Vec<backwatch::trace::synth::UserTrace>) {
+    let mut cfg = SynthConfig::small();
+    cfg.n_users = 6;
+    cfg.days = 6;
+    let users = (0..cfg.n_users).map(|i| generate_user(&cfg, i)).collect();
+    (cfg, users)
+}
+
+#[test]
+fn top2_regions_identify_everyone_in_the_population() {
+    let (cfg, users) = population();
+    let grid = Grid::new(cfg.city_center, 250.0);
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let stays: Vec<Vec<_>> = users.iter().map(|u| extractor.extract(&u.trace)).collect();
+    let report = top_n_anonymity(&stays, &grid, 2);
+    // private homes make home+work pairs unique — Zang & Bolot
+    assert!(
+        report.unique_fraction() > 0.8,
+        "top-2 uniqueness {}",
+        report.unique_fraction()
+    );
+}
+
+#[test]
+fn sparse_release_lengthens_tracking_runs() {
+    let (_, users) = population();
+    let others: Vec<&backwatch::trace::Trace> = users[1..].iter().map(|u| &u.trace).collect();
+    let dense = time_to_confusion(
+        &sampling::downsample(&users[0].trace, 60),
+        &others,
+        TtcConfig::default(),
+    );
+    let sparse = time_to_confusion(
+        &sampling::downsample(&users[0].trace, 3600),
+        &others,
+        TtcConfig::default(),
+    );
+    // fewer release moments -> fewer confusion opportunities
+    assert!(sparse.confusion_events <= dense.confusion_events);
+    assert!(dense.fixes > sparse.fixes);
+}
+
+#[test]
+fn similarity_ranks_self_above_others() {
+    let (cfg, users) = population();
+    let grid = Grid::new(cfg.city_center, 250.0);
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let profiles: Vec<Profile> = users
+        .iter()
+        .map(|u| Profile::from_stays(PatternKind::MovementPattern, &extractor.extract(&u.trace), &grid))
+        .collect();
+    // half of user 0's data vs everyone's profile: self wins on JS score
+    let stays = extractor.extract(&users[0].trace);
+    let observed = Profile::from_stays(PatternKind::MovementPattern, &stays[..stays.len() / 2], &grid);
+    let scores: Vec<f64> = profiles
+        .iter()
+        .map(|p| similarity::compare(&observed, p).map_or(0.0, |s| s.score()))
+        .collect();
+    let best = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(best, 0, "scores: {scores:?}");
+    assert!(scores[0] > 0.3, "self-similarity too weak: {}", scores[0]);
+}
+
+#[test]
+fn diary_and_mobility_stats_tell_one_story() {
+    let (cfg, users) = population();
+    let user = &users[0];
+    let params = ExtractorParams::paper_set1();
+    let stays = SpatioTemporalExtractor::new(params).extract(&user.trace);
+    let diary = Diary::from_stays(&stays, params.radius_m * 3.0, params.metric);
+    let grid = Grid::new(cfg.city_center, 250.0);
+    let stats = mobility_stats(&user.trace, &grid).unwrap();
+
+    // the diary's place count and the grid-cell count agree in magnitude
+    assert!(diary.places.len() >= 2);
+    assert!(stats.distinct_cells >= diary.places.len() / 2);
+    // the anchor place dominates, as does the top cell
+    assert!(stats.top_cell_share > 0.1);
+    let anchor = diary.anchor_place().unwrap();
+    assert!(diary.places.places()[anchor].visit_count() >= cfg.days as usize - 1);
+    // every simulated day appears in the diary
+    assert!(diary.days_covered() >= cfg.days as usize - 1);
+}
+
+#[test]
+fn simplification_preserves_poi_extraction() {
+    use backwatch::trace::simplify::douglas_peucker;
+    let (_, users) = population();
+    let user = &users[1];
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+    let full = extractor.extract(&user.trace);
+    // simplify well below the PoI radius: dwell geometry survives
+    let simplified = douglas_peucker(&user.trace, 10.0);
+    assert!(simplified.len() < user.trace.len() / 2, "simplification should drop redundancy");
+    let slim = extractor.extract(&simplified);
+    // dwells survive as stays (counts may merge/split slightly)
+    assert!(
+        (slim.len() as i64 - full.len() as i64).abs() <= full.len() as i64 / 3,
+        "full {} vs simplified {}",
+        full.len(),
+        slim.len()
+    );
+}
