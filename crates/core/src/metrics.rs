@@ -1,9 +1,10 @@
 //! Frequency-impact measurement: the `PoI_total` / `PoI_sensitive`
 //! metrics as functions of an app's access interval (Figure 3).
 
-use crate::poi::{cluster_stays, match_against_truth, sensitive_counts, ExtractorParams, SpatioTemporalExtractor};
+use crate::poi::{cluster_stays, match_against_truth, sensitive_counts, ExtractorParams, SpatioTemporalExtractor, Stay};
 use backwatch_trace::sampling;
 use backwatch_trace::synth::UserTrace;
+use backwatch_trace::ProjectedTrace;
 
 /// The access intervals (seconds) swept by the paper's Figure 3/4/5
 /// frequency axes.
@@ -41,15 +42,45 @@ const MATCH_RADIUS_FACTOR: f64 = 3.0;
 /// Panics if `interval_s <= 0`.
 #[must_use]
 pub fn measure_at_interval(user: &UserTrace, interval_s: i64, params: ExtractorParams) -> FrequencyImpact {
-    let collected = sampling::downsample(&user.trace, interval_s);
-    let extractor = SpatioTemporalExtractor::new(params);
-    let stays = extractor.extract(&collected);
+    measure_projected(user, &ProjectedTrace::project(&user.trace), interval_s, params)
+}
+
+/// [`measure_at_interval`] on a trace that was already projected once —
+/// the per-interval sweeps project each user a single time and reuse the
+/// planar coordinates for every interval. `projected` must be the
+/// projection of `user.trace`; results are identical to
+/// [`measure_at_interval`].
+#[must_use]
+pub fn measure_projected(
+    user: &UserTrace,
+    projected: &ProjectedTrace,
+    interval_s: i64,
+    params: ExtractorParams,
+) -> FrequencyImpact {
+    let indices =
+        sampling::downsample_indices_from_times(projected.points().iter().map(|p| p.time.as_secs()), interval_s);
+    let stays = SpatioTemporalExtractor::new(params).extract_sampled(projected, &indices);
+    impact_from_stays(user, interval_s, indices.len(), &stays, params)
+}
+
+/// Scores already-extracted stays: the clustering/matching half of
+/// [`measure_at_interval`], for callers that computed the stays themselves
+/// (the experiment pipeline extracts once per interval and reuses the
+/// result here instead of extracting twice).
+#[must_use]
+pub fn impact_from_stays(
+    user: &UserTrace,
+    interval_s: i64,
+    collected_points: usize,
+    stays: &[Stay],
+    params: ExtractorParams,
+) -> FrequencyImpact {
     let match_radius = params.radius_m * MATCH_RADIUS_FACTOR;
-    let places = cluster_stays(&stays, match_radius, params.metric);
-    let report = match_against_truth(&stays, user, params.min_visit_secs, match_radius, params.metric);
+    let places = cluster_stays(stays, match_radius, params.metric);
+    let report = match_against_truth(stays, user, params.min_visit_secs, match_radius, params.metric);
     FrequencyImpact {
         interval_s,
-        collected_points: collected.len(),
+        collected_points,
         stays: stays.len(),
         places: places.len(),
         sensitive: sensitive_counts(&places),
@@ -58,12 +89,13 @@ pub fn measure_at_interval(user: &UserTrace, interval_s: i64, params: ExtractorP
     }
 }
 
-/// Sweeps [`PAPER_INTERVALS`] for one user.
+/// Sweeps [`PAPER_INTERVALS`] for one user, projecting the trace once.
 #[must_use]
 pub fn sweep_intervals(user: &UserTrace, params: ExtractorParams) -> Vec<FrequencyImpact> {
+    let projected = ProjectedTrace::project(&user.trace);
     PAPER_INTERVALS
         .iter()
-        .map(|&i| measure_at_interval(user, i, params))
+        .map(|&i| measure_projected(user, &projected, i, params))
         .collect()
 }
 

@@ -1,10 +1,146 @@
 //! Incremental centroid buffers — the building block of the
 //! Spatio-Temporal extractor's entry/PoI/exit windows.
+//!
+//! The buffers are generic over the point representation. The classic
+//! representation is [`TracePoint`], where every radius decision pays the
+//! full metric (a cosine and a square root per pair). The fast
+//! representation is [`ProjectedPoint`], whose planar coordinates were
+//! computed once per trace ([`ProjectedTrace`]): radius decisions become a
+//! *filter-and-refine* — plain multiply/add planar arithmetic certifies
+//! decisions that are farther than a proven error bound from the radius
+//! threshold, and only the rare ambiguous pair (or any pair under
+//! [`Metric::Haversine`], which has no certified bound) falls back to the
+//! exact spherical formula. Both representations therefore produce
+//! **bit-identical decisions**, and both report centroids from the same
+//! incrementally-maintained lat/lon sums, so extracted stays are equal to
+//! the last bit.
 
 use backwatch_geo::distance::Metric;
 use backwatch_geo::LatLon;
-use backwatch_trace::TracePoint;
+use backwatch_trace::{ProjectedPoint, ProjectedTrace, Timestamp, TracePoint};
 use std::collections::VecDeque;
+
+/// Absolute floating-point guard, in meters per buffered point, added to
+/// the certified planar error bound. Generous against the few-ulp noise of
+/// evaluating the n-scaled planar filter (analysed in
+/// [`backwatch_geo::projection`]); still nine orders of magnitude below
+/// the 50 m PoI radius.
+const PLANAR_ABS_SLACK_M: f64 = 1e-6;
+
+/// A point the centroid buffers can hold: a timestamp, a geographic
+/// position, and a (possibly accelerated) radius decision against a
+/// running centroid.
+pub trait BufferPoint: Copy {
+    /// Geometry context threaded through radius decisions — the bare
+    /// [`Metric`] for raw trace points, a [`PlanarCtx`] for projected ones.
+    type Ctx: Copy;
+
+    /// When the fix was recorded.
+    fn time(&self) -> Timestamp;
+
+    /// The fix's geographic position.
+    fn latlon(&self) -> LatLon;
+
+    /// Decides `distance(self, centroid) <= radius_m`, where the centroid
+    /// is the clamped average of `n` buffered points with the given lat/lon
+    /// sums. Implementations may take an approximate path only where a
+    /// certified error bound proves the decision equals the exact one.
+    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius_m: f64, ctx: &Self::Ctx) -> bool;
+}
+
+impl BufferPoint for TracePoint {
+    type Ctx = Metric;
+
+    fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    fn latlon(&self) -> LatLon {
+        self.pos
+    }
+
+    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius_m: f64, ctx: &Metric) -> bool {
+        let c = LatLon::clamped(sum_lat / n as f64, sum_lon / n as f64);
+        ctx.distance(self.pos, c) <= radius_m
+    }
+}
+
+/// Geometry context for [`ProjectedPoint`] buffers: the projection's
+/// anchor and scale plus the trace's certified error slope, assembled once
+/// per extraction via [`PlanarCtx::new`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanarCtx {
+    metric: Metric,
+    anchor_lat: f64,
+    anchor_lon: f64,
+    m_per_deg_lat: f64,
+    m_per_deg_lon: f64,
+    /// Certified |planar − equirectangular| error per meter of planar east
+    /// separation; `+inf` routes every decision to the exact fallback
+    /// (Haversine metric, or a trace outside the projection's envelope).
+    slack_per_dx: f64,
+}
+
+impl PlanarCtx {
+    /// Builds the context for extracting from `projected` under `metric`.
+    #[must_use]
+    pub fn new(projected: &ProjectedTrace, metric: Metric) -> Self {
+        let proj = projected.projection();
+        let (m_per_deg_lat, m_per_deg_lon) = proj.frame().meters_per_deg();
+        let slack_per_dx = match metric {
+            // Only equirectangular has a certified planar bound; haversine
+            // callers get exact spherical decisions on every pair.
+            Metric::Equirectangular => projected.slack_per_east_meter(),
+            Metric::Haversine => f64::INFINITY,
+        };
+        Self {
+            metric,
+            anchor_lat: proj.anchor().lat(),
+            anchor_lon: proj.anchor().lon(),
+            m_per_deg_lat,
+            m_per_deg_lon,
+            slack_per_dx,
+        }
+    }
+}
+
+impl BufferPoint for ProjectedPoint {
+    type Ctx = PlanarCtx;
+
+    fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    fn latlon(&self) -> LatLon {
+        self.pos
+    }
+
+    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius_m: f64, ctx: &PlanarCtx) -> bool {
+        // Filter: everything is scaled by n so the hot path needs no
+        // division — n·dx = n·x − k_lon·(Σlon − n·lon₀) is n times the
+        // planar east separation from the centroid, using the same lat/lon
+        // sums the exact path divides. A decision farther than the
+        // certified bound from the threshold is already exact.
+        let nf = n as f64;
+        let ndx = nf * self.x - ctx.m_per_deg_lon * (sum_lon - nf * ctx.anchor_lon);
+        let ndy = nf * self.y - ctx.m_per_deg_lat * (sum_lat - nf * ctx.anchor_lat);
+        let nd2 = ndx * ndx + ndy * ndy;
+        let neps = ndx.abs() * ctx.slack_per_dx + nf * PLANAR_ABS_SLACK_M;
+        let nr = nf * radius_m;
+        let nlo = nr - neps;
+        if nlo > 0.0 && nd2 <= nlo * nlo {
+            return true;
+        }
+        let nhi = nr + neps;
+        if nd2 > nhi * nhi {
+            return false;
+        }
+        // Refine: the ambiguous band (or an infinite slack, which lands
+        // here on every pair) gets exactly the lat/lon path's computation.
+        let c = LatLon::clamped(sum_lat / nf, sum_lon / nf);
+        ctx.metric.distance(self.pos, c) <= radius_m
+    }
+}
 
 /// A FIFO buffer of trace points with an O(1) centroid.
 ///
@@ -26,14 +162,20 @@ use std::collections::VecDeque;
 /// assert!((c.lat() - 39.91).abs() < 1e-9);
 /// # Ok::<(), backwatch_geo::LatLonError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct CentroidBuffer {
-    points: VecDeque<TracePoint>,
+#[derive(Debug, Clone)]
+pub struct CentroidBuffer<P = TracePoint> {
+    points: VecDeque<P>,
     sum_lat: f64,
     sum_lon: f64,
 }
 
-impl CentroidBuffer {
+impl<P: BufferPoint> Default for CentroidBuffer<P> {
+    fn default() -> Self {
+        Self { points: VecDeque::new(), sum_lat: 0.0, sum_lon: 0.0 }
+    }
+}
+
+impl<P: BufferPoint> CentroidBuffer<P> {
     /// Creates an empty buffer.
     #[must_use]
     pub fn new() -> Self {
@@ -41,17 +183,19 @@ impl CentroidBuffer {
     }
 
     /// Appends a point.
-    pub fn push(&mut self, p: TracePoint) {
-        self.sum_lat += p.pos.lat();
-        self.sum_lon += p.pos.lon();
+    pub fn push(&mut self, p: P) {
+        let pos = p.latlon();
+        self.sum_lat += pos.lat();
+        self.sum_lon += pos.lon();
         self.points.push_back(p);
     }
 
     /// Removes and returns the oldest point.
-    pub fn pop_front(&mut self) -> Option<TracePoint> {
+    pub fn pop_front(&mut self) -> Option<P> {
         let p = self.points.pop_front()?;
-        self.sum_lat -= p.pos.lat();
-        self.sum_lon -= p.pos.lon();
+        let pos = p.latlon();
+        self.sum_lat -= pos.lat();
+        self.sum_lon -= pos.lon();
         Some(p)
     }
 
@@ -76,19 +220,19 @@ impl CentroidBuffer {
 
     /// The buffered points, oldest first.
     #[must_use]
-    pub fn points(&self) -> &VecDeque<TracePoint> {
+    pub fn points(&self) -> &VecDeque<P> {
         &self.points
     }
 
     /// The oldest point.
     #[must_use]
-    pub fn front(&self) -> Option<&TracePoint> {
+    pub fn front(&self) -> Option<&P> {
         self.points.front()
     }
 
     /// The newest point.
     #[must_use]
-    pub fn back(&self) -> Option<&TracePoint> {
+    pub fn back(&self) -> Option<&P> {
         self.points.back()
     }
 
@@ -96,7 +240,7 @@ impl CentroidBuffer {
     #[must_use]
     pub fn span_secs(&self) -> i64 {
         match (self.points.front(), self.points.back()) {
-            (Some(a), Some(b)) => b.time - a.time,
+            (Some(a), Some(b)) => b.time() - a.time(),
             _ => 0,
         }
     }
@@ -121,8 +265,33 @@ impl CentroidBuffer {
         };
         self.points
             .iter()
-            .map(|p| metric.distance(p.pos, c))
+            .map(|p| metric.distance(p.latlon(), c))
             .fold(0.0, f64::max)
+    }
+
+    /// Decides `spread_m(metric) <= radius_m` without necessarily touching
+    /// every point: identical to comparing the exact spread (every point's
+    /// decision is exact-or-certified), but short-circuits at the first
+    /// point found outside the radius — on a moving trace that is usually
+    /// the very first one checked.
+    #[must_use]
+    pub fn is_within_spread(&self, radius_m: f64, ctx: &P::Ctx) -> bool {
+        let n = self.points.len();
+        self.points
+            .iter()
+            .all(|p| p.within_radius(self.sum_lat, self.sum_lon, n, radius_m, ctx))
+    }
+
+    /// Whether candidate point `p` lies within `radius_m` of this buffer's
+    /// centroid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty (there is no centroid).
+    #[must_use]
+    pub fn covers(&self, p: &P, radius_m: f64, ctx: &P::Ctx) -> bool {
+        assert!(!self.points.is_empty(), "covers() needs a non-empty buffer");
+        p.within_radius(self.sum_lat, self.sum_lon, self.points.len(), radius_m, ctx)
     }
 
     /// Drops points from the front until the buffer spans at most
@@ -137,7 +306,7 @@ impl CentroidBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backwatch_trace::Timestamp;
+    use backwatch_trace::{Timestamp, Trace};
 
     fn pt(t: i64, lat: f64, lon: f64) -> TracePoint {
         TracePoint::new(Timestamp::from_secs(t), LatLon::new(lat, lon).unwrap())
@@ -220,5 +389,67 @@ mod tests {
         let lat: f64 = b.points().iter().map(|p| p.pos.lat()).sum::<f64>() / n;
         let c = b.centroid().unwrap();
         assert!((c.lat() - lat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_decision_matches_exact_spread() {
+        let mut b = CentroidBuffer::new();
+        for t in 0..40 {
+            b.push(pt(t, 39.9 + t as f64 * 2e-6, 116.4 + t as f64 * 3e-6));
+        }
+        let metric = Metric::Equirectangular;
+        for radius in [0.5, 1.0, 5.0, 12.0, 50.0] {
+            assert_eq!(
+                b.is_within_spread(radius, &metric),
+                b.spread_m(metric) <= radius,
+                "radius {radius}"
+            );
+        }
+    }
+
+    #[test]
+    fn planar_buffer_decisions_match_latlon_buffer() {
+        // Same walk held in both representations: every covers/spread
+        // decision must agree at radii straddling the actual distances.
+        let pts: Vec<TracePoint> = (0..300)
+            .map(|t| pt(t, 39.9 + (t as f64) * 3e-6 * ((t % 11) as f64 - 5.0), 116.4 + (t as f64) * 2e-6))
+            .collect();
+        let trace = Trace::from_points(pts.clone());
+        let projected = ProjectedTrace::project(&trace);
+        for metric in [Metric::Equirectangular, Metric::Haversine] {
+            let ctx = PlanarCtx::new(&projected, metric);
+            let mut latlon: CentroidBuffer<TracePoint> = CentroidBuffer::new();
+            let mut planar: CentroidBuffer<ProjectedPoint> = CentroidBuffer::new();
+            for (p, q) in pts.iter().zip(projected.points()) {
+                if !latlon.is_empty() {
+                    for radius in [1.0, 10.0, 50.0, 120.0] {
+                        assert_eq!(
+                            latlon.covers(p, radius, &metric),
+                            planar.covers(q, radius, &ctx),
+                            "covers at t={} radius {radius}",
+                            p.time
+                        );
+                    }
+                }
+                latlon.push(*p);
+                planar.push(*q);
+                for radius in [1.0, 10.0, 50.0, 120.0] {
+                    assert_eq!(
+                        latlon.is_within_spread(radius, &metric),
+                        planar.is_within_spread(radius, &ctx),
+                        "spread at t={} radius {radius}",
+                        p.time
+                    );
+                }
+            }
+            assert_eq!(latlon.centroid(), planar.centroid());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn covers_on_empty_buffer_panics() {
+        let b: CentroidBuffer<TracePoint> = CentroidBuffer::new();
+        let _ = b.covers(&pt(0, 39.9, 116.4), 50.0, &Metric::Equirectangular);
     }
 }

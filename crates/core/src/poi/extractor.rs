@@ -15,10 +15,10 @@
 //! radius, i.e. only hours-long stays survive, exactly the degradation the
 //! paper measures in Figure 3.
 
-use super::buffer::CentroidBuffer;
+use super::buffer::{BufferPoint, CentroidBuffer, PlanarCtx};
 use backwatch_geo::distance::Metric;
 use backwatch_geo::LatLon;
-use backwatch_trace::{Timestamp, Trace};
+use backwatch_trace::{ProjectedTrace, Timestamp, Trace};
 
 /// Parameters of the extractor. The paper's Table III sweeps `radius_m` ∈
 /// {50, 100} and `min_visit_secs` ∈ {600, 1200, 1800}.
@@ -133,9 +133,9 @@ pub struct SpatioTemporalExtractor {
     params: ExtractorParams,
 }
 
-enum State {
-    Outside { entry: CentroidBuffer },
-    Inside { poi: CentroidBuffer, exit: CentroidBuffer, last_inside_index: usize },
+enum State<P: BufferPoint> {
+    Outside { entry: CentroidBuffer<P> },
+    Inside { poi: CentroidBuffer<P>, exit: CentroidBuffer<P>, last_inside_index: usize },
 }
 
 impl SpatioTemporalExtractor {
@@ -154,18 +154,53 @@ impl SpatioTemporalExtractor {
     /// Extracts all PoI visits from `trace`, in chronological order.
     #[must_use]
     pub fn extract(&self, trace: &Trace) -> Vec<Stay> {
+        self.run(trace.iter().copied(), &self.params.metric)
+    }
+
+    /// Planar fast path: extracts from a trace that was projected once
+    /// with [`ProjectedTrace::project`]. Radius decisions run on planar
+    /// coordinates behind a certified error bound (see
+    /// [`super::buffer::PlanarCtx`]), so the result is **bit-identical** to
+    /// [`SpatioTemporalExtractor::extract`] on the source trace — under
+    /// [`Metric::Haversine`], which has no certified planar bound, every
+    /// decision transparently takes the exact spherical path.
+    #[must_use]
+    pub fn extract_projected(&self, projected: &ProjectedTrace) -> Vec<Stay> {
+        self.run(projected.points().iter().copied(), &PlanarCtx::new(projected, self.params.metric))
+    }
+
+    /// Planar fast path over a downsampled *view*: equivalent to
+    /// extracting from `sampling::downsample(trace, k)` when `indices`
+    /// came from `sampling::downsample_indices(trace, k)`, without cloning
+    /// the trace. `Stay::end_index` refers to positions in the view, as it
+    /// would in the downsampled trace.
+    #[must_use]
+    pub fn extract_sampled(&self, projected: &ProjectedTrace, indices: &[u32]) -> Vec<Stay> {
+        self.run(projected.sampled(indices), &PlanarCtx::new(projected, self.params.metric))
+    }
+
+    /// Planar fast path over a rotated *view*: equivalent to extracting
+    /// from `sampling::rotate_to_start(trace, start)` without cloning.
+    #[must_use]
+    pub fn extract_rotated(&self, projected: &ProjectedTrace, start: usize) -> Vec<Stay> {
+        self.run(projected.rotated_from(start), &PlanarCtx::new(projected, self.params.metric))
+    }
+
+    /// The three-buffer state machine, generic over the point
+    /// representation (raw lat/lon or projected planar).
+    fn run<P: BufferPoint>(&self, points: impl Iterator<Item = P>, ctx: &P::Ctx) -> Vec<Stay> {
         let p = &self.params;
         let mut stays = Vec::new();
         let mut state = State::Outside {
             entry: CentroidBuffer::new(),
         };
 
-        for (index, point) in trace.iter().enumerate() {
+        for (index, point) in points.enumerate() {
             state = match state {
                 State::Outside { mut entry } => {
-                    entry.push(*point);
+                    entry.push(point);
                     entry.trim_to_span(p.entry_span_secs);
-                    if entry.spread_m(p.metric) <= p.radius_m {
+                    if entry.is_within_spread(p.radius_m, ctx) {
                         // Settled: the entry window becomes the start of the
                         // PoI buffer (the overlap in the paper's description).
                         let mut poi = CentroidBuffer::new();
@@ -186,22 +221,21 @@ impl SpatioTemporalExtractor {
                     mut exit,
                     last_inside_index,
                 } => {
-                    let centroid = poi.centroid().expect("poi buffer is never empty while inside");
-                    if p.metric.distance(point.pos, centroid) <= p.radius_m {
+                    if poi.covers(&point, p.radius_m, ctx) {
                         // Still at the PoI; any excursion points were a blip
                         // and rejoin the visit.
                         while let Some(q) = exit.pop_front() {
                             poi.push(q);
                         }
-                        poi.push(*point);
+                        poi.push(point);
                         State::Inside {
                             poi,
                             exit,
                             last_inside_index: index,
                         }
                     } else {
-                        exit.push(*point);
-                        let away_secs = point.time - poi.back().expect("non-empty").time;
+                        exit.push(point);
+                        let away_secs = point.time() - poi.back().expect("non-empty").time();
                         if away_secs >= p.exit_span_secs {
                             // Exit confirmed: close the visit.
                             self.close(&poi, last_inside_index, &mut stays);
@@ -215,7 +249,7 @@ impl SpatioTemporalExtractor {
                             entry.trim_to_span(p.entry_span_secs);
                             // Re-check immediately: the exit points may
                             // already cluster at the next PoI.
-                            if entry.spread_m(p.metric) <= p.radius_m && entry.span_secs() > 0 {
+                            if entry.is_within_spread(p.radius_m, ctx) && entry.span_secs() > 0 {
                                 let mut poi = CentroidBuffer::new();
                                 while let Some(q) = entry.pop_front() {
                                     poi.push(q);
@@ -246,16 +280,16 @@ impl SpatioTemporalExtractor {
         stays
     }
 
-    fn close(&self, poi: &CentroidBuffer, last_inside_index: usize, stays: &mut Vec<Stay>) {
+    fn close<P: BufferPoint>(&self, poi: &CentroidBuffer<P>, last_inside_index: usize, stays: &mut Vec<Stay>) {
         let (Some(front), Some(back), Some(centroid)) = (poi.front(), poi.back(), poi.centroid()) else {
             return;
         };
-        let dwell = back.time - front.time;
+        let dwell = back.time() - front.time();
         if dwell >= self.params.min_visit_secs {
             stays.push(Stay {
                 centroid,
-                enter: front.time,
-                leave: back.time,
+                enter: front.time(),
+                leave: back.time(),
                 n_points: poi.len(),
                 end_index: last_inside_index,
             });

@@ -6,7 +6,7 @@ pub mod matching;
 pub mod places;
 pub mod sensitive;
 
-pub use buffer::CentroidBuffer;
+pub use buffer::{BufferPoint, CentroidBuffer, PlanarCtx};
 pub use extractor::{ExtractorParams, NaiveDwellExtractor, SpatioTemporalExtractor, Stay};
 pub use matching::{match_against_truth, RecoveryReport};
 pub use places::{cluster_stays, Place, PlaceSet};

@@ -5,12 +5,12 @@
 //! min over the whole dataset and plots the number of extracted PoIs per
 //! parameter set, then picks set 1 (50 m / 10 min) for everything else.
 
+use crate::pool::map_users;
 use crate::ExperimentConfig;
 use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
 use backwatch_trace::synth::generate_user;
+use backwatch_trace::ProjectedTrace;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
 
 /// One row of the sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,22 +36,15 @@ pub struct Fig2Result {
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig2Result {
     let sets = ExtractorParams::table3_sets();
-    let totals: Vec<Mutex<usize>> = sets.iter().map(|_| Mutex::new(0)).collect();
-    let next = AtomicU32::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cfg.synth.n_users {
-                    break;
-                }
-                let user = generate_user(&cfg.synth, i);
-                for (k, params) in sets.iter().enumerate() {
-                    let stays = SpatioTemporalExtractor::new(*params).extract(&user.trace);
-                    *totals[k].lock().expect("total lock never poisoned") += stays.len();
-                }
-            });
+    // One projection per user serves all six parameter sets.
+    let per_user: Vec<[usize; 6]> = map_users(cfg.synth.n_users, cfg.threads, |i| {
+        let user = generate_user(&cfg.synth, i);
+        let projected = ProjectedTrace::project(&user.trace);
+        let mut counts = [0usize; 6];
+        for (k, params) in sets.iter().enumerate() {
+            counts[k] = SpatioTemporalExtractor::new(*params).extract_projected(&projected).len();
         }
+        counts
     });
     let rows = sets
         .iter()
@@ -60,7 +53,7 @@ pub fn run(cfg: &ExperimentConfig) -> Fig2Result {
             set_id: k + 1,
             visiting_min: p.min_visit_secs / 60,
             radius_m: p.radius_m,
-            pois: *totals[k].lock().expect("total lock never poisoned"),
+            pois: per_user.iter().map(|c| c[k]).sum(),
         })
         .collect();
     Fig2Result { rows }

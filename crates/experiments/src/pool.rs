@@ -1,0 +1,82 @@
+//! A tiny scoped worker pool for per-user fan-out.
+//!
+//! Both the preparation pipeline and the Table III sweep walk the user
+//! population with the same shape: an atomic work counter, a handful of
+//! scoped threads, and results written back into per-user slots so the
+//! output order is deterministic regardless of scheduling. This module
+//! is that shape, once.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(user_idx)` for every `user_idx in 0..n_users` across `threads`
+/// scoped workers and returns the results in index order.
+///
+/// Work is claimed from a shared atomic counter, so threads stay busy even
+/// when per-user cost is skewed; each result lands in its own slot, so the
+/// returned `Vec` is identical whatever the thread count (`threads` is
+/// clamped to `1..=n_users`).
+pub fn map_users<T, F>(n_users: u32, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    let threads = threads.clamp(1, (n_users as usize).max(1));
+    let next = AtomicU32::new(0);
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(n_users as usize, || None);
+    let slots: Vec<Mutex<&mut Option<T>>> = results.iter_mut().map(Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_users {
+                    break;
+                }
+                let value = f(i);
+                **slots[i as usize].lock().expect("slot lock never poisoned") = Some(value);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every user index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = map_users(17, 4, |i| i * 3);
+        assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_users_yields_empty() {
+        let out: Vec<u32> = map_users(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_matches_many_threads() {
+        let f = |i: u32| u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        assert_eq!(map_users(9, 1, f), map_users(9, 8, f));
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = map_users(25, 3, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 25);
+        assert_eq!(calls.load(Ordering::Relaxed), 25);
+    }
+}

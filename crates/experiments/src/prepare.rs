@@ -6,15 +6,16 @@
 //! user's ground-truth profiles. Users are processed in parallel and the
 //! (large) raw traces are dropped as soon as their derivatives exist.
 
+use crate::pool::map_users;
 use crate::ExperimentConfig;
-use backwatch_core::metrics::{measure_at_interval, FrequencyImpact};
+use backwatch_core::metrics::{impact_from_stays, FrequencyImpact};
 use backwatch_core::pattern::{PatternKind, Profile};
 use backwatch_core::poi::{SpatioTemporalExtractor, Stay};
 use backwatch_trace::sampling;
 use backwatch_trace::synth::generate_user;
+use backwatch_trace::ProjectedTrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// The stays an app polling at `interval_s` would let an adversary
 /// extract.
@@ -56,7 +57,11 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
     let extractor = SpatioTemporalExtractor::new(cfg.params);
     let user = generate_user(&cfg.synth, user_idx);
 
-    let full_stays = extractor.extract(&user.trace);
+    // Project the trace into the local tangent plane once; every extraction
+    // below — full rate, each interval, the rotated variant — reuses it.
+    let projected = ProjectedTrace::project(&user.trace);
+
+    let full_stays = extractor.extract_projected(&projected);
     let profile1 = Profile::from_stays(PatternKind::RegionVisits, &full_stays, &grid);
     let profile2 = Profile::from_stays(PatternKind::MovementPattern, &full_stays, &grid);
 
@@ -64,11 +69,11 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
         .intervals
         .iter()
         .map(|&interval_s| {
-            let collected = sampling::downsample(&user.trace, interval_s);
+            let indices = sampling::downsample_indices(&user.trace, interval_s);
             IntervalData {
                 interval_s,
-                collected_points: collected.len(),
-                stays: extractor.extract(&collected),
+                collected_points: indices.len(),
+                stays: extractor.extract_sampled(&projected, &indices),
             }
         })
         .collect();
@@ -76,17 +81,16 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
     // Random-start collection at full rate (Figure 4(b)); seeded per user
     // so the whole experiment stays deterministic.
     let mut rng = StdRng::seed_from_u64(cfg.synth.seed ^ (u64::from(user_idx) << 17) ^ 0x000F_1CED);
-    let rotated_trace = sampling::from_random_start(&user.trace, &mut rng);
+    let start = sampling::random_start_index(user.trace.len(), &mut rng);
     let rotated = IntervalData {
         interval_s: 1,
-        collected_points: rotated_trace.len(),
-        stays: extractor.extract(&rotated_trace),
+        collected_points: user.trace.len(),
+        stays: extractor.extract_rotated(&projected, start),
     };
 
-    let impacts = cfg
-        .intervals
+    let impacts = per_interval
         .iter()
-        .map(|&i| measure_at_interval(&user, i, cfg.params))
+        .map(|d| impact_from_stays(&user, d.interval_s, d.collected_points, &d.stays, cfg.params))
         .collect();
 
     UserData {
@@ -104,30 +108,7 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
 /// Prepares every user of the configured population, in parallel.
 #[must_use]
 pub fn prepare_users(cfg: &ExperimentConfig) -> Vec<UserData> {
-    let n = cfg.synth.n_users;
-    let threads = cfg.threads.clamp(1, (n as usize).max(1));
-    let next = AtomicU32::new(0);
-    let mut results: Vec<Option<UserData>> = Vec::new();
-    results.resize_with(n as usize, || None);
-    let slots: Vec<std::sync::Mutex<&mut Option<UserData>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let data = prepare_one(cfg, i);
-                **slots[i as usize].lock().expect("slot lock never poisoned") = Some(data);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every user index was processed"))
-        .collect()
+    map_users(cfg.synth.n_users, cfg.threads, |i| prepare_one(cfg, i))
 }
 
 #[cfg(test)]

@@ -1,0 +1,40 @@
+//! The prepared experiment pipeline runs entirely on the planar fast
+//! path; this test re-derives every per-user artifact with the original
+//! owned-trace lat/lon pipeline and demands bit-identical stays.
+
+use backwatch_core::poi::SpatioTemporalExtractor;
+use backwatch_experiments::prepare::prepare_users;
+use backwatch_experiments::ExperimentConfig;
+use backwatch_trace::sampling;
+use backwatch_trace::synth::generate_user;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn prepared_users_match_the_owned_latlon_pipeline() {
+    let cfg = ExperimentConfig::small();
+    let users = prepare_users(&cfg);
+    let extractor = SpatioTemporalExtractor::new(cfg.params);
+
+    for (idx, prepared) in users.iter().enumerate() {
+        let user_idx = idx as u32;
+        let user = generate_user(&cfg.synth, user_idx);
+
+        assert_eq!(prepared.trace_len, user.trace.len());
+        assert_eq!(prepared.full_stays, extractor.extract(&user.trace), "full stays, user {user_idx}");
+
+        for (slot, &interval_s) in prepared.per_interval.iter().zip(&cfg.intervals) {
+            let owned = sampling::downsample(&user.trace, interval_s);
+            assert_eq!(slot.interval_s, interval_s);
+            assert_eq!(slot.collected_points, owned.len(), "interval {interval_s}, user {user_idx}");
+            assert_eq!(slot.stays, extractor.extract(&owned), "interval {interval_s}, user {user_idx}");
+        }
+
+        // The rotated variant must consume the rng stream exactly like the
+        // owned `from_random_start`, so the same seed reproduces it.
+        let mut rng = StdRng::seed_from_u64(cfg.synth.seed ^ (u64::from(user_idx) << 17) ^ 0x000F_1CED);
+        let rotated_trace = sampling::from_random_start(&user.trace, &mut rng);
+        assert_eq!(prepared.rotated.collected_points, rotated_trace.len());
+        assert_eq!(prepared.rotated.stays, extractor.extract(&rotated_trace), "rotation, user {user_idx}");
+    }
+}

@@ -86,6 +86,16 @@ mod tests {
     }
 
     #[test]
+    fn bearing_is_correct_across_the_antimeridian() {
+        // dlon enters only through sin/cos, which are 2π-periodic, so no
+        // explicit wrap is needed: heading east across ±180° is still east.
+        let a = ll(0.0, 179.9);
+        let east = ll(0.0, -179.9);
+        assert!((initial_bearing(a, east) - 90.0).abs() < 0.1);
+        assert!((initial_bearing(east, a) - 270.0).abs() < 0.1);
+    }
+
+    #[test]
     fn zero_distance_is_identity() {
         let start = ll(39.9, 116.4);
         let dest = destination(start, 123.0, 0.0);

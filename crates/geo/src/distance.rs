@@ -35,7 +35,15 @@ pub fn haversine(a: LatLon, b: LatLon) -> f64 {
 #[must_use]
 pub fn equirectangular(a: LatLon, b: LatLon) -> f64 {
     let mean_lat = ((a.lat_rad()) + (b.lat_rad())) / 2.0;
-    let x = (b.lon_rad() - a.lon_rad()) * mean_lat.cos();
+    // Wrap the longitude difference into [-π, π]: a pair straddling the
+    // antimeridian (179.9° and -179.9°) is 0.2° apart, not 359.8°.
+    let mut dlon = b.lon_rad() - a.lon_rad();
+    if dlon > std::f64::consts::PI {
+        dlon -= std::f64::consts::TAU;
+    } else if dlon < -std::f64::consts::PI {
+        dlon += std::f64::consts::TAU;
+    }
+    let x = dlon * mean_lat.cos();
     let y = b.lat_rad() - a.lat_rad();
     EARTH_RADIUS_M * (x * x + y * y).sqrt()
 }
@@ -110,6 +118,19 @@ mod tests {
         assert_eq!(Metric::Haversine.distance(a, b), haversine(a, b));
         assert_eq!(Metric::Equirectangular.distance(a, b), equirectangular(a, b));
         assert_eq!(Metric::default(), Metric::Equirectangular);
+    }
+
+    #[test]
+    fn equirectangular_wraps_across_the_antimeridian() {
+        // 0.2° of longitude at the equator, straddling ±180°.
+        let a = ll(0.0, 179.9);
+        let b = ll(0.0, -179.9);
+        let h = haversine(a, b);
+        let e = equirectangular(a, b);
+        assert!((h - 22_239.0).abs() < 50.0, "haversine got {h}");
+        assert!((h - e).abs() / h < 1e-3, "h={h} e={e}");
+        // and symmetrically
+        assert!((equirectangular(b, a) - e).abs() < 1e-9);
     }
 
     #[test]

@@ -52,6 +52,14 @@ impl Frame {
         self.origin
     }
 
+    /// The frame's scale: meters per degree of (latitude, longitude) at the
+    /// origin — the exact constants [`Frame::to_enu`] multiplies by, so
+    /// callers can reproduce a projection without re-deriving them.
+    #[must_use]
+    pub fn meters_per_deg(&self) -> (f64, f64) {
+        (self.meters_per_deg_lat, self.meters_per_deg_lon)
+    }
+
     /// Projects a coordinate into (east, north) meters relative to the
     /// origin.
     #[must_use]

@@ -13,6 +13,10 @@
 //!   profiles count visits per region).
 //! - [`enu`] — a local east-north-up tangent-plane projection used by the
 //!   mobility synthesizer to do metric geometry near a city anchor.
+//! - [`projection`] — a reusable [`projection::LocalProjection`] that
+//!   batch-projects point sets into flat meters once, with a certified
+//!   error bound so hot loops can replace trigonometric distances with
+//!   planar arithmetic.
 //!
 //! # Examples
 //!
@@ -34,6 +38,7 @@ pub mod distance;
 pub mod enu;
 pub mod grid;
 pub mod point;
+pub mod projection;
 
 pub use bbox::BoundingBox;
 pub use grid::{CellId, Grid};

@@ -1,0 +1,219 @@
+//! One-shot planar projection of city-scale point sets.
+//!
+//! The PoI pipeline computes millions of distances, almost all of them
+//! *decisions* ("is this fix within 50 m of that centroid?"). Evaluating
+//! [`crate::distance::equirectangular`] per pair pays a cosine and a square
+//! root every time. [`LocalProjection`] instead projects every coordinate
+//! **once** into a flat east/north tangent plane anchored near the data
+//! (building on [`crate::enu::Frame`]); after that, distances are plain
+//! Euclidean arithmetic.
+//!
+//! # Error bound
+//!
+//! The projection is the equirectangular formula with the cosine frozen at
+//! the *anchor* latitude instead of the per-pair mean latitude. For a pair
+//! with planar east separation `dx` meters, whose latitudes (and whose
+//! pair-mean latitude) stay within `lat_band_rad` radians of the anchor
+//! latitude `a`:
+//!
+//! ```text
+//! planar  = sqrt((R·Δλ·cos a)² + (R·Δφ)²)        (Δλ, Δφ in radians)
+//! equirec = sqrt((R·Δλ·cos m)² + (R·Δφ)²)        (m = pair mean latitude)
+//! |planar − equirec| ≤ R·|Δλ|·|cos m − cos a|
+//!                    ≤ R·|Δλ|·|m − a|            (|cos′| ≤ 1)
+//!                    ≤ (|dx| / cos a) · lat_band_rad
+//! ```
+//!
+//! [`LocalProjection::equirectangular_error_bound_m`] returns that last
+//! expression plus a small slack for floating-point evaluation noise, so
+//! callers can use the planar distance as a *certified filter*: a decision
+//! farther than the bound from its threshold is already exact, and only
+//! pairs inside the band need the trigonometric formula. Against
+//! [`crate::distance::haversine`] there is an additional relative error of
+//! order `(extent/R)²` (the sphere-vs-cylinder term, well under 0.1 % at
+//! city extents), which is checked by the property tests but not certified.
+//!
+//! The projection assumes a city-scale extent: it does not wrap longitudes,
+//! so point sets straddling the antimeridian (or anchored within 1° of a
+//! pole, where [`crate::enu::Frame`] degenerates) must not use it.
+
+use crate::enu::Frame;
+use crate::LatLon;
+
+/// Multiplicative + additive slack absorbing floating-point evaluation
+/// noise in the certified bound (the bound itself is exact real-number
+/// math; the distances it compares are computed in `f64`).
+const FP_RELATIVE_SLACK: f64 = 1e-9;
+/// Additive slack in meters, generous against accumulator rounding.
+const FP_ABSOLUTE_SLACK_M: f64 = 1e-6;
+
+/// A reusable planar projection anchored near a point set.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_geo::{projection::LocalProjection, distance, LatLon};
+///
+/// let anchor = LatLon::new(39.9, 116.4)?;
+/// let proj = LocalProjection::new(anchor);
+/// let a = proj.project(LatLon::new(39.91, 116.41)?);
+/// let b = proj.project(LatLon::new(39.92, 116.43)?);
+/// let planar = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+/// let exact = distance::haversine(LatLon::new(39.91, 116.41)?, LatLon::new(39.92, 116.43)?);
+/// assert!((planar - exact).abs() < exact * 1e-3);
+/// # Ok::<(), backwatch_geo::LatLonError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalProjection {
+    frame: Frame,
+}
+
+impl LocalProjection {
+    /// Creates a projection anchored at `anchor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is within 0.1° of a pole (the tangent frame
+    /// degenerates there).
+    #[must_use]
+    pub fn new(anchor: LatLon) -> Self {
+        Self { frame: Frame::new(anchor) }
+    }
+
+    /// The anchor coordinate.
+    #[must_use]
+    pub fn anchor(&self) -> LatLon {
+        self.frame.origin()
+    }
+
+    /// The underlying tangent frame.
+    #[must_use]
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Projects one coordinate into (east, north) meters.
+    #[must_use]
+    pub fn project(&self, p: LatLon) -> (f64, f64) {
+        self.frame.to_enu(p)
+    }
+
+    /// Unprojects (east, north) meters back to a coordinate.
+    #[must_use]
+    pub fn unproject(&self, east_m: f64, north_m: f64) -> LatLon {
+        self.frame.to_latlon(east_m, north_m)
+    }
+
+    /// Projects a whole point set in one pass.
+    #[must_use]
+    pub fn project_all(&self, points: &[LatLon]) -> Vec<(f64, f64)> {
+        points.iter().map(|&p| self.project(p)).collect()
+    }
+
+    /// Certified bound, in meters, on `|planar − equirectangular|` for a
+    /// pair whose planar east separation is `east_sep_m` meters, given that
+    /// every latitude involved stays within `lat_band_rad` radians of the
+    /// anchor latitude (see the module docs for the derivation).
+    ///
+    /// Monotone in `|east_sep_m|`, so a bound computed from an upper
+    /// estimate of the separation is still valid.
+    #[must_use]
+    pub fn equirectangular_error_bound_m(&self, east_sep_m: f64, lat_band_rad: f64) -> f64 {
+        east_sep_m.abs() * self.error_per_east_meter(lat_band_rad) + FP_ABSOLUTE_SLACK_M
+    }
+
+    /// The bound's slope: certified error per meter of planar east
+    /// separation, for latitudes within `lat_band_rad` of the anchor.
+    /// Returns `+inf` when the band is not finite (callers then treat every
+    /// decision as ambiguous and fall back to exact math).
+    #[must_use]
+    pub fn error_per_east_meter(&self, lat_band_rad: f64) -> f64 {
+        let cos_a = self.anchor().lat_rad().cos();
+        (lat_band_rad / cos_a) * (1.0 + FP_RELATIVE_SLACK) + FP_RELATIVE_SLACK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{equirectangular, haversine};
+
+    fn ll(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    fn planar_dist(proj: &LocalProjection, a: LatLon, b: LatLon) -> f64 {
+        let (ax, ay) = proj.project(a);
+        let (bx, by) = proj.project(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    #[test]
+    fn round_trips_through_unproject() {
+        let proj = LocalProjection::new(ll(39.9, 116.4));
+        let p = ll(39.95, 116.47);
+        let (x, y) = proj.project(p);
+        let back = proj.unproject(x, y);
+        assert!(haversine(p, back) < 1e-6);
+    }
+
+    #[test]
+    fn anchor_projects_to_origin() {
+        let proj = LocalProjection::new(ll(31.2, 121.5));
+        assert_eq!(proj.project(proj.anchor()), (0.0, 0.0));
+    }
+
+    #[test]
+    fn project_all_matches_pointwise() {
+        let proj = LocalProjection::new(ll(39.9, 116.4));
+        let pts = [ll(39.9, 116.4), ll(39.91, 116.42), ll(39.88, 116.39)];
+        let all = proj.project_all(&pts);
+        for (p, &xy) in pts.iter().zip(&all) {
+            assert_eq!(proj.project(*p), xy);
+        }
+    }
+
+    #[test]
+    fn certified_bound_holds_on_a_grid() {
+        // Deterministic sweep across anchors and offsets at city extent;
+        // the proptest suite fuzzes the same property harder.
+        for anchor_lat in [-60.0, -35.5, 0.0, 39.9, 66.0] {
+            let anchor = ll(anchor_lat, 116.4);
+            let proj = LocalProjection::new(anchor);
+            for dlat in [-0.2, -0.05, 0.0, 0.013, 0.2] {
+                for dlon in [-0.25, -0.01, 0.0, 0.07, 0.25] {
+                    for (plat, plon) in [(0.0, 0.0), (0.1, -0.1), (-0.15, 0.2)] {
+                        let a = ll(anchor_lat + dlat, 116.4 + dlon);
+                        let b = ll(anchor_lat + plat, 116.4 + plon);
+                        let band = 0.21f64.to_radians();
+                        let planar = planar_dist(&proj, a, b);
+                        let exact = equirectangular(a, b);
+                        let (ax, _) = proj.project(a);
+                        let (bx, _) = proj.project(b);
+                        let bound = proj.equirectangular_error_bound_m(ax - bx, band);
+                        assert!(
+                            (planar - exact).abs() <= bound,
+                            "anchor {anchor_lat}: planar {planar} exact {exact} bound {bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn close_to_haversine_at_city_extent() {
+        let proj = LocalProjection::new(ll(39.9, 116.4));
+        let a = ll(39.95, 116.31);
+        let b = ll(39.84, 116.52);
+        let planar = planar_dist(&proj, a, b);
+        let exact = haversine(a, b);
+        assert!((planar - exact).abs() / exact < 1e-3, "planar {planar} vs {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn polar_anchor_panics() {
+        let _ = LocalProjection::new(ll(89.95, 0.0));
+    }
+}

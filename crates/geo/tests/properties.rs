@@ -1,6 +1,6 @@
 //! Property-based tests for the geodesy substrate.
 
-use backwatch_geo::{distance, enu::Frame, BoundingBox, Grid, LatLon};
+use backwatch_geo::{distance, enu::Frame, projection::LocalProjection, BoundingBox, Grid, LatLon};
 use proptest::prelude::*;
 
 /// City-scale coordinates around Beijing so approximations hold.
@@ -95,5 +95,52 @@ proptest! {
         let planar = (e * e + n * n).sqrt();
         let spherical = distance::haversine(frame.origin(), p);
         prop_assert!((planar - spherical).abs() <= 0.002 * planar + 0.01);
+    }
+
+    #[test]
+    fn projection_error_bound_is_certified_vs_equirectangular(
+        anchor_lat in -66.0f64..66.0,
+        anchor_lon in -170.0f64..170.0,
+        a_dlat in -0.25f64..0.25,
+        a_dlon in -0.3f64..0.3,
+        b_dlat in -0.25f64..0.25,
+        b_dlon in -0.3f64..0.3,
+    ) {
+        // Arbitrary anchors, arbitrary city-extent offsets (~±28 km of
+        // latitude): the planar distance must stay within the certified
+        // bound of the equirectangular distance — this is the invariant
+        // the extractor's filter-and-refine fast path relies on.
+        let anchor = LatLon::new(anchor_lat, anchor_lon).unwrap();
+        let proj = LocalProjection::new(anchor);
+        let a = LatLon::new(anchor_lat + a_dlat, anchor_lon + a_dlon).unwrap();
+        let b = LatLon::new(anchor_lat + b_dlat, anchor_lon + b_dlon).unwrap();
+        let band = 0.26f64.to_radians();
+        let (ax, ay) = proj.project(a);
+        let (bx, by) = proj.project(b);
+        let planar = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let exact = distance::equirectangular(a, b);
+        let bound = proj.equirectangular_error_bound_m(ax - bx, band);
+        prop_assert!((planar - exact).abs() <= bound, "planar {planar} exact {exact} bound {bound}");
+    }
+
+    #[test]
+    fn projection_tracks_haversine_at_city_extent(
+        a_dlat in -0.2f64..0.2,
+        a_dlon in -0.25f64..0.25,
+        b_dlat in -0.2f64..0.2,
+        b_dlon in -0.25f64..0.25,
+    ) {
+        // Versus the great circle there is an extra (extent/R)² term; at
+        // city extent the documented envelope is the certified bound plus
+        // 0.1 % relative.
+        let proj = LocalProjection::new(LatLon::new(39.9, 116.4).unwrap());
+        let a = LatLon::new(39.9 + a_dlat, 116.4 + a_dlon).unwrap();
+        let b = LatLon::new(39.9 + b_dlat, 116.4 + b_dlon).unwrap();
+        let (ax, ay) = proj.project(a);
+        let (bx, by) = proj.project(b);
+        let planar = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let exact = distance::haversine(a, b);
+        let bound = proj.equirectangular_error_bound_m(ax - bx, 0.21f64.to_radians());
+        prop_assert!((planar - exact).abs() <= bound + 0.001 * exact + 0.01, "planar {planar} vs {exact}");
     }
 }

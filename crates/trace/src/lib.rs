@@ -11,6 +11,9 @@
 //! - [`sampling`] — interval downsampling, which models an app polling
 //!   location every `k` seconds (the paper's "access frequency"), plus
 //!   prefix and random-start windows used by Figure 4.
+//! - [`projected`] — a trace projected once into flat planar meters, so
+//!   the per-interval experiment sweep pays the spherical trigonometry a
+//!   single time and every downsampled/rotated view reuses it.
 //! - [`coarsen`] — grid snapping and Gaussian jitter, modelling coarse
 //!   location providers and GPS noise.
 //! - [`synth`] — the mobility model: each synthetic user has a home, an
@@ -39,6 +42,7 @@ pub mod coarsen;
 pub mod dataset;
 pub mod modes;
 pub mod point;
+pub mod projected;
 pub mod sampling;
 pub mod simplify;
 pub mod stats;
@@ -47,4 +51,5 @@ pub mod trajectory;
 
 pub use dataset::Dataset;
 pub use point::{Timestamp, TracePoint};
+pub use projected::{ProjectedPoint, ProjectedTrace};
 pub use trajectory::{Trace, TraceError};

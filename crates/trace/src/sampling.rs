@@ -37,24 +37,51 @@ use rand::Rng;
 /// ```
 #[must_use]
 pub fn downsample(trace: &Trace, interval_secs: i64) -> Trace {
+    let indices = downsample_indices(trace, interval_secs);
+    let pts = trace.points();
+    Trace::from_points(indices.iter().map(|&i| pts[i as usize]).collect())
+}
+
+/// The *indices* of the fixes [`downsample`] would keep — a zero-copy view
+/// for callers that sweep many intervals over the same (large) trace and
+/// don't want an owned clone per interval.
+///
+/// `downsample(trace, k)` is exactly `trace.points()[i]` for each returned
+/// index `i`, in order.
+///
+/// # Panics
+///
+/// Panics if `interval_secs <= 0` or the trace has more than `u32::MAX`
+/// fixes.
+#[must_use]
+pub fn downsample_indices(trace: &Trace, interval_secs: i64) -> Vec<u32> {
+    downsample_indices_from_times(trace.iter().map(|p| p.time.as_secs()), interval_secs)
+}
+
+/// [`downsample_indices`] over any strictly-increasing timestamp sequence.
+///
+/// # Panics
+///
+/// Panics if `interval_secs <= 0` or the sequence has more than `u32::MAX`
+/// entries.
+pub fn downsample_indices_from_times<I>(times: I, interval_secs: i64) -> Vec<u32>
+where
+    I: IntoIterator<Item = i64>,
+{
     assert!(interval_secs > 0, "interval must be positive, got {interval_secs}");
     let mut kept = Vec::new();
     let mut next_due: Option<i64> = None;
-    for p in trace.iter() {
-        let t = p.time.as_secs();
-        match next_due {
-            None => {
-                kept.push(*p);
-                next_due = Some(t + interval_secs);
-            }
-            Some(due) if t >= due => {
-                kept.push(*p);
-                next_due = Some(t + interval_secs);
-            }
-            Some(_) => {}
+    for (i, t) in times.into_iter().enumerate() {
+        let due = match next_due {
+            None => true,
+            Some(due) => t >= due,
+        };
+        if due {
+            kept.push(u32::try_from(i).expect("trace exceeds u32::MAX fixes"));
+            next_due = Some(t + interval_secs);
         }
     }
-    Trace::from_points(kept)
+    kept
 }
 
 /// The first `n` fixes of `trace` as a new trace (all of it if `n` exceeds
@@ -86,8 +113,20 @@ pub fn from_random_start<R: Rng + ?Sized>(trace: &Trace, rng: &mut R) -> Trace {
     if trace.len() < 2 {
         return trace.clone();
     }
-    let start = rng.gen_range(0..trace.len());
-    rotate_to_start(trace, start)
+    rotate_to_start(trace, random_start_index(trace.len(), rng))
+}
+
+/// The random start index [`from_random_start`] rotates to: uniform over
+/// `0..len`, or `0` (without consuming the RNG) for fewer than two fixes.
+/// Exposed so borrowed rotation views (see
+/// [`crate::ProjectedTrace::rotated_from`]) can reproduce the owned
+/// function's draw exactly.
+pub fn random_start_index<R: Rng + ?Sized>(len: usize, rng: &mut R) -> usize {
+    if len < 2 {
+        0
+    } else {
+        rng.gen_range(0..len)
+    }
 }
 
 /// Deterministic core of [`from_random_start`]: rotates the trace so

@@ -151,7 +151,11 @@ impl SynthConfig {
             city_center: LatLon::new(39.9042, 116.4074).expect("Beijing is a valid coordinate"),
             city_radius_m: 10_000.0,
             secondary_places: (6, 12),
-            zipf_exponent: 1.0,
+            // Visit frequency over a user's places is sharply skewed
+            // (preferential return): the favourite one or two errand spots
+            // absorb most trips, giving the habitual transitions that make
+            // movement patterns identifying.
+            zipf_exponent: 1.5,
             worker_fraction: 0.8,
             sample_interval_s: 1,
             gps_noise_m: 4.0,
@@ -375,12 +379,16 @@ fn gen_schedule(cfg: &SynthConfig, places: &[Place], is_worker: bool, zipf: &Zip
         // Build the day's outing plan as a list of (place, dwell_secs).
         let mut plan: Vec<(usize, i64)> = Vec::new();
         let mut leave_home = if is_worker && weekday {
-            day0 + truncated_normal(rng, 8.0 * 3600.0, 2400.0, 6.0 * 3600.0, 10.0 * 3600.0) as i64
+            day0 + truncated_normal(rng, 8.0 * 3600.0, 5400.0, 5.5 * 3600.0, 11.0 * 3600.0) as i64
         } else {
-            day0 + truncated_normal(rng, 10.5 * 3600.0, 5400.0, 8.0 * 3600.0, 14.0 * 3600.0) as i64
+            day0 + truncated_normal(rng, 10.5 * 3600.0, 7200.0, 7.0 * 3600.0, 15.0 * 3600.0) as i64
         };
         if is_worker && weekday {
-            let work_dwell = truncated_normal(rng, 8.8 * 3600.0, 3600.0, 6.0 * 3600.0, 11.0 * 3600.0) as i64;
+            // Office hours vary a lot day to day (meetings, overtime, early
+            // departures) — Geolife-like irregularity that keeps the
+            // dwell-weighted region histogram from converging in a day or
+            // two.
+            let work_dwell = truncated_normal(rng, 8.8 * 3600.0, 7200.0, 4.5 * 3600.0, 12.5 * 3600.0) as i64;
             plan.push((1, work_dwell));
         }
         let n_errands = if weekday {

@@ -1,7 +1,7 @@
 //! Property-based tests for the trajectory substrate.
 
 use backwatch_geo::LatLon;
-use backwatch_trace::{sampling, synth, Timestamp, Trace, TracePoint};
+use backwatch_trace::{sampling, synth, ProjectedTrace, Timestamp, Trace, TracePoint};
 use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
@@ -88,6 +88,47 @@ proptest! {
             for w in part.points().windows(2) {
                 prop_assert!(w[1].time - w[0].time <= gap);
             }
+        }
+    }
+
+    #[test]
+    fn downsample_indices_select_the_owned_downsample(trace in arb_trace(), interval in 1i64..5000) {
+        let owned = sampling::downsample(&trace, interval);
+        let indices = sampling::downsample_indices(&trace, interval);
+        prop_assert_eq!(owned.len(), indices.len());
+        for (p, &i) in owned.iter().zip(&indices) {
+            prop_assert_eq!(*p, trace.points()[i as usize]);
+        }
+    }
+
+    #[test]
+    fn borrowed_sampled_view_equals_owned_downsample(trace in arb_trace(), pick in 0usize..3) {
+        // The paper's interval sweep endpoints plus the identity interval:
+        // a borrowed index view over the projection must walk exactly the
+        // points the owned downsample materializes (empty and single-point
+        // traces included — arb_trace generates 0..120 points).
+        let interval = [1i64, 60, 7200][pick];
+        let owned = sampling::downsample(&trace, interval);
+        let projected = ProjectedTrace::project(&trace);
+        let indices = sampling::downsample_indices(&trace, interval);
+        let view: Vec<_> = projected.sampled(&indices).collect();
+        prop_assert_eq!(view.len(), owned.len());
+        for (v, p) in view.iter().zip(owned.iter()) {
+            prop_assert_eq!(v.time, p.time);
+            prop_assert_eq!(v.pos, p.pos);
+        }
+    }
+
+    #[test]
+    fn rotated_view_equals_owned_rotation(trace in arb_trace(), start_frac in 0.0f64..1.0) {
+        let start = if trace.len() < 2 { 0 } else { ((trace.len() - 1) as f64 * start_frac) as usize };
+        let owned = sampling::rotate_to_start(&trace, start);
+        let projected = ProjectedTrace::project(&trace);
+        let view: Vec<_> = projected.rotated_from(start).collect();
+        prop_assert_eq!(view.len(), owned.len());
+        for (v, p) in view.iter().zip(owned.iter()) {
+            prop_assert_eq!(v.time, p.time);
+            prop_assert_eq!(v.pos, p.pos);
         }
     }
 

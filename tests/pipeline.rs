@@ -115,7 +115,12 @@ fn full_attack_chain_identifies_the_victim() {
 #[test]
 fn pattern2_detects_faster_than_pattern1_for_most_users() {
     // The paper's headline claim (Figure 4(d)) at integration-test scale.
-    let cfg = test_cfg();
+    // This is a statistical claim over the user population; six users is
+    // too small a sample for the margin to be robust, so this test runs a
+    // larger cohort with longer histories than the rest of the file.
+    let mut cfg = test_cfg();
+    cfg.n_users = 12;
+    cfg.days = 12;
     let params = ExtractorParams::paper_set1();
     let extractor = SpatioTemporalExtractor::new(params);
     let grid = Grid::new(cfg.city_center, 250.0);
@@ -144,28 +149,39 @@ fn pattern2_detects_faster_than_pattern1_for_most_users() {
 
 #[test]
 fn coarse_only_app_cannot_pinpoint_sensitive_places() {
+    // Averaged over the cohort: any single user's home can land within the
+    // 200 m match radius of its 1 km cell center by luck (~13% per place),
+    // in which case every home visit survives coarsening for that user.
+    // The defense claim is about the population.
     let cfg = test_cfg();
-    let user = generate_user(&cfg, 2);
     let params = ExtractorParams::paper_set1();
     let extractor = SpatioTemporalExtractor::new(params);
 
-    // Full-resolution view.
-    let fine_stays = extractor.extract(&user.trace);
-    let fine_places = cluster_stays(&fine_stays, 150.0, params.metric);
+    let mut fine_sum = 0.0;
+    let mut coarse_sum = 0.0;
+    for i in 0..cfg.n_users {
+        let user = generate_user(&cfg, i);
+        // Full-resolution view.
+        let fine_stays = extractor.extract(&user.trace);
+        let fine_places = cluster_stays(&fine_stays, 150.0, params.metric);
+        assert!(!fine_places.is_empty());
 
-    // Released through a 1 km coarsening grid (the defense).
-    let coarse_trace = backwatch::trace::coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, 1000.0));
-    let coarse_stays = extractor.extract(&coarse_trace);
-    let coarse_report = match_against_truth(&coarse_stays, &user, params.min_visit_secs, 200.0, params.metric);
-    let fine_report = match_against_truth(&fine_stays, &user, params.min_visit_secs, 200.0, params.metric);
-    assert!(fine_report.recall() > 0.8);
+        // Released through a 1 km coarsening grid (the defense).
+        let coarse_trace =
+            backwatch::trace::coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, 1000.0));
+        let coarse_stays = extractor.extract(&coarse_trace);
+        let coarse_report = match_against_truth(&coarse_stays, &user, params.min_visit_secs, 200.0, params.metric);
+        let fine_report = match_against_truth(&fine_stays, &user, params.min_visit_secs, 200.0, params.metric);
+        assert!(fine_report.recall() > 0.8, "user {i}: fine recall {}", fine_report.recall());
+        fine_sum += fine_report.recall();
+        coarse_sum += coarse_report.recall();
+    }
+    let fine_mean = fine_sum / f64::from(cfg.n_users);
+    let coarse_mean = coarse_sum / f64::from(cfg.n_users);
     assert!(
-        coarse_report.recall() < fine_report.recall() / 2.0,
-        "1 km coarsening must destroy most precise PoI recovery: fine {} coarse {}",
-        fine_report.recall(),
-        coarse_report.recall()
+        coarse_mean < fine_mean / 2.0,
+        "1 km coarsening must destroy most precise PoI recovery: fine {fine_mean} coarse {coarse_mean}"
     );
-    assert!(!fine_places.is_empty());
 }
 
 #[test]

@@ -1,0 +1,75 @@
+//! The planar fast path must be invisible: extracting stays through
+//! [`ProjectedTrace`] — full rate, downsampled, or rotated — yields
+//! *bit-identical* results to the lat/lon pipeline, under both metrics.
+//!
+//! This holds by construction, not by luck: the planar check only decides
+//! a comparison when it is farther than a certified error bound from the
+//! radius threshold, and falls back to the exact metric otherwise (see
+//! `backwatch-core`'s `poi::buffer` docs). These tests pin the guarantee
+//! end to end on synthetic users.
+
+use backwatch::geo::distance::Metric;
+use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch::trace::sampling;
+use backwatch::trace::synth::{generate_user, SynthConfig};
+use backwatch::trace::ProjectedTrace;
+
+fn params_with(metric: Metric) -> ExtractorParams {
+    ExtractorParams {
+        metric,
+        ..ExtractorParams::paper_set1()
+    }
+}
+
+const METRICS: [Metric; 2] = [Metric::Equirectangular, Metric::Haversine];
+
+#[test]
+fn projected_full_extraction_is_bit_identical() {
+    let cfg = SynthConfig::small();
+    for seed in 0..4 {
+        let user = generate_user(&cfg, seed);
+        let projected = ProjectedTrace::project(&user.trace);
+        for metric in METRICS {
+            let extractor = SpatioTemporalExtractor::new(params_with(metric));
+            let exact = extractor.extract(&user.trace);
+            let planar = extractor.extract_projected(&projected);
+            assert_eq!(exact, planar, "metric {metric:?}, user {seed}");
+            assert!(!exact.is_empty(), "user {seed} produced no stays");
+        }
+    }
+}
+
+#[test]
+fn sampled_extraction_is_bit_identical_at_every_interval() {
+    let cfg = SynthConfig::small();
+    for seed in 0..3 {
+        let user = generate_user(&cfg, seed);
+        let projected = ProjectedTrace::project(&user.trace);
+        for metric in METRICS {
+            let extractor = SpatioTemporalExtractor::new(params_with(metric));
+            for interval in [1, 60, 7200] {
+                let owned = sampling::downsample(&user.trace, interval);
+                let exact = extractor.extract(&owned);
+                let indices = sampling::downsample_indices(&user.trace, interval);
+                let planar = extractor.extract_sampled(&projected, &indices);
+                assert_eq!(exact, planar, "metric {metric:?}, user {seed}, interval {interval}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rotated_extraction_is_bit_identical() {
+    let cfg = SynthConfig::small();
+    let user = generate_user(&cfg, 3);
+    let projected = ProjectedTrace::project(&user.trace);
+    for metric in METRICS {
+        let extractor = SpatioTemporalExtractor::new(params_with(metric));
+        for start in [0, 1, user.trace.len() / 2, user.trace.len() - 1] {
+            let owned = sampling::rotate_to_start(&user.trace, start);
+            let exact = extractor.extract(&owned);
+            let planar = extractor.extract_rotated(&projected, start);
+            assert_eq!(exact, planar, "metric {metric:?}, start {start}");
+        }
+    }
+}

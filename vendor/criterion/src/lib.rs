@@ -1,0 +1,339 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the API subset its benches use: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: after a warm-up, each benchmark runs
+//! `sample_size` samples; every sample executes a calibrated number of
+//! iterations and the per-iteration wall time is recorded. The report
+//! prints `[min mean max]` like upstream plus mean throughput. Passing
+//! `--test` (as `cargo bench -- --test` or via `cargo test --benches`)
+//! runs every routine exactly once — a smoke check without timing.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup is cheap relative to the routine.
+    SmallInput,
+    /// Setup is expensive; batches are smaller.
+    LargeInput,
+    /// A fresh input per iteration with no batching.
+    PerIteration,
+}
+
+/// Units-per-iteration metadata used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Accumulated elapsed time of the current sample.
+    elapsed: Duration,
+    /// When true, run routines exactly once without timing.
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager: registers, filters, runs, and reports.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--test" => test_mode = true,
+                // flags the cargo bench/test harness protocol may pass
+                "--bench" | "--nocapture" | "--quiet" | "--exact" | "--include-ignored" => {}
+                s if s.starts_with("--") => {
+                    // consume "--flag value" style arguments
+                    if !s.contains('=') && i + 1 < args.len() && !args[i + 1].starts_with('-') {
+                        i += 1;
+                    }
+                }
+                positional => filter = Some(positional.to_string()),
+            }
+            i += 1;
+        }
+        Self {
+            sample_size: 20,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement time hint (accepted for API compatibility).
+    #[must_use]
+    pub fn measurement_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let name = name.into();
+        run_bench(&name, self.sample_size, self.test_mode, &self.filter, None, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration reported for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Sets the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            &self.criterion.filter,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    test_mode: bool,
+    filter: &Option<String>,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            test_mode: true,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+
+    // Calibrate: find an iteration count where one sample takes ~4 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(4) || iters >= 1 << 24 {
+            break;
+        }
+        let target = Duration::from_millis(5).as_nanos() as f64;
+        let got = b.elapsed.as_nanos().max(1) as f64;
+        let scale = (target / got).clamp(2.0, 128.0);
+        iters = (iters as f64 * scale).ceil() as u64;
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let max = per_iter.last().copied().unwrap_or(0.0);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    let mut line = format!(
+        "{name:<50} time:   [{} {} {}]",
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    );
+    if let Some(t) = throughput {
+        let (units, label) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = units as f64 / (mean * 1e-9);
+        line.push_str(&format!("  thrpt: {rate:.3e} {label}"));
+    }
+    println!("{line}");
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_routine() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(b.elapsed > Duration::ZERO || acc > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+            test_mode: true,
+        };
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.elapsed, Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(12_000_000_000.0).ends_with('s'));
+    }
+}

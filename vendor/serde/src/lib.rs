@@ -1,0 +1,10 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace declares optional `serde` features but never enables them
+//! in this environment (the build has no network access to crates.io).
+//! This crate exists only so dependency resolution succeeds offline; it
+//! intentionally provides no derive macros. Enabling a crate's `serde`
+//! feature therefore fails to compile — swap this path dependency back to
+//! the real `serde` when network access is available.
+
+#![forbid(unsafe_code)]
