@@ -53,10 +53,13 @@ pub struct ListenerEntry {
 /// ```
 #[must_use]
 pub fn render(device: &Device) -> String {
+    crate::obs::register();
+    crate::obs::DUMPSYS_RENDERS.inc();
     let mut out = String::new();
     out.push_str("Current Location Manager state:\n");
     out.push_str(&format!("  time={}s\n", device.now()));
     out.push_str("  Location Listeners:\n");
+    let mut lines: u64 = 0;
     for (package, provider, interval, state) in device.registrations_snapshot() {
         let tag = match state {
             AppState::Background => " (background)",
@@ -66,7 +69,9 @@ pub fn render(device: &Device) -> String {
         out.push_str(&format!(
             "    Receiver[{package} Request[{provider} interval={interval}s]]{tag}\n"
         ));
+        lines += 1;
     }
+    crate::obs::DUMPSYS_LINES_RENDERED.add(lines);
     out.push_str("  Last Known Locations:\n");
     if let Some((pos, gran, age)) = device.last_known_location() {
         out.push_str(&format!(
@@ -97,13 +102,29 @@ impl Error for ParseDumpsysError {}
 
 /// Parses the listener entries out of a report produced by [`render`].
 ///
+/// The app-state tag is parsed *strictly*: only `(background)`,
+/// `(foreground)`, and `(stopped)` — exactly as [`render`] writes them —
+/// are accepted, and only the first maps to `background = true`. Anything
+/// else is a parse error, not a silent foreground: a study built on this
+/// channel must not misfile listeners it cannot classify.
+///
 /// # Errors
 ///
 /// Returns [`ParseDumpsysError`] if a `Receiver[...]` line does not match
-/// the expected grammar. Unknown lines outside the listener section are
-/// ignored, mirroring how the study's scripts grepped real `dumpsys`
-/// output.
+/// the expected grammar, including an unknown or missing app-state tag.
+/// Unknown lines outside the listener section are ignored, mirroring how
+/// the study's scripts grepped real `dumpsys` output.
 pub fn parse(report: &str) -> Result<Vec<ListenerEntry>, ParseDumpsysError> {
+    crate::obs::register();
+    let res = parse_inner(report);
+    match &res {
+        Ok(entries) => crate::obs::DUMPSYS_ENTRIES_PARSED.add(entries.len() as u64),
+        Err(_) => crate::obs::DUMPSYS_PARSE_ERRORS.inc(),
+    }
+    res
+}
+
+fn parse_inner(report: &str) -> Result<Vec<ListenerEntry>, ParseDumpsysError> {
     let mut out = Vec::new();
     for (i, line) in report.lines().enumerate() {
         let trimmed = line.trim();
@@ -125,7 +146,19 @@ pub fn parse(report: &str) -> Result<Vec<ListenerEntry>, ParseDumpsysError> {
         if interval_s < 1 {
             return Err(err("interval must be at least 1 second"));
         }
-        let background = rest.trim() == "(background)";
+        let background = match rest.trim() {
+            "(background)" => true,
+            "(foreground)" | "(stopped)" => false,
+            other => {
+                crate::obs::DUMPSYS_BAD_STATE.inc();
+                let reason = if other.is_empty() {
+                    "missing app-state tag".to_owned()
+                } else {
+                    format!("unknown app-state tag {other:?}")
+                };
+                return Err(err(&reason));
+            }
+        };
         out.push(ListenerEntry {
             package: package.to_owned(),
             provider,
@@ -212,6 +245,43 @@ mod tests {
         assert!(parse(report).is_err());
         let report = "    Receiver[com.x Request[gps interval=0s]] (background)\n";
         assert!(parse(report).is_err());
+    }
+
+    #[test]
+    fn stopped_entries_parse_as_not_background() {
+        let report = "    Receiver[com.x Request[gps interval=5s]] (stopped)\n";
+        let entries = parse(report).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].background);
+    }
+
+    #[test]
+    fn unknown_state_tag_errors_instead_of_parsing_as_foreground() {
+        for bad in ["(paused)", "(Background)", "(BACKGROUND)", "(background) extra", "background"] {
+            let report = format!("    Receiver[com.x Request[gps interval=5s]] {bad}\n");
+            let e = parse(&report).unwrap_err();
+            assert!(e.to_string().contains("app-state"), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn missing_state_tag_errors() {
+        let report = "    Receiver[com.x Request[gps interval=5s]]\n";
+        let e = parse(report).unwrap_err();
+        assert!(e.to_string().contains("missing app-state"), "{e}");
+    }
+
+    #[test]
+    fn bad_state_lines_are_counted() {
+        crate::obs::register();
+        let before = crate::obs::DUMPSYS_BAD_STATE.get();
+        let _ = parse("    Receiver[com.x Request[gps interval=5s]] (weird)\n");
+        let after = crate::obs::DUMPSYS_BAD_STATE.get();
+        // at least our own bump (other tests may add more concurrently);
+        // with obs built `disabled` the registry is empty and counters stay 0
+        if !backwatch_obs::snapshot().samples.is_empty() {
+            assert!(after >= before + 1, "bad-state counter did not move");
+        }
     }
 
     #[test]

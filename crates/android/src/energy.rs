@@ -59,7 +59,10 @@ impl EnergyModel {
             ("fused", self.fused),
             ("passive", self.passive),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "energy cost {name} must be finite and >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "energy cost {name} must be finite and >= 0, got {v}"
+            );
         }
     }
 }

@@ -54,6 +54,7 @@ pub mod dumpsys;
 pub mod energy;
 pub mod lifecycle;
 pub mod manifest_xml;
+pub mod obs;
 pub mod permission;
 pub mod provider;
 pub mod system;

@@ -98,12 +98,10 @@ pub fn parse(text: &str) -> Result<Manifest, ParseManifestError> {
         }
     }
     let _ = package;
-    builder
-        .map(ManifestBuilder::build)
-        .ok_or(ParseManifestError {
-            line: 0,
-            reason: "no <manifest> element found".to_owned(),
-        })
+    builder.map(ManifestBuilder::build).ok_or(ParseManifestError {
+        line: 0,
+        reason: "no <manifest> element found".to_owned(),
+    })
 }
 
 fn permission_from_name(name: &str) -> Option<Permission> {

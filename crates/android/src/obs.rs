@@ -1,0 +1,63 @@
+//! Telemetry statics for the android crate.
+//!
+//! The dumpsys text channel is the one place the pipeline serializes state
+//! to prose and parses it back, so every line is accounted for: the
+//! round-trip invariant `lines_rendered == entries_parsed` (with zero
+//! parse errors) is asserted by the experiments crate's telemetry tests.
+
+use backwatch_obs::Counter;
+use std::sync::Once;
+
+/// Dumpsys reports rendered.
+pub static DUMPSYS_RENDERS: Counter = Counter::new();
+/// Listener lines written into rendered reports.
+pub static DUMPSYS_LINES_RENDERED: Counter = Counter::new();
+/// Listener entries successfully parsed back out of reports.
+pub static DUMPSYS_ENTRIES_PARSED: Counter = Counter::new();
+/// Reports rejected by the parser (any grammar violation).
+pub static DUMPSYS_PARSE_ERRORS: Counter = Counter::new();
+/// Listener lines whose app-state tag was not one of the three known
+/// states — the silent-foreground bug this counter was added to expose.
+pub static DUMPSYS_BAD_STATE: Counter = Counter::new();
+
+static REGISTER: Once = Once::new();
+
+/// Registers this crate's metrics with the global registry (idempotent).
+pub fn register() {
+    REGISTER.call_once(|| {
+        backwatch_obs::register_counter("android.dumpsys.renders_total", "dumpsys reports rendered", &DUMPSYS_RENDERS);
+        backwatch_obs::register_counter(
+            "android.dumpsys.lines_rendered_total",
+            "listener lines rendered into reports",
+            &DUMPSYS_LINES_RENDERED,
+        );
+        backwatch_obs::register_counter(
+            "android.dumpsys.entries_parsed_total",
+            "listener entries parsed from reports",
+            &DUMPSYS_ENTRIES_PARSED,
+        );
+        backwatch_obs::register_counter(
+            "android.dumpsys.parse_errors_total",
+            "reports rejected by the dumpsys parser",
+            &DUMPSYS_PARSE_ERRORS,
+        );
+        backwatch_obs::register_counter(
+            "android.dumpsys.bad_state_total",
+            "listener lines with an unrecognized app-state tag",
+            &DUMPSYS_BAD_STATE,
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn register_is_idempotent() {
+        super::register();
+        super::register();
+        let snap = backwatch_obs::snapshot();
+        if !snap.samples.is_empty() {
+            assert!(snap.counter("android.dumpsys.renders_total").is_some());
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //! access log.
 
 use crate::app::App;
-use crate::lifecycle::{apply, AppState, Transition};
 use crate::energy::EnergyModel;
+use crate::lifecycle::{apply, AppState, Transition};
 use crate::provider::{Granularity, ProviderKind};
 use backwatch_geo::{Grid, LatLon};
 use backwatch_trace::{Timestamp, Trace, TracePoint};
@@ -765,7 +765,13 @@ mod tests {
             .build();
         let id = d.install(app);
         let err = d.launch(id).unwrap_err();
-        assert!(matches!(err, DeviceError::PermissionDenied { provider: ProviderKind::Gps, .. }));
+        assert!(matches!(
+            err,
+            DeviceError::PermissionDenied {
+                provider: ProviderKind::Gps,
+                ..
+            }
+        ));
         assert_eq!(d.state(id).unwrap(), AppState::Stopped);
         d.advance(30);
         assert!(d.access_log().is_empty());

@@ -24,7 +24,11 @@ fn origin() -> LatLon {
 
 fn mechanisms(c: &mut Criterion) {
     let user = bench_user();
-    let anchors = vec![origin(), LatLon::new(39.95, 116.45).unwrap(), LatLon::new(39.85, 116.35).unwrap()];
+    let anchors = vec![
+        origin(),
+        LatLon::new(39.95, 116.45).unwrap(),
+        LatLon::new(39.85, 116.35).unwrap(),
+    ];
     let mechs: Vec<(&str, Box<dyn Lppm>)> = vec![
         ("truncation", Box::new(GridTruncation::new(Grid::new(origin(), 1000.0)))),
         ("perturbation", Box::new(GaussianPerturbation::new(100.0))),

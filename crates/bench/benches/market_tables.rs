@@ -3,7 +3,7 @@
 //! them.
 
 use backwatch_market::corpus::{self, CorpusConfig};
-use backwatch_market::{dynamic_analysis, static_analysis, stats, run_study};
+use backwatch_market::{dynamic_analysis, run_study, static_analysis, stats};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 

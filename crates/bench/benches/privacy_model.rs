@@ -21,7 +21,11 @@ fn profile_building(c: &mut Criterion) {
     let (_, stays) = bench_stays();
     let g = grid();
     let mut group = c.benchmark_group("privacy/profile");
-    for kind in [PatternKind::RegionVisits, PatternKind::RegionVisitCounts, PatternKind::MovementPattern] {
+    for kind in [
+        PatternKind::RegionVisits,
+        PatternKind::RegionVisitCounts,
+        PatternKind::MovementPattern,
+    ] {
         group.bench_function(format!("{kind:?}"), |b| {
             b.iter(|| Profile::from_stays(black_box(kind), black_box(&stays), &g));
         });

@@ -1,0 +1,52 @@
+//! Guard test for the telemetry overhead budget: extraction with counters
+//! live must stay within a few percent of the same extraction with the
+//! runtime switch off.
+//!
+//! The design budget is < 3 % (see `benches/obs_overhead.rs` for the
+//! precise criterion numbers); this test asserts a slacked bound so a
+//! noisy CI box doesn't flake, while still catching a regression that
+//! puts shared atomics or allocation back into the point loop. Best-of-N
+//! timing is used on both sides for the same reason.
+
+use backwatch_bench::bench_user_long;
+use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch_trace::ProjectedTrace;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn best_of(rounds: usize, iters: usize, f: &dyn Fn()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+#[test]
+fn telemetry_overhead_stays_small_on_the_hot_path() {
+    let user = bench_user_long();
+    let e = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let projected = ProjectedTrace::project(&user.trace);
+    let extract = || {
+        black_box(e.extract_projected(black_box(&projected)));
+    };
+
+    // Warm up caches and the lazy metric registration.
+    extract();
+
+    backwatch_obs::set_enabled(false);
+    let disabled = best_of(7, 4, &extract);
+    backwatch_obs::set_enabled(true);
+    let enabled = best_of(7, 4, &extract);
+
+    let ratio = enabled.as_secs_f64() / disabled.as_secs_f64().max(1e-9);
+    // budget 3%, slack to 10% for scheduler noise on shared runners
+    assert!(
+        ratio < 1.10,
+        "telemetry overhead ratio {ratio:.3} (enabled {enabled:?} vs disabled {disabled:?}) exceeds the budget"
+    );
+}

@@ -85,10 +85,7 @@ impl ProfileStore {
     pub fn infer(&self, observed: &Profile, matcher: &Matcher, weighting: Weighting) -> Inference {
         let outcome = assess(observed, &self.profiles, matcher, weighting);
         let matched_users: Vec<u32> = outcome.matched.iter().map(|&i| self.users[i]).collect();
-        Inference {
-            matched_users,
-            outcome,
-        }
+        Inference { matched_users, outcome }
     }
 }
 

@@ -75,11 +75,7 @@ impl Diary {
     /// The place visited most often — almost always home.
     #[must_use]
     pub fn anchor_place(&self) -> Option<usize> {
-        self.places
-            .places()
-            .iter()
-            .max_by_key(|p| p.visit_count())
-            .map(|p| p.id)
+        self.places.places().iter().max_by_key(|p| p.visit_count()).map(|p| p.id)
     }
 
     /// Renders the diary as indented text, one line per visit.
@@ -142,7 +138,7 @@ mod tests {
     #[test]
     fn diary_reflects_the_stay_sequence() {
         let stays = vec![
-            stay(39.90, 0, 8, 60),  // home-ish
+            stay(39.90, 0, 8, 60),   // home-ish
             stay(39.95, 0, 10, 480), // work
             stay(39.90, 0, 19, 600), // home
             stay(39.90, 1, 8, 60),

@@ -119,11 +119,8 @@ impl Matcher {
     #[must_use]
     pub fn new(alpha: f64, rule: MatchRule) -> Self {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1), got {alpha}");
-        Self {
-            alpha,
-            rule,
-            floor: 0.5,
-        }
+        crate::obs::register();
+        Self { alpha, rule, floor: 0.5 }
     }
 
     /// The configured significance level.
@@ -157,6 +154,7 @@ impl Matcher {
             profile.kind(),
             "cannot compare profiles of different pattern kinds"
         );
+        crate::obs::HISBIN_COMPARES.inc();
         let n_obs = observed.histogram().total();
         let n_prof = profile.histogram().total();
         if n_obs == 0 || n_prof == 0 {
@@ -168,10 +166,7 @@ impl Matcher {
         }
         // Zero shared support can never indicate the profile, however the
         // chi-square arithmetic works out for tiny histograms.
-        let shares_support = observed
-            .histogram()
-            .keys()
-            .any(|k| profile.histogram().count(k) > 0);
+        let shares_support = observed.histogram().keys().any(|k| profile.histogram().count(k) > 0);
         if !shares_support {
             return MatchOutcome {
                 his_bin: HisBin::Safe,
@@ -426,14 +421,7 @@ mod tests {
             })
             .collect();
         let profile = Profile::from_stays(PatternKind::RegionVisits, &mine, &g);
-        let det = detect_incremental(
-            &theirs,
-            100_000,
-            &g,
-            PatternKind::RegionVisits,
-            &Matcher::paper(),
-            &profile,
-        );
+        let det = detect_incremental(&theirs, 100_000, &g, PatternKind::RegionVisits, &Matcher::paper(), &profile);
         assert!(det.is_none());
     }
 }

@@ -46,6 +46,7 @@ pub mod anonymity;
 pub mod diary;
 pub mod hisbin;
 pub mod metrics;
+pub mod obs;
 pub mod pattern;
 pub mod poi;
 pub mod reident;

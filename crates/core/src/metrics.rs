@@ -57,8 +57,7 @@ pub fn measure_projected(
     interval_s: i64,
     params: ExtractorParams,
 ) -> FrequencyImpact {
-    let indices =
-        sampling::downsample_indices_from_times(projected.points().iter().map(|p| p.time.as_secs()), interval_s);
+    let indices = sampling::downsample_indices_from_times(projected.points().iter().map(|p| p.time.as_secs()), interval_s);
     let stays = SpatioTemporalExtractor::new(params).extract_sampled(projected, &indices);
     impact_from_stays(user, interval_s, indices.len(), &stays, params)
 }

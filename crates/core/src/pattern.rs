@@ -191,7 +191,11 @@ mod tests {
     #[test]
     fn pattern1_counts_every_stay() {
         let g = grid();
-        let stays = vec![stay(39.90, 116.40, 0), stay(39.95, 116.45, 10_000), stay(39.90, 116.40, 20_000)];
+        let stays = vec![
+            stay(39.90, 116.40, 0),
+            stay(39.95, 116.45, 10_000),
+            stay(39.90, 116.40, 20_000),
+        ];
         let p = Profile::from_stays(PatternKind::RegionVisits, &stays, &g);
         assert_eq!(p.histogram().total(), 3);
         assert_eq!(p.len(), 2, "two distinct regions");
@@ -200,7 +204,11 @@ mod tests {
     #[test]
     fn pattern2_counts_transitions_only() {
         let g = grid();
-        let stays = vec![stay(39.90, 116.40, 0), stay(39.95, 116.45, 10_000), stay(39.90, 116.40, 20_000)];
+        let stays = vec![
+            stay(39.90, 116.40, 0),
+            stay(39.95, 116.45, 10_000),
+            stay(39.90, 116.40, 20_000),
+        ];
         let p = Profile::from_stays(PatternKind::MovementPattern, &stays, &g);
         // A -> B, B -> A
         assert_eq!(p.histogram().total(), 2);

@@ -17,6 +17,7 @@
 
 use backwatch_geo::distance::Metric;
 use backwatch_geo::LatLon;
+use backwatch_obs::LocalCounter;
 use backwatch_trace::{ProjectedPoint, ProjectedTrace, Timestamp, TracePoint};
 use std::collections::VecDeque;
 
@@ -33,7 +34,7 @@ const PLANAR_ABS_SLACK_M: f64 = 1e-6;
 pub trait BufferPoint: Copy {
     /// Geometry context threaded through radius decisions — the bare
     /// [`Metric`] for raw trace points, a [`PlanarCtx`] for projected ones.
-    type Ctx: Copy;
+    type Ctx;
 
     /// When the fix was recorded.
     fn time(&self) -> Timestamp;
@@ -68,7 +69,12 @@ impl BufferPoint for TracePoint {
 /// Geometry context for [`ProjectedPoint`] buffers: the projection's
 /// anchor and scale plus the trace's certified error slope, assembled once
 /// per extraction via [`PlanarCtx::new`].
-#[derive(Debug, Clone, Copy)]
+///
+/// The context also carries the pass's filter/refine decision tallies as
+/// single-threaded [`LocalCounter`]s — one add instruction per decision,
+/// flushed into the shared `core.poi.planar_*` counters once per
+/// extraction pass via [`PlanarCtx::flush_decision_counts`].
+#[derive(Debug, Clone)]
 pub struct PlanarCtx {
     metric: Metric,
     anchor_lat: f64,
@@ -79,6 +85,10 @@ pub struct PlanarCtx {
     /// separation; `+inf` routes every decision to the exact fallback
     /// (Haversine metric, or a trace outside the projection's envelope).
     slack_per_dx: f64,
+    /// Decisions settled by the certified planar filter this pass.
+    certified: LocalCounter,
+    /// Decisions that fell back to the exact metric this pass.
+    refined: LocalCounter,
 }
 
 impl PlanarCtx {
@@ -100,7 +110,24 @@ impl PlanarCtx {
             m_per_deg_lat,
             m_per_deg_lon,
             slack_per_dx,
+            certified: LocalCounter::new(),
+            refined: LocalCounter::new(),
         }
+    }
+
+    /// The pass's `(certified, refined)` decision tallies so far.
+    #[must_use]
+    pub fn decision_counts(&self) -> (u64, u64) {
+        (self.certified.get(), self.refined.get())
+    }
+
+    /// Adds this pass's decision tallies to the shared
+    /// `core.poi.planar_certified_total` / `core.poi.planar_refined_total`
+    /// counters and zeroes the local cells. Called once per extraction
+    /// pass.
+    pub fn flush_decision_counts(&self) {
+        self.certified.flush_into(&crate::obs::POI_PLANAR_CERTIFIED);
+        self.refined.flush_into(&crate::obs::POI_PLANAR_REFINED);
     }
 }
 
@@ -129,14 +156,17 @@ impl BufferPoint for ProjectedPoint {
         let nr = nf * radius_m;
         let nlo = nr - neps;
         if nlo > 0.0 && nd2 <= nlo * nlo {
+            ctx.certified.inc();
             return true;
         }
         let nhi = nr + neps;
         if nd2 > nhi * nhi {
+            ctx.certified.inc();
             return false;
         }
         // Refine: the ambiguous band (or an infinite slack, which lands
         // here on every pair) gets exactly the lat/lon path's computation.
+        ctx.refined.inc();
         let c = LatLon::clamped(sum_lat / nf, sum_lon / nf);
         ctx.metric.distance(self.pos, c) <= radius_m
     }
@@ -171,7 +201,11 @@ pub struct CentroidBuffer<P = TracePoint> {
 
 impl<P: BufferPoint> Default for CentroidBuffer<P> {
     fn default() -> Self {
-        Self { points: VecDeque::new(), sum_lat: 0.0, sum_lon: 0.0 }
+        Self {
+            points: VecDeque::new(),
+            sum_lat: 0.0,
+            sum_lon: 0.0,
+        }
     }
 }
 
@@ -263,10 +297,7 @@ impl<P: BufferPoint> CentroidBuffer<P> {
         let Some(c) = self.centroid() else {
             return 0.0;
         };
-        self.points
-            .iter()
-            .map(|p| metric.distance(p.latlon(), c))
-            .fold(0.0, f64::max)
+        self.points.iter().map(|p| metric.distance(p.latlon(), c)).fold(0.0, f64::max)
     }
 
     /// Decides `spread_m(metric) <= radius_m` without necessarily touching
@@ -412,7 +443,13 @@ mod tests {
         // Same walk held in both representations: every covers/spread
         // decision must agree at radii straddling the actual distances.
         let pts: Vec<TracePoint> = (0..300)
-            .map(|t| pt(t, 39.9 + (t as f64) * 3e-6 * ((t % 11) as f64 - 5.0), 116.4 + (t as f64) * 2e-6))
+            .map(|t| {
+                pt(
+                    t,
+                    39.9 + (t as f64) * 3e-6 * ((t % 11) as f64 - 5.0),
+                    116.4 + (t as f64) * 2e-6,
+                )
+            })
             .collect();
         let trace = Trace::from_points(pts.clone());
         let projected = ProjectedTrace::project(&trace);

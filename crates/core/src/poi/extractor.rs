@@ -134,14 +134,21 @@ pub struct SpatioTemporalExtractor {
 }
 
 enum State<P: BufferPoint> {
-    Outside { entry: CentroidBuffer<P> },
-    Inside { poi: CentroidBuffer<P>, exit: CentroidBuffer<P>, last_inside_index: usize },
+    Outside {
+        entry: CentroidBuffer<P>,
+    },
+    Inside {
+        poi: CentroidBuffer<P>,
+        exit: CentroidBuffer<P>,
+        last_inside_index: usize,
+    },
 }
 
 impl SpatioTemporalExtractor {
     /// Creates an extractor with the given parameters.
     #[must_use]
     pub fn new(params: ExtractorParams) -> Self {
+        crate::obs::register();
         Self { params }
     }
 
@@ -166,7 +173,10 @@ impl SpatioTemporalExtractor {
     /// decision transparently takes the exact spherical path.
     #[must_use]
     pub fn extract_projected(&self, projected: &ProjectedTrace) -> Vec<Stay> {
-        self.run(projected.points().iter().copied(), &PlanarCtx::new(projected, self.params.metric))
+        let ctx = PlanarCtx::new(projected, self.params.metric);
+        let stays = self.run(projected.points().iter().copied(), &ctx);
+        ctx.flush_decision_counts();
+        stays
     }
 
     /// Planar fast path over a downsampled *view*: equivalent to
@@ -176,14 +186,20 @@ impl SpatioTemporalExtractor {
     /// would in the downsampled trace.
     #[must_use]
     pub fn extract_sampled(&self, projected: &ProjectedTrace, indices: &[u32]) -> Vec<Stay> {
-        self.run(projected.sampled(indices), &PlanarCtx::new(projected, self.params.metric))
+        let ctx = PlanarCtx::new(projected, self.params.metric);
+        let stays = self.run(projected.sampled(indices), &ctx);
+        ctx.flush_decision_counts();
+        stays
     }
 
     /// Planar fast path over a rotated *view*: equivalent to extracting
     /// from `sampling::rotate_to_start(trace, start)` without cloning.
     #[must_use]
     pub fn extract_rotated(&self, projected: &ProjectedTrace, start: usize) -> Vec<Stay> {
-        self.run(projected.rotated_from(start), &PlanarCtx::new(projected, self.params.metric))
+        let ctx = PlanarCtx::new(projected, self.params.metric);
+        let stays = self.run(projected.rotated_from(start), &ctx);
+        ctx.flush_decision_counts();
+        stays
     }
 
     /// The three-buffer state machine, generic over the point
@@ -191,11 +207,13 @@ impl SpatioTemporalExtractor {
     fn run<P: BufferPoint>(&self, points: impl Iterator<Item = P>, ctx: &P::Ctx) -> Vec<Stay> {
         let p = &self.params;
         let mut stays = Vec::new();
+        let mut n_points: u64 = 0;
         let mut state = State::Outside {
             entry: CentroidBuffer::new(),
         };
 
         for (index, point) in points.enumerate() {
+            n_points = index as u64 + 1;
             state = match state {
                 State::Outside { mut entry } => {
                     entry.push(point);
@@ -274,8 +292,16 @@ impl SpatioTemporalExtractor {
             };
         }
         // Trace ended while inside a PoI: close the visit.
-        if let State::Inside { poi, last_inside_index, .. } = state {
+        if let State::Inside {
+            poi, last_inside_index, ..
+        } = state
+        {
             self.close(&poi, last_inside_index, &mut stays);
+        }
+        if backwatch_obs::enabled() {
+            crate::obs::POI_PASSES.inc();
+            crate::obs::POI_POINTS.add(n_points);
+            crate::obs::POI_STAYS.add(stays.len() as u64);
         }
         stays
     }
@@ -363,7 +389,13 @@ mod tests {
     /// Dwell `secs` at (lat, lon) starting at `t0`, 1 Hz, tiny jitter.
     fn dwell(t0: i64, secs: i64, lat: f64, lon: f64) -> Vec<TracePoint> {
         (0..secs)
-            .map(|i| pt(t0 + i, lat + ((i % 5) as f64 - 2.0) * 1e-6, lon + ((i % 3) as f64 - 1.0) * 1e-6))
+            .map(|i| {
+                pt(
+                    t0 + i,
+                    lat + ((i % 5) as f64 - 2.0) * 1e-6,
+                    lon + ((i % 3) as f64 - 1.0) * 1e-6,
+                )
+            })
             .collect()
     }
 
@@ -384,7 +416,12 @@ mod tests {
         assert_eq!(stays.len(), 1);
         let s = &stays[0];
         assert!(s.dwell_secs() >= 1100);
-        assert!(ExtractorParams::paper_set1().metric.distance(s.centroid, LatLon::new(39.9, 116.4).unwrap()) < 5.0);
+        assert!(
+            ExtractorParams::paper_set1()
+                .metric
+                .distance(s.centroid, LatLon::new(39.9, 116.4).unwrap())
+                < 5.0
+        );
     }
 
     #[test]

@@ -75,11 +75,7 @@ pub fn match_against_truth(
         match_radius_m > 0.0 && match_radius_m.is_finite(),
         "match radius must be positive, got {match_radius_m}"
     );
-    let eligible: Vec<&TrueVisit> = user
-        .true_visits
-        .iter()
-        .filter(|v| v.dwell_secs() >= min_visit_secs)
-        .collect();
+    let eligible: Vec<&TrueVisit> = user.true_visits.iter().filter(|v| v.dwell_secs() >= min_visit_secs).collect();
     let mut hit = vec![false; eligible.len()];
     let mut spurious = 0usize;
     for stay in stays {

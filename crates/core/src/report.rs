@@ -67,13 +67,7 @@ impl PrivacyReport {
     /// identification fields.
     #[must_use]
     pub fn analyze_against(trace: &Trace, grid: &Grid, store: &ProfileStore) -> Self {
-        Self::analyze_with(
-            trace,
-            grid,
-            ExtractorParams::paper_set1(),
-            &Matcher::paper(),
-            Some(store),
-        )
+        Self::analyze_with(trace, grid, ExtractorParams::paper_set1(), &Matcher::paper(), Some(store))
     }
 
     /// Full-control variant.
@@ -153,8 +147,7 @@ impl fmt::Display for PrivacyReport {
             writeln!(
                 f,
                 "  anonymity set: {set} profile(s), degree {}",
-                self.degree_of_anonymity
-                    .map_or_else(|| "-".to_owned(), |d| format!("{d:.2}"))
+                self.degree_of_anonymity.map_or_else(|| "-".to_owned(), |d| format!("{d:.2}"))
             )?;
         }
         write!(f, "  severity: {}/3", self.severity())

@@ -51,12 +51,7 @@ pub fn compare(observed: &Profile, reference: &Profile) -> Option<Similarity> {
     let (o, r) = observed.histogram().align(reference.histogram());
     let p = normalize(&o)?;
     let q = normalize(&r)?;
-    let support_overlap = p
-        .iter()
-        .zip(&q)
-        .filter(|&(_, &qi)| qi > 0.0)
-        .map(|(&pi, _)| pi)
-        .sum::<f64>();
+    let support_overlap = p.iter().zip(&q).filter(|&(_, &qi)| qi > 0.0).map(|(&pi, _)| pi).sum::<f64>();
     Some(Similarity {
         js_bits: js_divergence_bits(&p, &q),
         total_variation: total_variation(&p, &q),

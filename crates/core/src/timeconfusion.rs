@@ -165,11 +165,7 @@ mod tests {
         // companion sits exactly at the target's midpoint position the
         // whole time
         let mid = LatLon::new(39.9 + 50.0 * 1e-4, 116.4).unwrap();
-        let companion = Trace::from_points(
-            (0..101)
-                .map(|i| TracePoint::new(Timestamp::from_secs(i * 10), mid))
-                .collect(),
-        );
+        let companion = Trace::from_points((0..101).map(|i| TracePoint::new(Timestamp::from_secs(i * 10), mid)).collect());
         let ttc = time_to_confusion(&target, &[&companion], TtcConfig::default());
         assert!(ttc.confusion_events > 0, "paths cross near the midpoint");
         assert!(ttc.max_tracking_secs < 1000, "tracking must be broken by the crossing");

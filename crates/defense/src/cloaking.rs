@@ -77,10 +77,7 @@ impl Lppm for KAnonymousCloaking {
     }
 
     fn apply(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Trace {
-        trace
-            .iter()
-            .map(|p| TracePoint::new(p.time, self.cloak(p.pos)))
-            .collect()
+        trace.iter().map(|p| TracePoint::new(p.time, self.cloak(p.pos))).collect()
     }
 }
 

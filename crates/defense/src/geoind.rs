@@ -63,7 +63,11 @@ fn lambert_w_minus1(x: f64) -> f64 {
     );
     // Seed: W ≈ ln(−x) − ln(−ln(−x)) for x → 0⁻, and −1 near −1/e.
     let l = (-x).ln();
-    let mut w = if l < -2.0 { l - (-l).ln() } else { -1.0 - (2.0 * (1.0 + std::f64::consts::E * x)).sqrt() };
+    let mut w = if l < -2.0 {
+        l - (-l).ln()
+    } else {
+        -1.0 - (2.0 * (1.0 + std::f64::consts::E * x)).sqrt()
+    };
     for _ in 0..64 {
         let ew = w.exp();
         let f = w * ew - x;

@@ -54,12 +54,7 @@ mod tests {
     fn trace() -> Trace {
         Trace::from_points(
             (0..100)
-                .map(|i| {
-                    TracePoint::new(
-                        Timestamp::from_secs(i),
-                        LatLon::new(39.9 + i as f64 * 1e-5, 116.4).unwrap(),
-                    )
-                })
+                .map(|i| TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9 + i as f64 * 1e-5, 116.4).unwrap()))
                 .collect(),
         )
     }

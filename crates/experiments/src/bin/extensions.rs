@@ -1,9 +1,10 @@
 //! Regenerates the extension experiments: top-N re-identification
 //! (Zang & Bolot) and time-to-confusion (Hoh et al.).
 
-use backwatch_experiments::{ext_ablation, ext_defense, ext_fgbg, ext_reident, ext_ttc, prepare, ExperimentConfig};
+use backwatch_experiments::{ext_ablation, ext_defense, ext_fgbg, ext_reident, ext_ttc, obs, prepare, ExperimentConfig};
 
 fn main() {
+    obs::register_all();
     let cfg = match std::env::args().nth(1).as_deref() {
         Some("--small") => ExperimentConfig::small(),
         _ => ExperimentConfig::paper(),
@@ -18,4 +19,5 @@ fn main() {
     print!("{}", ext_defense::render(&ext_defense::run(&cfg, &users, 30)));
     println!();
     print!("{}", ext_ablation::render(&ext_ablation::run(&cfg, &users)));
+    print!("\n{}", obs::snapshot_text());
 }

@@ -1,13 +1,15 @@
 //! Regenerates Table III + Figure 2: PoIs extracted under the six
 //! parameter sets.
 
-use backwatch_experiments::{fig2, ExperimentConfig};
+use backwatch_experiments::{fig2, obs, ExperimentConfig};
 
 fn main() {
+    obs::register_all();
     let cfg = match std::env::args().nth(1).as_deref() {
         Some("--small") => ExperimentConfig::small(),
         _ => ExperimentConfig::paper(),
     };
     let result = fig2::run(&cfg);
     print!("{}", fig2::render(&result));
+    print!("\n{}", obs::snapshot_text());
 }

@@ -1,8 +1,9 @@
 //! Regenerates Figure 3: PoI_total and PoI_sensitive vs access frequency.
 
-use backwatch_experiments::{fig3, prepare, ExperimentConfig};
+use backwatch_experiments::{fig3, obs, prepare, ExperimentConfig};
 
 fn main() {
+    obs::register_all();
     let cfg = match std::env::args().nth(1).as_deref() {
         Some("--small") => ExperimentConfig::small(),
         _ => ExperimentConfig::paper(),
@@ -10,4 +11,5 @@ fn main() {
     let users = prepare::prepare_users(&cfg);
     let result = fig3::run(&cfg, &users);
     print!("{}", fig3::render(&result));
+    print!("\n{}", obs::snapshot_text());
 }

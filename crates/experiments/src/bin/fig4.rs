@@ -1,8 +1,9 @@
 //! Regenerates Figure 4: detection speed of His_bin under both patterns.
 
-use backwatch_experiments::{fig4, prepare, ExperimentConfig};
+use backwatch_experiments::{fig4, obs, prepare, ExperimentConfig};
 
 fn main() {
+    obs::register_all();
     let cfg = match std::env::args().nth(1).as_deref() {
         Some("--small") => ExperimentConfig::small(),
         _ => ExperimentConfig::paper(),
@@ -10,4 +11,5 @@ fn main() {
     let users = prepare::prepare_users(&cfg);
     let result = fig4::run(&cfg, &users);
     print!("{}", fig4::render(&result));
+    print!("\n{}", obs::snapshot_text());
 }

@@ -1,8 +1,9 @@
 //! Regenerates Figure 5: the entropy (degree of anonymity) comparison.
 
-use backwatch_experiments::{fig5, prepare, ExperimentConfig};
+use backwatch_experiments::{fig5, obs, prepare, ExperimentConfig};
 
 fn main() {
+    obs::register_all();
     let cfg = match std::env::args().nth(1).as_deref() {
         Some("--small") => ExperimentConfig::small(),
         _ => ExperimentConfig::paper(),
@@ -10,4 +11,5 @@ fn main() {
     let users = prepare::prepare_users(&cfg);
     let result = fig5::run(&cfg, &users);
     print!("{}", fig5::render(&result));
+    print!("\n{}", obs::snapshot_text());
 }

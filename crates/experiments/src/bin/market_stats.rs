@@ -1,11 +1,14 @@
 //! Regenerates the §III-B headline statistics of the market study.
 
+use backwatch_experiments::obs;
 use backwatch_market::{corpus::CorpusConfig, report, run_study};
 
 fn main() {
+    obs::register_all();
     let cfg = scale_from_args();
     let study = run_study(&cfg);
     print!("{}", report::render_headline(&study.headline));
+    print!("\n{}", obs::snapshot_text());
 }
 
 fn scale_from_args() -> CorpusConfig {

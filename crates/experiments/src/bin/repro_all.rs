@@ -1,17 +1,30 @@
 //! Regenerates every table and figure of the paper in one run — the
 //! content recorded in `EXPERIMENTS.md`.
 
-use backwatch_experiments::{ext_ablation, ext_defense, ext_fgbg, ext_reident, ext_ttc, fig2, fig3, fig4, fig5, prepare, ExperimentConfig};
+use backwatch_experiments::{
+    ext_ablation, ext_defense, ext_fgbg, ext_reident, ext_ttc, fig2, fig3, fig4, fig5, obs, prepare, ExperimentConfig,
+};
 use backwatch_market::{breakdown, corpus::CorpusConfig, report, run_study};
 use std::time::Instant;
 
 fn main() {
+    obs::register_all();
     let args: Vec<String> = std::env::args().collect();
-    let (market_cfg, exp_cfg) = if args.iter().any(|a| a == "--small") {
+    let (market_cfg, mut exp_cfg) = if args.iter().any(|a| a == "--small") {
         (CorpusConfig::scaled(10), ExperimentConfig::small())
     } else {
         (CorpusConfig::paper_scale(), ExperimentConfig::paper())
     };
+    // --threads <n>: override the worker-pool width (1 = the sequential
+    // baseline recorded in BENCH_experiments.json)
+    if let Some(t) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        exp_cfg.threads = t.max(1);
+    }
     // --csv <dir>: also write plot-ready data files for every figure
     let csv_dir = args
         .iter()
@@ -98,6 +111,8 @@ fn main() {
     let ablation = ext_ablation::run(&exp_cfg, &users);
     println!("{}", ext_ablation::render(&ablation));
     eprintln!("[ext_ablation: {:?}]", t10.elapsed());
+
+    print!("{}", obs::snapshot_text());
 
     eprintln!("[total: {:?}]", t0.elapsed());
 }

@@ -1,13 +1,16 @@
 //! Regenerates Table I: provider combinations × declared granularity of
 //! the background apps.
 
+use backwatch_experiments::obs;
 use backwatch_market::{corpus::CorpusConfig, report, run_study};
 
 fn main() {
+    obs::register_all();
     let cfg = match std::env::args().nth(1).as_deref() {
         Some("--small") => CorpusConfig::scaled(10),
         _ => CorpusConfig::paper_scale(),
     };
     let study = run_study(&cfg);
     print!("{}", report::render_table1(&study.provider_table));
+    print!("\n{}", obs::snapshot_text());
 }

@@ -51,11 +51,31 @@ fn median(mut xs: Vec<f64>) -> Option<f64> {
 pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> AblationResult {
     let grid = cfg.grid();
     let variants: Vec<(String, PatternKind, MatchRule)> = vec![
-        ("p1 occupancy / scaled-upper".into(), PatternKind::RegionVisits, MatchRule::ScaledUpperTail),
-        ("p1 counts / scaled-upper".into(), PatternKind::RegionVisitCounts, MatchRule::ScaledUpperTail),
-        ("p2 moves / scaled-upper".into(), PatternKind::MovementPattern, MatchRule::ScaledUpperTail),
-        ("p1 occupancy / paper-lower".into(), PatternKind::RegionVisits, MatchRule::PaperLowerTail),
-        ("p2 moves / paper-lower".into(), PatternKind::MovementPattern, MatchRule::PaperLowerTail),
+        (
+            "p1 occupancy / scaled-upper".into(),
+            PatternKind::RegionVisits,
+            MatchRule::ScaledUpperTail,
+        ),
+        (
+            "p1 counts / scaled-upper".into(),
+            PatternKind::RegionVisitCounts,
+            MatchRule::ScaledUpperTail,
+        ),
+        (
+            "p2 moves / scaled-upper".into(),
+            PatternKind::MovementPattern,
+            MatchRule::ScaledUpperTail,
+        ),
+        (
+            "p1 occupancy / paper-lower".into(),
+            PatternKind::RegionVisits,
+            MatchRule::PaperLowerTail,
+        ),
+        (
+            "p2 moves / paper-lower".into(),
+            PatternKind::MovementPattern,
+            MatchRule::PaperLowerTail,
+        ),
     ];
     let rows = variants
         .into_iter()
@@ -66,8 +86,7 @@ pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> AblationResult {
             for u in users {
                 let data = &u.per_interval[0];
                 let profile = Profile::from_stays(kind, &data.stays, &grid);
-                if let Some(d) = detect_incremental(&data.stays, data.collected_points, &grid, kind, &matcher, &profile)
-                {
+                if let Some(d) = detect_incremental(&data.stays, data.collected_points, &grid, kind, &matcher, &profile) {
                     fractions.push(d.fraction_of_points);
                     if d.stays_needed <= 1 {
                         instant += 1;
@@ -92,7 +111,11 @@ pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> AblationResult {
 #[must_use]
 pub fn render(result: &AblationResult) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "ABLATION: His_bin rule and pattern-1 weighting ({} users, 1 s access)", result.users);
+    let _ = writeln!(
+        s,
+        "ABLATION: His_bin rule and pattern-1 weighting ({} users, 1 s access)",
+        result.users
+    );
     let _ = writeln!(
         s,
         "{:<30} {:>9} {:>16} {:>9}",

@@ -11,8 +11,8 @@ use backwatch_core::adversary::ProfileStore;
 use backwatch_core::pattern::PatternKind;
 use backwatch_defense::cloaking::KAnonymousCloaking;
 use backwatch_defense::decoy::SyntheticDecoy;
-use backwatch_defense::geoind::GeoIndistinguishability;
 use backwatch_defense::eval::{evaluate, EvalContext};
+use backwatch_defense::geoind::GeoIndistinguishability;
 use backwatch_defense::perturbation::GaussianPerturbation;
 use backwatch_defense::throttle::ReleaseThrottle;
 use backwatch_defense::truncation::GridTruncation;

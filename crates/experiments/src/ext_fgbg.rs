@@ -171,11 +171,7 @@ mod tests {
         // the discrimination grows as budgets shrink: at least one budget
         // must show foreground strictly behind background
         let r = result();
-        assert!(
-            r.rows.iter().any(|row| row.fg_pois < row.bg_pois),
-            "rows: {:?}",
-            r.rows
-        );
+        assert!(r.rows.iter().any(|row| row.fg_pois < row.bg_pois), "rows: {:?}", r.rows);
         assert!(r.rows.iter().all(|row| row.bg_pois > 0));
     }
 

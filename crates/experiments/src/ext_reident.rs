@@ -35,24 +35,23 @@ pub struct ReidentResult {
 #[must_use]
 pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> ReidentResult {
     let grid = cfg.grid();
-    let rows = cfg
-        .intervals
-        .iter()
-        .enumerate()
-        .map(|(k, &interval_s)| {
-            let population: Vec<Vec<backwatch_core::poi::Stay>> =
-                users.iter().map(|u| u.per_interval[k].stays.clone()).collect();
-            let u1 = top_n_anonymity(&population, &grid, 1).unique_fraction();
-            let u2 = top_n_anonymity(&population, &grid, 2).unique_fraction();
-            let u3 = top_n_anonymity(&population, &grid, 3).unique_fraction();
-            ReidentRow {
-                interval_s,
-                unique_top1: u1,
-                unique_top2: u2,
-                unique_top3: u3,
-            }
-        })
-        .collect();
+    // top-N anonymity is a whole-population computation, so the unit of
+    // parallel work is the interval, not the user; each row is independent
+    // and lands in its own slot, so results match the sequential sweep.
+    let rows = crate::pool::map_users(cfg.intervals.len() as u32, cfg.threads, |k| {
+        let interval_s = cfg.intervals[k as usize];
+        let population: Vec<Vec<backwatch_core::poi::Stay>> =
+            users.iter().map(|u| u.per_interval[k as usize].stays.clone()).collect();
+        let u1 = top_n_anonymity(&population, &grid, 1).unique_fraction();
+        let u2 = top_n_anonymity(&population, &grid, 2).unique_fraction();
+        let u3 = top_n_anonymity(&population, &grid, 3).unique_fraction();
+        ReidentRow {
+            interval_s,
+            unique_top1: u1,
+            unique_top2: u2,
+            unique_top3: u3,
+        }
+    });
     ReidentResult { rows }
 }
 
@@ -100,6 +99,17 @@ mod tests {
         let users = prepare_users(&cfg);
         let r = run(&cfg, &users);
         assert!(r.rows[0].unique_top2 > 0.7, "top-2 uniqueness {}", r.rows[0].unique_top2);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut cfg = ExperimentConfig::small();
+        let users = prepare_users(&cfg);
+        cfg.threads = 1;
+        let seq = run(&cfg, &users);
+        cfg.threads = 4;
+        let par = run(&cfg, &users);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub fn to_csv(result: &Fig2Result) -> String {
 pub fn render(result: &Fig2Result) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "TABLE III / FIGURE 2: PoIs extracted under different parameters");
-    let _ = writeln!(s, "{:>6} {:>18} {:>10} {:>12}", "set", "visiting_time_min", "radius_m", "pois");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>18} {:>10} {:>12}",
+        "set", "visiting_time_min", "radius_m", "pois"
+    );
     for r in &result.rows {
         let _ = writeln!(s, "{:>6} {:>18} {:>10} {:>12}", r.set_id, r.visiting_min, r.radius_m, r.pois);
     }

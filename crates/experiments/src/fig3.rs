@@ -37,6 +37,10 @@ pub struct Fig3Result {
 #[must_use]
 pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> Fig3Result {
     let n_users = users.len().max(1);
+    // Gather per-user contributions across workers, then fold per interval
+    // in user-index order so the f64 recall sum is bit-identical to a
+    // sequential walk whatever the thread count.
+    let per_user = crate::pool::map_users(users.len() as u32, cfg.threads, |i| users[i as usize].impacts.clone());
     let rows: Vec<Fig3Row> = cfg
         .intervals
         .iter()
@@ -46,8 +50,8 @@ pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> Fig3Result {
             let mut sensitive = [0usize; 3];
             let mut recall_sum = 0.0;
             let mut complete = 0usize;
-            for u in users {
-                let m = &u.impacts[k];
+            for impacts in &per_user {
+                let m = &impacts[k];
                 poi_total += m.stays;
                 for (acc, &v) in sensitive.iter_mut().zip(&m.sensitive) {
                     *acc += v;
@@ -130,7 +134,11 @@ pub fn render(result: &Fig3Result) -> String {
     }
     let _ = writeln!(s);
     let _ = writeln!(s, "FIGURE 3(b): sensitive PoIs vs access interval");
-    let _ = writeln!(s, "{:>10} {:>10} {:>10} {:>10}", "interval_s", "<=1visit", "<=2visits", "<=3visits");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>10} {:>10} {:>10}",
+        "interval_s", "<=1visit", "<=2visits", "<=3visits"
+    );
     for r in &result.rows {
         let _ = writeln!(
             s,
@@ -194,6 +202,17 @@ mod tests {
         let csv = to_csv(&r);
         assert!(csv.starts_with("interval_s,pois"));
         assert_eq!(csv.lines().count(), 1 + r.rows.len());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut cfg = ExperimentConfig::small();
+        let users = prepare_users(&cfg);
+        cfg.threads = 1;
+        let seq = run(&cfg, &users);
+        cfg.threads = 4;
+        let par = run(&cfg, &users);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -79,44 +79,49 @@ pub struct Fig4Result {
     pub per_interval: Vec<(i64, DetectionSet)>,
 }
 
-fn detect_set<'a, I>(cfg: &ExperimentConfig, users: &[UserData], data: I) -> DetectionSet
+fn detect_set<F>(cfg: &ExperimentConfig, users: &[UserData], data: F) -> DetectionSet
 where
-    I: Iterator<Item = &'a IntervalData>,
+    F: Fn(&UserData) -> &IntervalData + Sync,
 {
     let grid = cfg.grid();
-    let mut pattern1 = Vec::with_capacity(users.len());
-    let mut pattern2 = Vec::with_capacity(users.len());
-    for (u, d) in users.iter().zip(data) {
-        pattern1.push(detect_incremental(
-            &d.stays,
-            d.collected_points,
-            &grid,
-            PatternKind::RegionVisits,
-            &cfg.matcher,
-            &u.profile1,
-        ));
-        pattern2.push(detect_incremental(
-            &d.stays,
-            d.collected_points,
-            &grid,
-            PatternKind::MovementPattern,
-            &cfg.matcher,
-            &u.profile2,
-        ));
-    }
+    // Each user's incremental detection is independent; per-slot results
+    // keep the output identical to the old sequential walk.
+    let pairs = crate::pool::map_users(users.len() as u32, cfg.threads, |i| {
+        let u = &users[i as usize];
+        let d = data(u);
+        (
+            detect_incremental(
+                &d.stays,
+                d.collected_points,
+                &grid,
+                PatternKind::RegionVisits,
+                &cfg.matcher,
+                &u.profile1,
+            ),
+            detect_incremental(
+                &d.stays,
+                d.collected_points,
+                &grid,
+                PatternKind::MovementPattern,
+                &cfg.matcher,
+                &u.profile2,
+            ),
+        )
+    });
+    let (pattern1, pattern2) = pairs.into_iter().unzip();
     DetectionSet { pattern1, pattern2 }
 }
 
 /// Runs all four panels over the prepared users.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> Fig4Result {
-    let from_start = detect_set(cfg, users, users.iter().map(|u| &u.per_interval[0]));
-    let from_random = detect_set(cfg, users, users.iter().map(|u| &u.rotated));
+    let from_start = detect_set(cfg, users, |u| &u.per_interval[0]);
+    let from_random = detect_set(cfg, users, |u| &u.rotated);
     let per_interval = cfg
         .intervals
         .iter()
         .enumerate()
-        .map(|(k, &interval)| (interval, detect_set(cfg, users, users.iter().map(|u| &u.per_interval[k]))))
+        .map(|(k, &interval)| (interval, detect_set(cfg, users, move |u| &u.per_interval[k])))
         .collect();
     Fig4Result {
         from_start,
@@ -165,7 +170,10 @@ pub fn to_csv(result: &Fig4Result) -> String {
 #[must_use]
 pub fn render(result: &Fig4Result) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "FIGURE 4(a): users detected vs fraction of data (from trace start, 1 s access)");
+    let _ = writeln!(
+        s,
+        "FIGURE 4(a): users detected vs fraction of data (from trace start, 1 s access)"
+    );
     render_cdf(&mut s, &result.from_start);
     let _ = writeln!(s);
     let _ = writeln!(s, "FIGURE 4(b): same, collection starting at a random position");
@@ -258,6 +266,17 @@ mod tests {
         let csv = to_csv(&r);
         assert!(csv.starts_with("interval_s,"));
         assert_eq!(csv.lines().count(), 1 + cfg.intervals.len());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut cfg = ExperimentConfig::small();
+        let users = prepare_users(&cfg);
+        cfg.threads = 1;
+        let seq = run(&cfg, &users);
+        cfg.threads = 4;
+        let par = run(&cfg, &users);
+        assert_eq!(seq, par);
     }
 
     #[test]

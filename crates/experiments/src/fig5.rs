@@ -55,6 +55,29 @@ pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> Fig5Result {
         store2.insert(u.user_id, u.profile2.clone());
     }
 
+    // The per-user inference (profile building + matching against every
+    // stored profile, per interval) dominates; fan it out across workers
+    // and fold per interval in user-index order below, so the f64 degree
+    // sums are bit-identical to a sequential walk.
+    let per_user = crate::pool::map_users(users.len() as u32, cfg.threads, |i| {
+        let u = &users[i as usize];
+        u.per_interval
+            .iter()
+            .map(|data| {
+                let obs1 = Profile::from_stays(PatternKind::RegionVisits, &data.stays, &grid);
+                let obs2 = Profile::from_stays(PatternKind::MovementPattern, &data.stays, &grid);
+                let inf1 = store1.infer(&obs1, &cfg.matcher, Weighting::PaperChiSquare);
+                let inf2 = store2.infer(&obs2, &cfg.matcher, Weighting::PaperChiSquare);
+                (
+                    inf1.identified_user() == Some(u.user_id),
+                    inf2.identified_user() == Some(u.user_id),
+                    inf1.degree(),
+                    inf2.degree(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+
     let rows = cfg
         .intervals
         .iter()
@@ -74,20 +97,14 @@ pub fn run(cfg: &ExperimentConfig, users: &[UserData]) -> Fig5Result {
             let mut n1 = 0usize;
             let mut sum2 = 0.0;
             let mut n2 = 0usize;
-            for u in users {
-                let data = &u.per_interval[k];
-                let obs1 = Profile::from_stays(PatternKind::RegionVisits, &data.stays, &grid);
-                let obs2 = Profile::from_stays(PatternKind::MovementPattern, &data.stays, &grid);
-                let inf1 = store1.infer(&obs1, &cfg.matcher, Weighting::PaperChiSquare);
-                let inf2 = store2.infer(&obs2, &cfg.matcher, Weighting::PaperChiSquare);
-                if inf1.identified_user() == Some(u.user_id) {
+            for outcomes in &per_user {
+                let (ident1, ident2, d1, d2) = outcomes[k];
+                if ident1 {
                     row.identified_p1 += 1;
                 }
-                if inf2.identified_user() == Some(u.user_id) {
+                if ident2 {
                     row.identified_p2 += 1;
                 }
-                let d1 = inf1.degree();
-                let d2 = inf2.degree();
                 if let Some(d) = d1 {
                     sum1 += d;
                     n1 += 1;
@@ -124,7 +141,14 @@ pub fn to_csv(result: &Fig5Result) -> String {
         let _ = writeln!(
             s,
             "{},{},{},{},{},{},{:.6},{:.6}",
-            r.interval_s, r.p2_more_serious, r.p1_more_serious, r.ties, r.identified_p1, r.identified_p2, r.mean_degree_p1, r.mean_degree_p2
+            r.interval_s,
+            r.p2_more_serious,
+            r.p1_more_serious,
+            r.ties,
+            r.identified_p1,
+            r.identified_p2,
+            r.mean_degree_p1,
+            r.mean_degree_p2
         );
     }
     s
@@ -204,6 +228,17 @@ mod tests {
         let csv = to_csv(&r);
         assert!(csv.starts_with("interval_s,"));
         assert_eq!(csv.lines().count(), 1 + cfg.intervals.len());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut cfg = ExperimentConfig::small();
+        let users = prepare_users(&cfg);
+        cfg.threads = 1;
+        let seq = run(&cfg, &users);
+        cfg.threads = 4;
+        let par = run(&cfg, &users);
+        assert_eq!(seq, par);
     }
 
     #[test]

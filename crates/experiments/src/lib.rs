@@ -22,6 +22,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod obs;
 pub mod pool;
 pub mod prepare;
 

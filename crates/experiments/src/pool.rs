@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Runs `f(user_idx)` for every `user_idx in 0..n_users` across `threads`
 /// scoped workers and returns the results in index order.
@@ -16,11 +17,19 @@ use std::sync::Mutex;
 /// when per-user cost is skewed; each result lands in its own slot, so the
 /// returned `Vec` is identical whatever the thread count (`threads` is
 /// clamped to `1..=n_users`).
+///
+/// Every pass reports to telemetry: `pool.tasks_claimed_total` advances by
+/// exactly `n_users` (the exactly-once claim invariant the integration
+/// tests assert), and per-worker busy/idle time lands in
+/// `pool.busy_us_total`/`pool.idle_us_total`.
 pub fn map_users<T, F>(n_users: u32, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u32) -> T + Sync,
 {
+    crate::obs::register();
+    crate::obs::POOL_MAPS.inc();
+    let timed = backwatch_obs::enabled();
     let threads = threads.clamp(1, (n_users as usize).max(1));
     let next = AtomicU32::new(0);
     let mut results: Vec<Option<T>> = Vec::new();
@@ -29,13 +38,33 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_users {
-                    break;
+            scope.spawn(|| {
+                crate::obs::POOL_WORKERS_ACTIVE.add(1);
+                let worker_start = Instant::now();
+                let mut busy_us: u64 = 0;
+                let mut claimed: u64 = 0;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_users {
+                        break;
+                    }
+                    claimed += 1;
+                    let task_start = timed.then(Instant::now);
+                    let value = f(i);
+                    if let Some(t0) = task_start {
+                        let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        busy_us += us;
+                        crate::obs::POOL_TASK_US.record(us);
+                    }
+                    **slots[i as usize].lock().expect("slot lock never poisoned") = Some(value);
                 }
-                let value = f(i);
-                **slots[i as usize].lock().expect("slot lock never poisoned") = Some(value);
+                crate::obs::POOL_TASKS_CLAIMED.add(claimed);
+                if timed {
+                    let total_us = u64::try_from(worker_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    crate::obs::POOL_BUSY_US.add(busy_us);
+                    crate::obs::POOL_IDLE_US.add(total_us.saturating_sub(busy_us));
+                }
+                crate::obs::POOL_WORKERS_ACTIVE.add(-1);
             });
         }
     });

@@ -21,13 +21,21 @@ fn prepared_users_match_the_owned_latlon_pipeline() {
         let user = generate_user(&cfg.synth, user_idx);
 
         assert_eq!(prepared.trace_len, user.trace.len());
-        assert_eq!(prepared.full_stays, extractor.extract(&user.trace), "full stays, user {user_idx}");
+        assert_eq!(
+            prepared.full_stays,
+            extractor.extract(&user.trace),
+            "full stays, user {user_idx}"
+        );
 
         for (slot, &interval_s) in prepared.per_interval.iter().zip(&cfg.intervals) {
             let owned = sampling::downsample(&user.trace, interval_s);
             assert_eq!(slot.interval_s, interval_s);
             assert_eq!(slot.collected_points, owned.len(), "interval {interval_s}, user {user_idx}");
-            assert_eq!(slot.stays, extractor.extract(&owned), "interval {interval_s}, user {user_idx}");
+            assert_eq!(
+                slot.stays,
+                extractor.extract(&owned),
+                "interval {interval_s}, user {user_idx}"
+            );
         }
 
         // The rotated variant must consume the rng stream exactly like the
@@ -35,6 +43,10 @@ fn prepared_users_match_the_owned_latlon_pipeline() {
         let mut rng = StdRng::seed_from_u64(cfg.synth.seed ^ (u64::from(user_idx) << 17) ^ 0x000F_1CED);
         let rotated_trace = sampling::from_random_start(&user.trace, &mut rng);
         assert_eq!(prepared.rotated.collected_points, rotated_trace.len());
-        assert_eq!(prepared.rotated.stays, extractor.extract(&rotated_trace), "rotation, user {user_idx}");
+        assert_eq!(
+            prepared.rotated.stays,
+            extractor.extract(&rotated_trace),
+            "rotation, user {user_idx}"
+        );
     }
 }

@@ -47,8 +47,7 @@ pub fn destination(start: LatLon, bearing_deg: f64, distance_m: f64) -> LatLon {
     let lat1 = start.lat_rad();
     let lon1 = start.lon_rad();
     let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
-    let lon2 = lon1
-        + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+    let lon2 = lon1 + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
     LatLon::clamped(lat2.to_degrees(), lon2.to_degrees())
 }
 

@@ -77,7 +77,9 @@ impl LocalProjection {
     /// degenerates there).
     #[must_use]
     pub fn new(anchor: LatLon) -> Self {
-        Self { frame: Frame::new(anchor) }
+        Self {
+            frame: Frame::new(anchor),
+        }
     }
 
     /// The anchor coordinate.

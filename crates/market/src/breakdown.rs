@@ -26,8 +26,7 @@ pub struct CategoryRow {
 /// Computes the per-category breakdown.
 #[must_use]
 pub fn category_breakdown(corpus: &[MarketApp], observations: &[DynamicObservation]) -> Vec<CategoryRow> {
-    let mut by_package: HashMap<&str, &DynamicObservation> =
-        HashMap::with_capacity(observations.len());
+    let mut by_package: HashMap<&str, &DynamicObservation> = HashMap::with_capacity(observations.len());
     for o in observations {
         by_package.insert(o.package.as_str(), o);
     }

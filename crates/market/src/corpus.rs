@@ -440,9 +440,18 @@ pub fn generate(cfg: &CorpusConfig) -> Vec<MarketApp> {
     let used_fine = quotas.table1_row_total(LocationClaim::FineOnly);
     let used_coarse = quotas.table1_row_total(LocationClaim::CoarseOnly);
     let used_both = quotas.table1_row_total(LocationClaim::FineAndCoarse);
-    claim_pool.extend(std::iter::repeat_n(LocationClaim::FineOnly, quotas.fine_only.saturating_sub(used_fine)));
-    claim_pool.extend(std::iter::repeat_n(LocationClaim::CoarseOnly, quotas.coarse_only.saturating_sub(used_coarse)));
-    claim_pool.extend(std::iter::repeat_n(LocationClaim::FineAndCoarse, quotas.both.saturating_sub(used_both)));
+    claim_pool.extend(std::iter::repeat_n(
+        LocationClaim::FineOnly,
+        quotas.fine_only.saturating_sub(used_fine),
+    ));
+    claim_pool.extend(std::iter::repeat_n(
+        LocationClaim::CoarseOnly,
+        quotas.coarse_only.saturating_sub(used_coarse),
+    ));
+    claim_pool.extend(std::iter::repeat_n(
+        LocationClaim::FineAndCoarse,
+        quotas.both.saturating_sub(used_both),
+    ));
     // Rounding at tiny scales can leave the pool short; pad with the modal
     // claim.
     while claim_pool.len() < fg_idx.len() + inert_idx.len() {
@@ -457,8 +466,7 @@ pub fn generate(cfg: &CorpusConfig) -> Vec<MarketApp> {
         let claim = claim_iter.next().expect("claim pool sized above");
         let combo = pick_fg_combo(claim, &mut rng);
         let interval = rng.gen_range(1..=60);
-        let behavior = LocationBehavior::requester(combo.providers().iter().copied(), interval)
-            .auto_start(k < fg_auto_quota);
+        let behavior = LocationBehavior::requester(combo.providers().iter().copied(), interval).auto_start(k < fg_auto_quota);
         plans[slot] = Plan {
             claim,
             auto_start: behavior.is_auto_start(),
@@ -556,9 +564,7 @@ mod tests {
     #[test]
     fn paper_interval_cdf_anchors() {
         let q = Quotas::scaled(2800);
-        let at_or_below = |cut: i64| -> usize {
-            q.intervals.iter().filter(|&&(s, _)| s <= cut).map(|&(_, c)| c).sum()
-        };
+        let at_or_below = |cut: i64| -> usize { q.intervals.iter().filter(|&&(s, _)| s <= cut).map(|&(_, c)| c).sum() };
         assert_eq!(at_or_below(10), 59); // 57.8 %
         assert_eq!(at_or_below(60), 70); // 68.6 %
         assert_eq!(at_or_below(600), 85); // ≈ 83 %

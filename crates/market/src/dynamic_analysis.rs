@@ -9,8 +9,8 @@
 //! the app's internal `LocationBehavior` — so the pipeline has the same
 //! observability limits the authors had.
 
-use crate::corpus::{MarketApp, ProviderCombo};
 use crate::category::Category;
+use crate::corpus::{MarketApp, ProviderCombo};
 use backwatch_android::dumpsys;
 use backwatch_android::provider::{Granularity, ProviderKind};
 use backwatch_android::system::Device;
@@ -55,8 +55,7 @@ impl DynamicObservation {
     /// "accesses precise location" classification.
     #[must_use]
     pub fn uses_fine_in_practice(&self) -> bool {
-        self.providers.contains(&ProviderKind::Gps)
-            || (self.providers.contains(&ProviderKind::Fused) && self.claim.allows_fine())
+        self.providers.contains(&ProviderKind::Gps) || (self.providers.contains(&ProviderKind::Fused) && self.claim.allows_fine())
     }
 }
 
@@ -88,6 +87,8 @@ impl Default for Protocol {
 /// crashing app would have looked to the authors.
 #[must_use]
 pub fn analyze_app(entry: &MarketApp, protocol: Protocol) -> DynamicObservation {
+    crate::obs::register();
+    crate::obs::DYNAMIC_APPS.inc();
     let mut device = Device::new();
     let id = device.install(entry.app.clone());
     let mut providers: BTreeSet<ProviderKind> = BTreeSet::new();
@@ -125,6 +126,7 @@ pub fn analyze_app(entry: &MarketApp, protocol: Protocol) -> DynamicObservation 
         let bg_entries: Vec<_> = entries.iter().filter(|e| e.background).collect();
         if !bg_entries.is_empty() {
             background = true;
+            crate::obs::DYNAMIC_BACKGROUND_APPS.inc();
             providers.extend(bg_entries.iter().map(|e| e.provider));
             bg_interval_s = bg_entries.iter().map(|e| e.interval_s).min();
         }

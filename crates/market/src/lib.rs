@@ -42,6 +42,7 @@ pub mod breakdown;
 pub mod category;
 pub mod corpus;
 pub mod dynamic_analysis;
+pub mod obs;
 pub mod report;
 pub mod static_analysis;
 pub mod stats;

@@ -1,0 +1,40 @@
+//! Telemetry statics for the market crate.
+
+use backwatch_obs::Counter;
+use std::sync::Once;
+
+/// Apps run through the dynamic-analysis protocol.
+pub static DYNAMIC_APPS: Counter = Counter::new();
+/// Apps observed to keep listeners alive in the background.
+pub static DYNAMIC_BACKGROUND_APPS: Counter = Counter::new();
+
+static REGISTER: Once = Once::new();
+
+/// Registers this crate's metrics with the global registry (idempotent).
+pub fn register() {
+    REGISTER.call_once(|| {
+        backwatch_obs::register_counter(
+            "market.dynamic.apps_analyzed_total",
+            "apps run through the dynamic-analysis protocol",
+            &DYNAMIC_APPS,
+        );
+        backwatch_obs::register_counter(
+            "market.dynamic.background_apps_total",
+            "apps whose listeners survived backgrounding",
+            &DYNAMIC_BACKGROUND_APPS,
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn register_is_idempotent() {
+        super::register();
+        super::register();
+        let snap = backwatch_obs::snapshot();
+        if !snap.samples.is_empty() {
+            assert!(snap.counter("market.dynamic.apps_analyzed_total").is_some());
+        }
+    }
+}

@@ -29,7 +29,12 @@ pub fn render_headline(h: &HeadlineStats) -> String {
         h.coarse_only,
         pct(h.coarse_only, h.declaring)
     );
-    let _ = writeln!(s, "    both:                        {} ({:.0}%)", h.both, pct(h.both, h.declaring));
+    let _ = writeln!(
+        s,
+        "    both:                        {} ({:.0}%)",
+        h.both,
+        pct(h.both, h.declaring)
+    );
     let _ = writeln!(s, "  functionally access location:  {}", h.functional);
     let _ = writeln!(s, "    auto-request at launch:      {}", h.auto_start);
     let _ = writeln!(
@@ -93,7 +98,11 @@ pub fn render_table1(t: &ProviderTable) -> String {
 #[must_use]
 pub fn render_fig1(cdf: &IntervalCdf) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "FIGURE 1: CDF of background location-request intervals ({} apps)", cdf.len());
+    let _ = writeln!(
+        s,
+        "FIGURE 1: CDF of background location-request intervals ({} apps)",
+        cdf.len()
+    );
     let _ = writeln!(s, "{:>10}  {:>8}", "interval_s", "cdf");
     for (x, f) in cdf.series() {
         let _ = writeln!(s, "{x:>10}  {:>7.1}%", f * 100.0);

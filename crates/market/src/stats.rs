@@ -121,7 +121,11 @@ impl ProviderTable {
     /// The three claim rows in Table I order.
     #[must_use]
     pub fn rows() -> [LocationClaim; 3] {
-        [LocationClaim::FineOnly, LocationClaim::CoarseOnly, LocationClaim::FineAndCoarse]
+        [
+            LocationClaim::FineOnly,
+            LocationClaim::CoarseOnly,
+            LocationClaim::FineAndCoarse,
+        ]
     }
 }
 
@@ -224,7 +228,10 @@ mod tests {
         assert_eq!(h.functional, q.functional);
         assert_eq!(h.background, q.background);
         assert_eq!(h.bg_auto_start, q.bg_auto_start);
-        assert_eq!(h.bg_claim_fine, q.table1_row_total(LocationClaim::FineOnly) + q.table1_row_total(LocationClaim::FineAndCoarse));
+        assert_eq!(
+            h.bg_claim_fine,
+            q.table1_row_total(LocationClaim::FineOnly) + q.table1_row_total(LocationClaim::FineAndCoarse)
+        );
     }
 
     #[test]

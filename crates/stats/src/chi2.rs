@@ -221,6 +221,8 @@ impl GofTest {
         if observed.len() < 2 {
             return Err(GofError::TooFewCategories);
         }
+        crate::obs::register();
+        crate::obs::CHI2_EVALS.inc();
         let mut statistic = 0.0;
         for (i, (&o, &e)) in observed.iter().zip(expected).enumerate() {
             if e <= 0.0 || e.is_nan() {
@@ -344,7 +346,13 @@ mod tests {
     #[test]
     fn gof_error_on_length_mismatch() {
         let err = chi_square_gof(&[1.0, 2.0], &[1.0, 2.0, 3.0]).unwrap_err();
-        assert!(matches!(err, GofError::LengthMismatch { observed: 2, expected: 3 }));
+        assert!(matches!(
+            err,
+            GofError::LengthMismatch {
+                observed: 2,
+                expected: 3
+            }
+        ));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod divergence;
 pub mod entropy;
 pub mod gamma;
 pub mod histogram;
+pub mod obs;
 pub mod sampling;
 pub mod summary;
 

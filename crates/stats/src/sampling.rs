@@ -21,7 +21,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `sd` is negative or either parameter is non-finite.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
-    assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0, "bad normal params mean={mean} sd={sd}");
+    assert!(
+        mean.is_finite() && sd.is_finite() && sd >= 0.0,
+        "bad normal params mean={mean} sd={sd}"
+    );
     mean + sd * standard_normal(rng)
 }
 

@@ -91,12 +91,7 @@ mod tests {
     fn trace_of(n: i64) -> Trace {
         Trace::from_points(
             (0..n)
-                .map(|i| {
-                    TracePoint::new(
-                        Timestamp::from_secs(i),
-                        LatLon::new(39.9 + i as f64 * 1e-5, 116.4).unwrap(),
-                    )
-                })
+                .map(|i| TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9 + i as f64 * 1e-5, 116.4).unwrap()))
                 .collect(),
         )
     }
@@ -133,12 +128,7 @@ mod tests {
         let tr = trace_of(1000);
         let mut rng = StdRng::seed_from_u64(2);
         let noisy = jitter(&tr, 5.0, &mut rng);
-        let mean_disp: f64 = tr
-            .iter()
-            .zip(noisy.iter())
-            .map(|(a, b)| haversine(a.pos, b.pos))
-            .sum::<f64>()
-            / tr.len() as f64;
+        let mean_disp: f64 = tr.iter().zip(noisy.iter()).map(|(a, b)| haversine(a.pos, b.pos)).sum::<f64>() / tr.len() as f64;
         // mean of Rayleigh(σ=5) is σ√(π/2) ≈ 6.27 m
         assert!((mean_disp - 6.27).abs() < 0.8, "mean displacement {mean_disp}");
     }

@@ -380,12 +380,16 @@ mod tests {
         // build root/007/Trajectory/{a,b}.plt and root/008/Trajectory/c.plt
         let root = std::env::temp_dir().join(format!("backwatch-geolife-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
-        let t1 = Trace::from_points((0..10).map(|i| {
-            TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9, 116.4).unwrap())
-        }).collect());
-        let t2 = Trace::from_points((100..110).map(|i| {
-            TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.95, 116.45).unwrap())
-        }).collect());
+        let t1 = Trace::from_points(
+            (0..10)
+                .map(|i| TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9, 116.4).unwrap()))
+                .collect(),
+        );
+        let t2 = Trace::from_points(
+            (100..110)
+                .map(|i| TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.95, 116.45).unwrap()))
+                .collect(),
+        );
         for (user, parts) in [("007", vec![("a.plt", &t1), ("b.plt", &t2)]), ("008", vec![("c.plt", &t1)])] {
             let dir = root.join(user).join("Trajectory");
             std::fs::create_dir_all(&dir).unwrap();

@@ -41,6 +41,7 @@
 pub mod coarsen;
 pub mod dataset;
 pub mod modes;
+pub mod obs;
 pub mod point;
 pub mod projected;
 pub mod sampling;

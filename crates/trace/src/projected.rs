@@ -88,7 +88,12 @@ impl ProjectedTrace {
             .iter()
             .map(|p| {
                 let (x, y) = projection.project(p.pos);
-                ProjectedPoint { time: p.time, pos: p.pos, x, y }
+                ProjectedPoint {
+                    time: p.time,
+                    pos: p.pos,
+                    x,
+                    y,
+                }
             })
             .collect();
         Self {
@@ -99,12 +104,21 @@ impl ProjectedTrace {
     }
 
     fn degenerate(trace: &Trace, anchor: LatLon) -> Self {
-        let anchor = if anchor.lat().abs() >= 89.0 { LatLon::clamped(0.0, anchor.lon()) } else { anchor };
+        let anchor = if anchor.lat().abs() >= 89.0 {
+            LatLon::clamped(0.0, anchor.lon())
+        } else {
+            anchor
+        };
         Self {
             projection: LocalProjection::new(anchor),
             points: trace
                 .iter()
-                .map(|p| ProjectedPoint { time: p.time, pos: p.pos, x: 0.0, y: 0.0 })
+                .map(|p| ProjectedPoint {
+                    time: p.time,
+                    pos: p.pos,
+                    x: 0.0,
+                    y: 0.0,
+                })
                 .collect(),
             slack_per_east_meter: f64::INFINITY,
         }
@@ -237,8 +251,7 @@ mod tests {
         for interval in [1, 60, 7200] {
             let owned = sampling::downsample(&tr, interval);
             let indices = sampling::downsample_indices(&tr, interval);
-            let view: Vec<TracePoint> =
-                proj.sampled(&indices).map(|p| TracePoint::new(p.time, p.pos)).collect();
+            let view: Vec<TracePoint> = proj.sampled(&indices).map(|p| TracePoint::new(p.time, p.pos)).collect();
             assert_eq!(view, owned.points().to_vec(), "interval {interval}");
         }
     }
@@ -249,8 +262,7 @@ mod tests {
         let proj = ProjectedTrace::project(&tr);
         for start in [0, 1, 57, 199] {
             let owned = sampling::rotate_to_start(&tr, start);
-            let view: Vec<TracePoint> =
-                proj.rotated_from(start).map(|p| TracePoint::new(p.time, p.pos)).collect();
+            let view: Vec<TracePoint> = proj.rotated_from(start).map(|p| TracePoint::new(p.time, p.pos)).collect();
             assert_eq!(view, owned.points().to_vec(), "start {start}");
         }
     }

@@ -81,6 +81,9 @@ where
             next_due = Some(t + interval_secs);
         }
     }
+    crate::obs::register();
+    crate::obs::DOWNSAMPLE_CALLS.inc();
+    crate::obs::DOWNSAMPLE_KEPT.add(kept.len() as u64);
     kept
 }
 
@@ -196,9 +199,9 @@ pub fn foreground_sessions<R: Rng + ?Sized>(trace: &Trace, n: usize, rng: &mut R
     Trace::from_points(picked)
 }
 
-/// Collects the first fix of each `interval_secs` window *and* reports how
-/// many fixes of the original trace were observed — convenience for
-/// completeness ratios.
+/// Downsamples exactly like [`downsample`] *and* reports the fraction of
+/// the original trace's fixes that were kept, in `[0, 1]` (`0.0` for an
+/// empty trace) — convenience for completeness ratios.
 #[must_use]
 pub fn downsample_with_ratio(trace: &Trace, interval_secs: i64) -> (Trace, f64) {
     let sampled = downsample(trace, interval_secs);

@@ -21,7 +21,10 @@ use backwatch_geo::enu::Frame;
 /// Panics if `epsilon_m` is negative or non-finite.
 #[must_use]
 pub fn douglas_peucker(trace: &Trace, epsilon_m: f64) -> Trace {
-    assert!(epsilon_m.is_finite() && epsilon_m >= 0.0, "epsilon must be >= 0, got {epsilon_m}");
+    assert!(
+        epsilon_m.is_finite() && epsilon_m >= 0.0,
+        "epsilon must be >= 0, got {epsilon_m}"
+    );
     let pts = trace.points();
     if pts.len() <= 2 || epsilon_m == 0.0 {
         return trace.clone();
@@ -52,12 +55,7 @@ pub fn douglas_peucker(trace: &Trace, epsilon_m: f64) -> Trace {
             stack.push((max_i, b));
         }
     }
-    let kept: Vec<TracePoint> = pts
-        .iter()
-        .zip(&keep)
-        .filter(|&(_, &k)| k)
-        .map(|(p, _)| *p)
-        .collect();
+    let kept: Vec<TracePoint> = pts.iter().zip(&keep).filter(|&(_, &k)| k).map(|(p, _)| *p).collect();
     Trace::from_points(kept)
 }
 
@@ -88,9 +86,7 @@ mod tests {
 
     #[test]
     fn straight_line_collapses_to_endpoints() {
-        let pts: Vec<TracePoint> = (0..100)
-            .map(|i| pt(i, 39.9 + i as f64 * 1e-5, 116.4))
-            .collect();
+        let pts: Vec<TracePoint> = (0..100).map(|i| pt(i, 39.9 + i as f64 * 1e-5, 116.4)).collect();
         let trace = Trace::from_points(pts);
         let simplified = douglas_peucker(&trace, 5.0);
         assert_eq!(simplified.len(), 2);
@@ -124,10 +120,7 @@ mod tests {
         // DP guarantee: every dropped point lies within eps of the segment
         // between the surrounding kept points
         let frame = Frame::new(trace.first().unwrap().pos);
-        let kept: Vec<(i64, (f64, f64))> = simplified
-            .iter()
-            .map(|p| (p.time.as_secs(), frame.to_enu(p.pos)))
-            .collect();
+        let kept: Vec<(i64, (f64, f64))> = simplified.iter().map(|p| (p.time.as_secs(), frame.to_enu(p.pos))).collect();
         for p in trace.iter() {
             let t = p.time.as_secs();
             let seg_end = kept.partition_point(|&(kt, _)| kt < t).min(kept.len() - 1).max(1);

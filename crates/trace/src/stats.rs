@@ -42,16 +42,9 @@ pub fn mobility_stats(trace: &Trace, grid: &Grid) -> Option<MobilityStats> {
     // center of mass in the local plane
     let planar: Vec<(f64, f64)> = pts.iter().map(|p| frame.to_enu(p.pos)).collect();
     let n = planar.len() as f64;
-    let (cx, cy) = planar
-        .iter()
-        .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
+    let (cx, cy) = planar.iter().fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
     let (cx, cy) = (cx / n, cy / n);
-    let rog = (planar
-        .iter()
-        .map(|&(x, y)| (x - cx).powi(2) + (y - cy).powi(2))
-        .sum::<f64>()
-        / n)
-        .sqrt();
+    let rog = (planar.iter().map(|&(x, y)| (x - cx).powi(2) + (y - cy).powi(2)).sum::<f64>() / n).sqrt();
 
     let mut cells: HashMap<backwatch_geo::CellId, usize> = HashMap::new();
     for p in pts {

@@ -211,10 +211,17 @@ pub fn generate_user(cfg: &SynthConfig, user_idx: u32) -> UserTrace {
 
     let places = gen_places(cfg, &frame, &mut rng);
     let is_worker = coin(&mut rng, cfg.worker_fraction) && places.iter().any(|p| p.kind == PlaceKind::Work);
-    let zipf = Zipf::new(places.iter().filter(|p| p.kind == PlaceKind::Secondary).count(), cfg.zipf_exponent);
+    let zipf = Zipf::new(
+        places.iter().filter(|p| p.kind == PlaceKind::Secondary).count(),
+        cfg.zipf_exponent,
+    );
 
     let schedule = gen_schedule(cfg, &places, is_worker, &zipf, &mut rng);
     let (trace, true_visits) = record(cfg, &frame, &places, &schedule, &mut rng);
+
+    crate::obs::register();
+    crate::obs::SYNTH_USERS.inc();
+    crate::obs::SYNTH_POINTS.add(trace.len() as u64);
 
     UserTrace {
         user_id: user_idx,

@@ -141,10 +141,7 @@ impl Trace {
     /// Total path length in meters (sum of consecutive great-circle hops).
     #[must_use]
     pub fn path_length_m(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| distance::haversine(w[0].pos, w[1].pos))
-            .sum()
+        self.points.windows(2).map(|w| distance::haversine(w[0].pos, w[1].pos)).sum()
     }
 
     /// The smallest box containing every fix, or `None` if empty.
@@ -167,7 +164,9 @@ impl Trace {
         for &p in &self.points {
             if let Some(last) = current.last() {
                 if p.time - last.time > max_gap_secs {
-                    out.push(Trace { points: std::mem::take(&mut current) });
+                    out.push(Trace {
+                        points: std::mem::take(&mut current),
+                    });
                 }
             }
             current.push(p);

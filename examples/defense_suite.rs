@@ -74,7 +74,11 @@ fn main() {
         outcomes.push(evaluate(m.as_ref(), &ctx, &mut rng));
     }
 
-    println!("defending user {} against a {}-profile adversary\n", victim.user_id, store.len());
+    println!(
+        "defending user {} against a {}-profile adversary\n",
+        victim.user_id,
+        store.len()
+    );
     print!("{}", render_outcomes(&outcomes));
     println!();
     println!("reading guide: err_m is the utility cost an honest app pays; recall/sens/identified");

@@ -30,12 +30,7 @@ fn main() {
         user.trace.len()
     );
     for place in places.places().iter().take(8) {
-        println!(
-            "  place {} at {}: {} visits",
-            place.id,
-            place.centroid,
-            place.visit_count()
-        );
+        println!("  place {} at {}: {} visits", place.id, place.centroid, place.visit_count());
     }
 
     // What the app's backend can literally write down about the user.

@@ -82,8 +82,7 @@ fn trace_level_lppm_composes_with_device_collection() {
     let mut rng = StdRng::seed_from_u64(11);
     let grid = Grid::new(SynthConfig::small().city_center, 250.0);
 
-    let truncated = GridTruncation::new(Grid::new(SynthConfig::small().city_center, 2000.0))
-        .apply(&collected, &mut rng);
+    let truncated = GridTruncation::new(Grid::new(SynthConfig::small().city_center, 2000.0)).apply(&collected, &mut rng);
     let throttled = ReleaseThrottle::new(3600).apply(&collected, &mut rng);
 
     let raw = PrivacyReport::analyze(&collected, &grid);

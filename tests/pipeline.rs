@@ -167,8 +167,7 @@ fn coarse_only_app_cannot_pinpoint_sensitive_places() {
         assert!(!fine_places.is_empty());
 
         // Released through a 1 km coarsening grid (the defense).
-        let coarse_trace =
-            backwatch::trace::coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, 1000.0));
+        let coarse_trace = backwatch::trace::coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, 1000.0));
         let coarse_stays = extractor.extract(&coarse_trace);
         let coarse_report = match_against_truth(&coarse_stays, &user, params.min_visit_secs, 200.0, params.metric);
         let fine_report = match_against_truth(&fine_stays, &user, params.min_visit_secs, 200.0, params.metric);

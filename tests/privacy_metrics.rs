@@ -40,16 +40,8 @@ fn top2_regions_identify_everyone_in_the_population() {
 fn sparse_release_lengthens_tracking_runs() {
     let (_, users) = population();
     let others: Vec<&backwatch::trace::Trace> = users[1..].iter().map(|u| &u.trace).collect();
-    let dense = time_to_confusion(
-        &sampling::downsample(&users[0].trace, 60),
-        &others,
-        TtcConfig::default(),
-    );
-    let sparse = time_to_confusion(
-        &sampling::downsample(&users[0].trace, 3600),
-        &others,
-        TtcConfig::default(),
-    );
+    let dense = time_to_confusion(&sampling::downsample(&users[0].trace, 60), &others, TtcConfig::default());
+    let sparse = time_to_confusion(&sampling::downsample(&users[0].trace, 3600), &others, TtcConfig::default());
     // fewer release moments -> fewer confusion opportunities
     assert!(sparse.confusion_events <= dense.confusion_events);
     assert!(dense.fixes > sparse.fixes);
@@ -112,7 +104,10 @@ fn simplification_preserves_poi_extraction() {
     let full = extractor.extract(&user.trace);
     // simplify well below the PoI radius: dwell geometry survives
     let simplified = douglas_peucker(&user.trace, 10.0);
-    assert!(simplified.len() < user.trace.len() / 2, "simplification should drop redundancy");
+    assert!(
+        simplified.len() < user.trace.len() / 2,
+        "simplification should drop redundancy"
+    );
     let slim = extractor.extract(&simplified);
     // dwells survive as stays (counts may merge/split slightly)
     assert!(

@@ -98,7 +98,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, pred }
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
     }
 
     /// Erases the strategy's type.
@@ -288,20 +292,29 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        Self { lo: n, hi_exclusive: n + 1 }
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        Self { lo: r.start, hi_exclusive: r.end }
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        Self { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        Self {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
     }
 }
 
@@ -311,7 +324,10 @@ pub mod collection {
 
     /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -591,8 +607,8 @@ macro_rules! prop_oneof {
 /// Everything a property test file needs.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
     };
 }
 
