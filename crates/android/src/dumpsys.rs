@@ -280,7 +280,7 @@ mod tests {
         // at least our own bump (other tests may add more concurrently);
         // with obs built `disabled` the registry is empty and counters stay 0
         if !backwatch_obs::snapshot().samples.is_empty() {
-            assert!(after >= before + 1, "bad-state counter did not move");
+            assert!(after > before, "bad-state counter did not move");
         }
     }
 

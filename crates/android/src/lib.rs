@@ -46,9 +46,6 @@
 //! # Ok::<(), backwatch_android::system::DeviceError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod app;
 pub mod dumpsys;
 pub mod energy;

@@ -5,7 +5,7 @@ use crate::app::App;
 use crate::energy::EnergyModel;
 use crate::lifecycle::{apply, AppState, Transition};
 use crate::provider::{Granularity, ProviderKind};
-use backwatch_geo::{Grid, LatLon};
+use backwatch_geo::{Grid, LatLon, Meters};
 use backwatch_trace::{Timestamp, Trace, TracePoint};
 use std::error::Error;
 use std::fmt;
@@ -170,7 +170,7 @@ struct CachedFix {
 
 /// Cell size used to degrade fine positions into coarse fixes, matching the
 /// few-hundred-meter precision of cell/wifi positioning.
-const COARSE_CELL_M: f64 = 300.0;
+const COARSE_CELL_M: Meters = Meters::new(300.0);
 
 /// The simulated Android device.
 ///
@@ -905,7 +905,7 @@ mod tests {
         let got = d.collected_trace(id).unwrap();
         assert!(got.len() >= 9, "expected ~10 fixes, got {}", got.len());
         // every collected fix sits on the route (no coarsening for gps)
-        let sampled = sampling::downsample(&route, 20);
+        let sampled = sampling::downsample(&route, backwatch_geo::Seconds::new(20));
         assert!(got.len() <= sampled.len() + 1);
     }
 

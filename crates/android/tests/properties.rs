@@ -1,6 +1,8 @@
 //! Property-based tests for the simulated Android stack: lifecycle
 //! fuzzing, dumpsys robustness, and scheduling invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_android::app::{AppBuilder, LocationBehavior};
 use backwatch_android::dumpsys;
 use backwatch_android::lifecycle::AppState;

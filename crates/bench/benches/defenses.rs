@@ -1,5 +1,7 @@
 //! Benchmarks of the LPPM mechanisms and their evaluation harness.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_bench::bench_user;
 use backwatch_core::adversary::ProfileStore;
 use backwatch_core::hisbin::Matcher;
@@ -13,6 +15,7 @@ use backwatch_defense::throttle::ReleaseThrottle;
 use backwatch_defense::truncation::GridTruncation;
 use backwatch_defense::{Lppm, NoDefense};
 use backwatch_geo::{Grid, LatLon};
+use backwatch_geo::{Meters, Seconds};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,11 +33,20 @@ fn mechanisms(c: &mut Criterion) {
         LatLon::new(39.85, 116.35).unwrap(),
     ];
     let mechs: Vec<(&str, Box<dyn Lppm>)> = vec![
-        ("truncation", Box::new(GridTruncation::new(Grid::new(origin(), 1000.0)))),
-        ("perturbation", Box::new(GaussianPerturbation::new(100.0))),
-        ("cloaking", Box::new(KAnonymousCloaking::new(origin(), 250.0, 7, 2, anchors))),
-        ("throttle", Box::new(ReleaseThrottle::new(600))),
-        ("decoy", Box::new(SyntheticDecoy::new(origin(), 20.0, 500.0))),
+        (
+            "truncation",
+            Box::new(GridTruncation::new(Grid::new(origin(), Meters::new(1000.0)))),
+        ),
+        ("perturbation", Box::new(GaussianPerturbation::new(Meters::new(100.0)))),
+        (
+            "cloaking",
+            Box::new(KAnonymousCloaking::new(origin(), Meters::new(250.0), 7, 2, anchors)),
+        ),
+        ("throttle", Box::new(ReleaseThrottle::new(Seconds::new(600)))),
+        (
+            "decoy",
+            Box::new(SyntheticDecoy::new(origin(), Meters::new(20.0), Meters::new(500.0))),
+        ),
     ];
     let mut g = c.benchmark_group("defense/apply");
     g.throughput(Throughput::Elements(user.trace.len() as u64));
@@ -52,7 +64,7 @@ fn mechanisms(c: &mut Criterion) {
 fn evaluation_harness(c: &mut Criterion) {
     let user = bench_user();
     let params = ExtractorParams::paper_set1();
-    let grid = Grid::new(origin(), 250.0);
+    let grid = Grid::new(origin(), Meters::new(250.0));
     let stays = SpatioTemporalExtractor::new(params).extract(&user.trace);
     let profile = Profile::from_stays(PatternKind::MovementPattern, &stays, &grid);
     let mut store = ProfileStore::new(PatternKind::MovementPattern);
@@ -66,7 +78,7 @@ fn evaluation_harness(c: &mut Criterion) {
         matcher: Matcher::paper(),
     };
     c.bench_function("defense/evaluate_throttle", |b| {
-        let mech = ReleaseThrottle::new(300);
+        let mech = ReleaseThrottle::new(Seconds::new(300));
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(5);
             evaluate(black_box(&mech), &ctx, &mut rng)

@@ -1,6 +1,8 @@
 //! Benchmarks regenerating the paper's §IV figures (Table III / Figure 2,
 //! Figure 3, Figure 4, Figure 5) at test scale.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_experiments::{fig2, fig3, fig4, fig5, prepare, ExperimentConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -2,6 +2,8 @@
 //! statistics, Table I, and Figure 1, plus the pipeline stages behind
 //! them.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_market::corpus::{self, CorpusConfig};
 use backwatch_market::{dynamic_analysis, run_study, static_analysis, stats};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};

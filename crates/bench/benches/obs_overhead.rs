@@ -6,6 +6,8 @@
 //! telemetry enabled and with the runtime switch off; the companion test
 //! in `tests/obs_overhead_guard.rs` asserts the budget with slack.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_bench::bench_user_long;
 use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
 use backwatch_trace::ProjectedTrace;

@@ -2,8 +2,11 @@
 //! the paper's three-buffer Spatio-Temporal algorithm vs the naive
 //! anchor-based dwell detector, across sampling rates and parameters.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_bench::{bench_user, bench_user_long};
 use backwatch_core::poi::{cluster_stays, ExtractorParams, NaiveDwellExtractor, SpatioTemporalExtractor};
+use backwatch_geo::{Meters, Seconds};
 use backwatch_trace::{sampling, ProjectedTrace};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -60,7 +63,7 @@ fn extraction_vs_sampling_rate(c: &mut Criterion) {
     let projected = ProjectedTrace::project(&user.trace);
     let mut g = c.benchmark_group("poi/by_interval");
     for interval in [1i64, 60, 600] {
-        let indices = sampling::downsample_indices(&user.trace, interval);
+        let indices = sampling::downsample_indices(&user.trace, Seconds::new(interval));
         g.throughput(Throughput::Elements(indices.len() as u64));
         g.bench_function(format!("interval_{interval}s"), |b| {
             b.iter(|| e.extract_sampled(black_box(&projected), black_box(&indices)));
@@ -80,13 +83,13 @@ fn sampling_owned_vs_views(c: &mut Criterion) {
     for interval in [60i64, 600] {
         g.bench_function(format!("owned_{interval}s"), |b| {
             b.iter(|| {
-                let t = sampling::downsample(black_box(&user.trace), interval);
+                let t = sampling::downsample(black_box(&user.trace), Seconds::new(interval));
                 e.extract(&t)
             });
         });
         g.bench_function(format!("view_{interval}s"), |b| {
             b.iter(|| {
-                let ix = sampling::downsample_indices(black_box(&user.trace), interval);
+                let ix = sampling::downsample_indices(black_box(&user.trace), Seconds::new(interval));
                 e.extract_sampled(&projected, &ix)
             });
         });
@@ -111,7 +114,7 @@ fn clustering(c: &mut Criterion) {
     let params = ExtractorParams::paper_set1();
     let stays = SpatioTemporalExtractor::new(params).extract(&user.trace);
     c.bench_function("poi/cluster_stays", |b| {
-        b.iter(|| cluster_stays(black_box(&stays), 150.0, params.metric));
+        b.iter(|| cluster_stays(black_box(&stays), Meters::new(150.0), params.metric));
     });
 }
 

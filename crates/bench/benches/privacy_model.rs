@@ -2,19 +2,22 @@
 //! (both patterns — the paper's central comparison), incremental
 //! detection, and the adversary's inference attack.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_bench::bench_stays;
 use backwatch_core::adversary::ProfileStore;
 use backwatch_core::anonymity::Weighting;
 use backwatch_core::hisbin::{detect_incremental, Matcher};
 use backwatch_core::pattern::{PatternKind, Profile};
 use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch_geo::Meters;
 use backwatch_geo::{Grid, LatLon};
 use backwatch_trace::synth::{generate_user, SynthConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn grid() -> Grid {
-    Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), 250.0)
+    Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), Meters::new(250.0))
 }
 
 fn profile_building(c: &mut Criterion) {

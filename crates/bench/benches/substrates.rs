@@ -2,11 +2,14 @@
 //! equirectangular), downsampling, mobility synthesis, chi-square, and
 //! the simulated device's tick loop.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_android::app::{AppBuilder, LocationBehavior};
 use backwatch_android::permission::Permission;
 use backwatch_android::provider::ProviderKind;
 use backwatch_android::system::{Device, PositionSource};
 use backwatch_bench::bench_user;
+use backwatch_geo::Seconds;
 use backwatch_geo::{distance, LatLon};
 use backwatch_stats::chi2;
 use backwatch_trace::{sampling, synth};
@@ -39,7 +42,7 @@ fn downsampling(c: &mut Criterion) {
     g.throughput(Throughput::Elements(user.trace.len() as u64));
     for interval in [10i64, 600] {
         g.bench_function(format!("interval_{interval}s"), |b| {
-            b.iter(|| sampling::downsample(black_box(&user.trace), interval));
+            b.iter(|| sampling::downsample(black_box(&user.trace), Seconds::new(interval)));
         });
     }
     g.finish();

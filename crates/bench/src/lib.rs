@@ -3,9 +3,6 @@
 //! The benches live under `benches/`; this library provides the inputs
 //! they share so fixture construction is not measured repeatedly.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor, Stay};
 use backwatch_trace::synth::{generate_user, SynthConfig, UserTrace};
 use backwatch_trace::Trace;

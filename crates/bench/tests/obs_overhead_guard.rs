@@ -8,6 +8,8 @@
 //! puts shared atomics or allocation back into the point loop. Best-of-N
 //! timing is used on both sides for the same reason.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_bench::bench_user_long;
 use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
 use backwatch_trace::ProjectedTrace;

@@ -104,10 +104,9 @@ impl Inference {
     /// one.
     #[must_use]
     pub fn identified_user(&self) -> Option<u32> {
-        if self.matched_users.len() == 1 {
-            Some(self.matched_users[0])
-        } else {
-            None
+        match self.matched_users.as_slice() {
+            [only] => Some(*only),
+            _ => None,
         }
     }
 
@@ -126,7 +125,7 @@ mod tests {
     use backwatch_trace::Timestamp;
 
     fn grid() -> Grid {
-        Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0)
+        Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(250.0))
     }
 
     fn user_profile(lat0: f64) -> Profile {

@@ -46,10 +46,9 @@ impl AnonymityOutcome {
     /// identified.
     #[must_use]
     pub fn identified(&self) -> Option<usize> {
-        if self.matched.len() == 1 {
-            Some(self.matched[0])
-        } else {
-            None
+        match self.matched.as_slice() {
+            [only] => Some(*only),
+            _ => None,
         }
     }
 }
@@ -107,7 +106,7 @@ mod tests {
     use backwatch_trace::Timestamp;
 
     fn grid() -> Grid {
-        Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0)
+        Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(250.0))
     }
 
     fn routine(lat0: f64, days: i64) -> Vec<Stay> {

@@ -7,6 +7,7 @@
 
 use crate::poi::{cluster_stays, PlaceSet, Stay};
 use backwatch_geo::distance::Metric;
+use backwatch_geo::Meters;
 use std::fmt::Write as _;
 
 /// One diary entry: a visit to a known place.
@@ -37,15 +38,15 @@ pub struct Diary {
 impl Diary {
     /// Builds the diary from extracted stays.
     ///
-    /// `merge_radius_m` controls place clustering (use ~3× the extraction
+    /// `merge_radius` controls place clustering (use ~3× the extraction
     /// radius).
     ///
     /// # Panics
     ///
-    /// Panics if `merge_radius_m` is not strictly positive.
+    /// Panics if `merge_radius` is not strictly positive.
     #[must_use]
-    pub fn from_stays(stays: &[Stay], merge_radius_m: f64, metric: Metric) -> Self {
-        let places = cluster_stays(stays, merge_radius_m, metric);
+    pub fn from_stays(stays: &[Stay], merge_radius: Meters, metric: Metric) -> Self {
+        let places = cluster_stays(stays, merge_radius, metric);
         let entries = stays
             .iter()
             .enumerate()
@@ -144,7 +145,7 @@ mod tests {
             stay(39.90, 1, 8, 60),
             stay(39.95, 1, 10, 480),
         ];
-        let diary = Diary::from_stays(&stays, 200.0, Metric::Equirectangular);
+        let diary = Diary::from_stays(&stays, Meters::new(200.0), Metric::Equirectangular);
         assert_eq!(diary.entries.len(), 5);
         assert_eq!(diary.places.len(), 2);
         assert_eq!(diary.days_covered(), 2);
@@ -161,7 +162,7 @@ mod tests {
             s.leave = s.enter + 600 * 60;
         }
         stays.push(stay(39.99, 2, 14, 45)); // one-off visit: sensitive
-        let diary = Diary::from_stays(&stays, 200.0, Metric::Equirectangular);
+        let diary = Diary::from_stays(&stays, Meters::new(200.0), Metric::Equirectangular);
         let text = diary.render();
         assert!(text.contains("(anchor/home)"));
         assert!(text.contains("(rare - sensitive?)"));
@@ -170,7 +171,7 @@ mod tests {
 
     #[test]
     fn empty_diary_is_well_formed() {
-        let diary = Diary::from_stays(&[], 200.0, Metric::Equirectangular);
+        let diary = Diary::from_stays(&[], Meters::new(200.0), Metric::Equirectangular);
         assert!(diary.entries.is_empty());
         assert_eq!(diary.days_covered(), 0);
         assert_eq!(diary.anchor_place(), None);

@@ -38,9 +38,6 @@
 //! assert!(!stays.is_empty(), "a daily routine yields PoI visits");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adversary;
 pub mod anonymity;
 pub mod diary;

@@ -2,6 +2,7 @@
 //! metrics as functions of an app's access interval (Figure 3).
 
 use crate::poi::{cluster_stays, match_against_truth, sensitive_counts, ExtractorParams, SpatioTemporalExtractor, Stay};
+use backwatch_geo::Seconds;
 use backwatch_trace::sampling;
 use backwatch_trace::synth::UserTrace;
 use backwatch_trace::ProjectedTrace;
@@ -34,15 +35,15 @@ pub struct FrequencyImpact {
 /// ground truth, relative to the extraction radius.
 const MATCH_RADIUS_FACTOR: f64 = 3.0;
 
-/// Downsamples `user`'s trace to `interval_s`, extracts PoIs, and scores
+/// Downsamples `user`'s trace to `interval`, extracts PoIs, and scores
 /// them.
 ///
 /// # Panics
 ///
-/// Panics if `interval_s <= 0`.
+/// Panics if `interval` is not positive.
 #[must_use]
-pub fn measure_at_interval(user: &UserTrace, interval_s: i64, params: ExtractorParams) -> FrequencyImpact {
-    measure_projected(user, &ProjectedTrace::project(&user.trace), interval_s, params)
+pub fn measure_at_interval(user: &UserTrace, interval: Seconds, params: ExtractorParams) -> FrequencyImpact {
+    measure_projected(user, &ProjectedTrace::project(&user.trace), interval, params)
 }
 
 /// [`measure_at_interval`] on a trace that was already projected once —
@@ -54,12 +55,12 @@ pub fn measure_at_interval(user: &UserTrace, interval_s: i64, params: ExtractorP
 pub fn measure_projected(
     user: &UserTrace,
     projected: &ProjectedTrace,
-    interval_s: i64,
+    interval: Seconds,
     params: ExtractorParams,
 ) -> FrequencyImpact {
-    let indices = sampling::downsample_indices_from_times(projected.points().iter().map(|p| p.time.as_secs()), interval_s);
+    let indices = sampling::downsample_indices_from_times(projected.points().iter().map(|p| p.time.as_secs()), interval);
     let stays = SpatioTemporalExtractor::new(params).extract_sampled(projected, &indices);
-    impact_from_stays(user, interval_s, indices.len(), &stays, params)
+    impact_from_stays(user, interval, indices.len(), &stays, params)
 }
 
 /// Scores already-extracted stays: the clustering/matching half of
@@ -69,7 +70,7 @@ pub fn measure_projected(
 #[must_use]
 pub fn impact_from_stays(
     user: &UserTrace,
-    interval_s: i64,
+    interval: Seconds,
     collected_points: usize,
     stays: &[Stay],
     params: ExtractorParams,
@@ -78,7 +79,7 @@ pub fn impact_from_stays(
     let places = cluster_stays(stays, match_radius, params.metric);
     let report = match_against_truth(stays, user, params.min_visit_secs, match_radius, params.metric);
     FrequencyImpact {
-        interval_s,
+        interval_s: interval.get(),
         collected_points,
         stays: stays.len(),
         places: places.len(),
@@ -94,7 +95,7 @@ pub fn sweep_intervals(user: &UserTrace, params: ExtractorParams) -> Vec<Frequen
     let projected = ProjectedTrace::project(&user.trace);
     PAPER_INTERVALS
         .iter()
-        .map(|&i| measure_projected(user, &projected, i, params))
+        .map(|&i| measure_projected(user, &projected, Seconds::new(i), params))
         .collect()
 }
 
@@ -106,7 +107,7 @@ mod tests {
     #[test]
     fn one_second_interval_collects_everything() {
         let user = generate_user(&SynthConfig::small(), 0);
-        let m = measure_at_interval(&user, 1, ExtractorParams::paper_set1());
+        let m = measure_at_interval(&user, Seconds::new(1), ExtractorParams::paper_set1());
         assert_eq!(m.collected_points, user.trace.len());
         assert!(m.stays > 0);
         assert!(m.recall > 0.8, "recall {}", m.recall);
@@ -133,7 +134,7 @@ mod tests {
     #[test]
     fn sensitive_counts_are_monotone_in_threshold() {
         let user = generate_user(&SynthConfig::small(), 3);
-        let m = measure_at_interval(&user, 1, ExtractorParams::paper_set1());
+        let m = measure_at_interval(&user, Seconds::new(1), ExtractorParams::paper_set1());
         assert!(m.sensitive[0] <= m.sensitive[1]);
         assert!(m.sensitive[1] <= m.sensitive[2]);
         assert!(m.sensitive[2] <= m.places);

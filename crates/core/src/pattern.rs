@@ -69,7 +69,7 @@ pub enum PatternKey {
 /// use backwatch_geo::{Grid, LatLon};
 /// use backwatch_trace::Timestamp;
 ///
-/// let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0);
+/// let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(250.0));
 /// let stay = |lat: f64, t: i64| Stay {
 ///     centroid: LatLon::new(lat, 116.4).unwrap(),
 ///     enter: Timestamp::from_secs(t),
@@ -175,7 +175,7 @@ mod tests {
     use backwatch_trace::Timestamp;
 
     fn grid() -> Grid {
-        Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0)
+        Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(250.0))
     }
 
     fn stay(lat: f64, lon: f64, t: i64) -> Stay {

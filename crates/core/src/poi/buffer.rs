@@ -16,7 +16,7 @@
 //! the last bit.
 
 use backwatch_geo::distance::Metric;
-use backwatch_geo::LatLon;
+use backwatch_geo::{LatLon, Meters, Seconds};
 use backwatch_obs::LocalCounter;
 use backwatch_trace::{ProjectedPoint, ProjectedTrace, Timestamp, TracePoint};
 use std::collections::VecDeque;
@@ -42,11 +42,11 @@ pub trait BufferPoint: Copy {
     /// The fix's geographic position.
     fn latlon(&self) -> LatLon;
 
-    /// Decides `distance(self, centroid) <= radius_m`, where the centroid
+    /// Decides `distance(self, centroid) <= radius`, where the centroid
     /// is the clamped average of `n` buffered points with the given lat/lon
     /// sums. Implementations may take an approximate path only where a
     /// certified error bound proves the decision equals the exact one.
-    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius_m: f64, ctx: &Self::Ctx) -> bool;
+    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius: Meters, ctx: &Self::Ctx) -> bool;
 }
 
 impl BufferPoint for TracePoint {
@@ -60,9 +60,9 @@ impl BufferPoint for TracePoint {
         self.pos
     }
 
-    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius_m: f64, ctx: &Metric) -> bool {
+    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius: Meters, ctx: &Metric) -> bool {
         let c = LatLon::clamped(sum_lat / n as f64, sum_lon / n as f64);
-        ctx.distance(self.pos, c) <= radius_m
+        ctx.distance(self.pos, c) <= radius.get()
     }
 }
 
@@ -142,7 +142,7 @@ impl BufferPoint for ProjectedPoint {
         self.pos
     }
 
-    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius_m: f64, ctx: &PlanarCtx) -> bool {
+    fn within_radius(&self, sum_lat: f64, sum_lon: f64, n: usize, radius: Meters, ctx: &PlanarCtx) -> bool {
         // Filter: everything is scaled by n so the hot path needs no
         // division — n·dx = n·x − k_lon·(Σlon − n·lon₀) is n times the
         // planar east separation from the centroid, using the same lat/lon
@@ -153,7 +153,7 @@ impl BufferPoint for ProjectedPoint {
         let ndy = nf * self.y - ctx.m_per_deg_lat * (sum_lat - nf * ctx.anchor_lat);
         let nd2 = ndx * ndx + ndy * ndy;
         let neps = ndx.abs() * ctx.slack_per_dx + nf * PLANAR_ABS_SLACK_M;
-        let nr = nf * radius_m;
+        let nr = nf * radius.get();
         let nlo = nr - neps;
         if nlo > 0.0 && nd2 <= nlo * nlo {
             ctx.certified.inc();
@@ -168,7 +168,7 @@ impl BufferPoint for ProjectedPoint {
         // here on every pair) gets exactly the lat/lon path's computation.
         ctx.refined.inc();
         let c = LatLon::clamped(sum_lat / nf, sum_lon / nf);
-        ctx.metric.distance(self.pos, c) <= radius_m
+        ctx.metric.distance(self.pos, c) <= radius.get()
     }
 }
 
@@ -300,35 +300,35 @@ impl<P: BufferPoint> CentroidBuffer<P> {
         self.points.iter().map(|p| metric.distance(p.latlon(), c)).fold(0.0, f64::max)
     }
 
-    /// Decides `spread_m(metric) <= radius_m` without necessarily touching
+    /// Decides `spread_m(metric) <= radius` without necessarily touching
     /// every point: identical to comparing the exact spread (every point's
     /// decision is exact-or-certified), but short-circuits at the first
     /// point found outside the radius — on a moving trace that is usually
     /// the very first one checked.
     #[must_use]
-    pub fn is_within_spread(&self, radius_m: f64, ctx: &P::Ctx) -> bool {
+    pub fn is_within_spread(&self, radius: Meters, ctx: &P::Ctx) -> bool {
         let n = self.points.len();
         self.points
             .iter()
-            .all(|p| p.within_radius(self.sum_lat, self.sum_lon, n, radius_m, ctx))
+            .all(|p| p.within_radius(self.sum_lat, self.sum_lon, n, radius, ctx))
     }
 
-    /// Whether candidate point `p` lies within `radius_m` of this buffer's
+    /// Whether candidate point `p` lies within `radius` of this buffer's
     /// centroid.
     ///
     /// # Panics
     ///
     /// Panics if the buffer is empty (there is no centroid).
     #[must_use]
-    pub fn covers(&self, p: &P, radius_m: f64, ctx: &P::Ctx) -> bool {
+    pub fn covers(&self, p: &P, radius: Meters, ctx: &P::Ctx) -> bool {
         assert!(!self.points.is_empty(), "covers() needs a non-empty buffer");
-        p.within_radius(self.sum_lat, self.sum_lon, self.points.len(), radius_m, ctx)
+        p.within_radius(self.sum_lat, self.sum_lon, self.points.len(), radius, ctx)
     }
 
     /// Drops points from the front until the buffer spans at most
-    /// `max_span_secs`.
-    pub fn trim_to_span(&mut self, max_span_secs: i64) {
-        while self.span_secs() > max_span_secs {
+    /// `max_span`.
+    pub fn trim_to_span(&mut self, max_span: Seconds) {
+        while self.span_secs() > max_span.get() {
             self.pop_front();
         }
     }
@@ -371,7 +371,7 @@ mod tests {
             b.push(pt(t * 10, 39.9, 116.4));
         }
         assert_eq!(b.span_secs(), 90);
-        b.trim_to_span(30);
+        b.trim_to_span(Seconds::new(30));
         assert!(b.span_secs() <= 30);
         assert_eq!(b.len(), 4);
         assert_eq!(b.front().unwrap().time.as_secs(), 60);
@@ -431,7 +431,7 @@ mod tests {
         let metric = Metric::Equirectangular;
         for radius in [0.5, 1.0, 5.0, 12.0, 50.0] {
             assert_eq!(
-                b.is_within_spread(radius, &metric),
+                b.is_within_spread(Meters::new(radius), &metric),
                 b.spread_m(metric) <= radius,
                 "radius {radius}"
             );
@@ -461,8 +461,8 @@ mod tests {
                 if !latlon.is_empty() {
                     for radius in [1.0, 10.0, 50.0, 120.0] {
                         assert_eq!(
-                            latlon.covers(p, radius, &metric),
-                            planar.covers(q, radius, &ctx),
+                            latlon.covers(p, Meters::new(radius), &metric),
+                            planar.covers(q, Meters::new(radius), &ctx),
                             "covers at t={} radius {radius}",
                             p.time
                         );
@@ -472,8 +472,8 @@ mod tests {
                 planar.push(*q);
                 for radius in [1.0, 10.0, 50.0, 120.0] {
                     assert_eq!(
-                        latlon.is_within_spread(radius, &metric),
-                        planar.is_within_spread(radius, &ctx),
+                        latlon.is_within_spread(Meters::new(radius), &metric),
+                        planar.is_within_spread(Meters::new(radius), &ctx),
                         "spread at t={} radius {radius}",
                         p.time
                     );
@@ -487,6 +487,6 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn covers_on_empty_buffer_panics() {
         let b: CentroidBuffer<TracePoint> = CentroidBuffer::new();
-        let _ = b.covers(&pt(0, 39.9, 116.4), 50.0, &Metric::Equirectangular);
+        let _ = b.covers(&pt(0, 39.9, 116.4), Meters::new(50.0), &Metric::Equirectangular);
     }
 }

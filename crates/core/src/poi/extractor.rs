@@ -17,22 +17,22 @@
 
 use super::buffer::{BufferPoint, CentroidBuffer, PlanarCtx};
 use backwatch_geo::distance::Metric;
-use backwatch_geo::LatLon;
+use backwatch_geo::{LatLon, Meters, Seconds};
 use backwatch_trace::{ProjectedTrace, Timestamp, Trace};
 
 /// Parameters of the extractor. The paper's Table III sweeps `radius_m` ∈
-/// {50, 100} and `min_visit_secs` ∈ {600, 1200, 1800}.
+/// {50, 100} meters and `min_visit_secs` ∈ {600, 1200, 1800} seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExtractorParams {
-    /// PoI radius in meters.
-    pub radius_m: f64,
-    /// Minimum dwell for a visit to count as a PoI, seconds.
-    pub min_visit_secs: i64,
-    /// Length of the entry detection window, seconds.
-    pub entry_span_secs: i64,
-    /// Time away from the centroid that confirms an exit, seconds.
-    pub exit_span_secs: i64,
+    /// PoI radius.
+    pub radius_m: Meters,
+    /// Minimum dwell for a visit to count as a PoI.
+    pub min_visit_secs: Seconds,
+    /// Length of the entry detection window.
+    pub entry_span_secs: Seconds,
+    /// Time away from the centroid that confirms an exit.
+    pub exit_span_secs: Seconds,
     /// Distance metric for centroid comparisons.
     pub metric: Metric,
 }
@@ -42,7 +42,7 @@ impl ExtractorParams {
     /// the paper selects for all subsequent measurements.
     #[must_use]
     pub fn paper_set1() -> Self {
-        Self::new(50.0, 10 * 60)
+        Self::new(Meters::new(50.0), Seconds::new(10 * 60))
     }
 
     /// A parameter set with the given radius and visiting time and the
@@ -50,16 +50,16 @@ impl ExtractorParams {
     ///
     /// # Panics
     ///
-    /// Panics if `radius_m <= 0` or `min_visit_secs <= 0`.
+    /// Panics if `radius` is not positive or `min_visit` is not positive.
     #[must_use]
-    pub fn new(radius_m: f64, min_visit_secs: i64) -> Self {
-        assert!(radius_m > 0.0 && radius_m.is_finite(), "radius must be positive");
-        assert!(min_visit_secs > 0, "visiting time must be positive");
+    pub fn new(radius: Meters, min_visit: Seconds) -> Self {
+        assert!(radius.get() > 0.0 && radius.is_finite(), "radius must be positive");
+        assert!(min_visit.get() > 0, "visiting time must be positive");
         Self {
-            radius_m,
-            min_visit_secs,
-            entry_span_secs: 90,
-            exit_span_secs: 90,
+            radius_m: radius,
+            min_visit_secs: min_visit,
+            entry_span_secs: Seconds::new(90),
+            exit_span_secs: Seconds::new(90),
             metric: Metric::Equirectangular,
         }
     }
@@ -68,12 +68,12 @@ impl ExtractorParams {
     #[must_use]
     pub fn table3_sets() -> [ExtractorParams; 6] {
         [
-            Self::new(50.0, 600),
-            Self::new(50.0, 1200),
-            Self::new(50.0, 1800),
-            Self::new(100.0, 600),
-            Self::new(100.0, 1200),
-            Self::new(100.0, 1800),
+            Self::new(Meters::new(50.0), Seconds::new(600)),
+            Self::new(Meters::new(50.0), Seconds::new(1200)),
+            Self::new(Meters::new(50.0), Seconds::new(1800)),
+            Self::new(Meters::new(100.0), Seconds::new(600)),
+            Self::new(Meters::new(100.0), Seconds::new(1200)),
+            Self::new(Meters::new(100.0), Seconds::new(1800)),
         ]
     }
 }
@@ -254,7 +254,7 @@ impl SpatioTemporalExtractor {
                     } else {
                         exit.push(point);
                         let away_secs = point.time() - poi.back().expect("non-empty").time();
-                        if away_secs >= p.exit_span_secs {
+                        if away_secs >= p.exit_span_secs.get() {
                             // Exit confirmed: close the visit.
                             self.close(&poi, last_inside_index, &mut stays);
                             // The exit window seeds the next entry window so
@@ -311,7 +311,7 @@ impl SpatioTemporalExtractor {
             return;
         };
         let dwell = back.time() - front.time();
-        if dwell >= self.params.min_visit_secs {
+        if dwell >= self.params.min_visit_secs.get() {
             stays.push(Stay {
                 centroid,
                 enter: front.time(),
@@ -352,11 +352,11 @@ impl NaiveDwellExtractor {
         let mut i = 0;
         while i < pts.len() {
             let mut j = i + 1;
-            while j < pts.len() && self.params.metric.distance(pts[j].pos, pts[i].pos) <= self.params.radius_m {
+            while j < pts.len() && self.params.metric.distance(pts[j].pos, pts[i].pos) <= self.params.radius_m.get() {
                 j += 1;
             }
             let dwell = pts[j - 1].time - pts[i].time;
-            if dwell >= self.params.min_visit_secs {
+            if dwell >= self.params.min_visit_secs.get() {
                 let mut buf = CentroidBuffer::new();
                 for q in &pts[i..j] {
                     buf.push(*q);
@@ -487,8 +487,8 @@ mod tests {
         pts.extend(walk(700, (39.90, 116.40), (39.91, 116.41), 900));
         pts.extend(dwell(1600, 700, 39.91, 116.41));
         let trace = Trace::from_points(pts);
-        let small = SpatioTemporalExtractor::new(ExtractorParams::new(50.0, 600)).extract(&trace);
-        let large = SpatioTemporalExtractor::new(ExtractorParams::new(100.0, 600)).extract(&trace);
+        let small = SpatioTemporalExtractor::new(ExtractorParams::new(Meters::new(50.0), Seconds::new(600))).extract(&trace);
+        let large = SpatioTemporalExtractor::new(ExtractorParams::new(Meters::new(100.0), Seconds::new(600))).extract(&trace);
         assert!(large.len() >= small.len());
     }
 
@@ -498,8 +498,8 @@ mod tests {
         pts.extend(walk(700, (39.90, 116.40), (39.93, 116.43), 2000));
         pts.extend(dwell(2700, 2000, 39.93, 116.43)); // ~33 min
         let trace = Trace::from_points(pts);
-        let short = SpatioTemporalExtractor::new(ExtractorParams::new(50.0, 600)).extract(&trace);
-        let long = SpatioTemporalExtractor::new(ExtractorParams::new(50.0, 1800)).extract(&trace);
+        let short = SpatioTemporalExtractor::new(ExtractorParams::new(Meters::new(50.0), Seconds::new(600))).extract(&trace);
+        let long = SpatioTemporalExtractor::new(ExtractorParams::new(Meters::new(50.0), Seconds::new(1800))).extract(&trace);
         assert_eq!(short.len(), 2);
         assert_eq!(long.len(), 1);
     }
@@ -549,6 +549,32 @@ mod tests {
     #[test]
     #[should_panic(expected = "radius")]
     fn invalid_radius_panics() {
-        let _ = ExtractorParams::new(0.0, 600);
+        let _ = ExtractorParams::new(Meters::ZERO, Seconds::new(600));
+    }
+
+    #[test]
+    fn empty_trace_yields_no_stays_on_every_path() {
+        let params = ExtractorParams::paper_set1();
+        let extractor = SpatioTemporalExtractor::new(params);
+        let empty = Trace::new();
+        assert!(extractor.extract(&empty).is_empty());
+        let projected = ProjectedTrace::project(&empty);
+        assert!(extractor.extract_projected(&projected).is_empty());
+        assert!(extractor.extract_sampled(&projected, &[]).is_empty());
+        assert!(extractor.extract_rotated(&projected, 0).is_empty());
+        assert!(NaiveDwellExtractor::new(params).extract(&empty).is_empty());
+    }
+
+    #[test]
+    fn one_point_trace_yields_no_stays_on_every_path() {
+        let params = ExtractorParams::paper_set1();
+        let extractor = SpatioTemporalExtractor::new(params);
+        let one = Trace::from_points(vec![pt(0, 39.9, 116.4)]);
+        assert!(extractor.extract(&one).is_empty());
+        let projected = ProjectedTrace::project(&one);
+        assert!(extractor.extract_projected(&projected).is_empty());
+        assert!(extractor.extract_sampled(&projected, &[0]).is_empty());
+        assert!(extractor.extract_rotated(&projected, 0).is_empty());
+        assert!(NaiveDwellExtractor::new(params).extract(&one).is_empty());
     }
 }

@@ -8,6 +8,7 @@
 
 use super::extractor::Stay;
 use backwatch_geo::distance::Metric;
+use backwatch_geo::{Meters, Seconds};
 use backwatch_trace::synth::{TrueVisit, UserTrace};
 
 /// Recovery scoring of one extraction run against ground truth.
@@ -55,27 +56,32 @@ impl RecoveryReport {
 
 /// Matches `stays` against the ground truth of `user`.
 ///
-/// A true visit is *eligible* if its dwell meets `min_visit_secs` (visits
+/// A true visit is *eligible* if its dwell meets `min_visit` (visits
 /// shorter than the extractor's own threshold cannot be expected). A stay
-/// matches a true visit when its centroid lies within `match_radius_m` of
+/// matches a true visit when its centroid lies within `match_radius` of
 /// the visited place and the time intervals overlap.
 ///
 /// # Panics
 ///
-/// Panics if `match_radius_m` is not strictly positive.
+/// Panics if `match_radius` is not strictly positive.
 #[must_use]
 pub fn match_against_truth(
     stays: &[Stay],
     user: &UserTrace,
-    min_visit_secs: i64,
-    match_radius_m: f64,
+    min_visit: Seconds,
+    match_radius: Meters,
     metric: Metric,
 ) -> RecoveryReport {
+    let match_radius_m = match_radius.get();
     assert!(
         match_radius_m > 0.0 && match_radius_m.is_finite(),
         "match radius must be positive, got {match_radius_m}"
     );
-    let eligible: Vec<&TrueVisit> = user.true_visits.iter().filter(|v| v.dwell_secs() >= min_visit_secs).collect();
+    let eligible: Vec<&TrueVisit> = user
+        .true_visits
+        .iter()
+        .filter(|v| v.dwell_secs() >= min_visit.get())
+        .collect();
     let mut hit = vec![false; eligible.len()];
     let mut spurious = 0usize;
     for stay in stays {
@@ -117,7 +123,7 @@ mod tests {
         let u = user();
         let params = ExtractorParams::paper_set1();
         let stays = SpatioTemporalExtractor::new(params).extract(&u.trace);
-        let report = match_against_truth(&stays, &u, params.min_visit_secs, 150.0, params.metric);
+        let report = match_against_truth(&stays, &u, params.min_visit_secs, Meters::new(150.0), params.metric);
         assert!(report.eligible_truth > 0);
         assert!(report.recall() > 0.85, "recall {}, report {report:?}", report.recall());
         assert!(report.precision() > 0.85, "precision {}", report.precision());
@@ -128,9 +134,9 @@ mod tests {
         let u = user();
         let params = ExtractorParams::paper_set1();
         let recall_at = |interval: i64| {
-            let sampled = sampling::downsample(&u.trace, interval);
+            let sampled = sampling::downsample(&u.trace, Seconds::new(interval));
             let stays = SpatioTemporalExtractor::new(params).extract(&sampled);
-            match_against_truth(&stays, &u, params.min_visit_secs, 150.0, params.metric).recall()
+            match_against_truth(&stays, &u, params.min_visit_secs, Meters::new(150.0), params.metric).recall()
         };
         let fine = recall_at(1);
         let coarse = recall_at(7200);
@@ -143,7 +149,13 @@ mod tests {
     #[test]
     fn empty_stays_recover_nothing() {
         let u = user();
-        let report = match_against_truth(&[], &u, 600, 150.0, backwatch_geo::distance::Metric::Equirectangular);
+        let report = match_against_truth(
+            &[],
+            &u,
+            Seconds::new(600),
+            Meters::new(150.0),
+            backwatch_geo::distance::Metric::Equirectangular,
+        );
         assert_eq!(report.recovered, 0);
         assert_eq!(report.recall(), 0.0);
         assert_eq!(report.precision(), 1.0);
@@ -154,7 +166,13 @@ mod tests {
     fn report_with_no_eligible_truth_is_complete() {
         let u = user();
         // an absurd visiting-time threshold leaves nothing eligible
-        let report = match_against_truth(&[], &u, 10_000_000, 150.0, backwatch_geo::distance::Metric::Equirectangular);
+        let report = match_against_truth(
+            &[],
+            &u,
+            Seconds::new(10_000_000),
+            Meters::new(150.0),
+            backwatch_geo::distance::Metric::Equirectangular,
+        );
         assert_eq!(report.eligible_truth, 0);
         assert_eq!(report.recall(), 1.0);
         assert!(report.complete());

@@ -6,7 +6,7 @@
 
 use super::extractor::Stay;
 use backwatch_geo::distance::Metric;
-use backwatch_geo::LatLon;
+use backwatch_geo::{LatLon, Meters};
 
 /// A clustered place: the centroid of its member stays and their indices.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,14 +70,15 @@ impl PlaceSet {
 }
 
 /// Greedy chronological clustering: each stay joins the first existing
-/// place whose centroid is within `merge_radius_m`, else founds a new one.
+/// place whose centroid is within `merge_radius`, else founds a new one.
 /// Place centroids are running means of their member-stay centroids.
 ///
 /// # Panics
 ///
-/// Panics if `merge_radius_m` is not strictly positive.
+/// Panics if `merge_radius` is not strictly positive.
 #[must_use]
-pub fn cluster_stays(stays: &[Stay], merge_radius_m: f64, metric: Metric) -> PlaceSet {
+pub fn cluster_stays(stays: &[Stay], merge_radius: Meters, metric: Metric) -> PlaceSet {
+    let merge_radius_m = merge_radius.get();
     assert!(
         merge_radius_m > 0.0 && merge_radius_m.is_finite(),
         "merge radius must be positive, got {merge_radius_m}"
@@ -136,7 +137,7 @@ mod tests {
             stay(39.9001, 116.4001, 10_000), // ~14 m away
             stay(39.9000, 116.4000, 20_000),
         ];
-        let ps = cluster_stays(&stays, 100.0, Metric::Equirectangular);
+        let ps = cluster_stays(&stays, Meters::new(100.0), Metric::Equirectangular);
         assert_eq!(ps.len(), 1);
         assert_eq!(ps.places()[0].visit_count(), 3);
         assert_eq!(ps.assignment(), &[0, 0, 0]);
@@ -145,7 +146,7 @@ mod tests {
     #[test]
     fn distant_stays_form_distinct_places() {
         let stays = vec![stay(39.90, 116.40, 0), stay(39.95, 116.45, 10_000)];
-        let ps = cluster_stays(&stays, 100.0, Metric::Equirectangular);
+        let ps = cluster_stays(&stays, Meters::new(100.0), Metric::Equirectangular);
         assert_eq!(ps.len(), 2);
         assert_eq!(ps.places()[0].visit_count(), 1);
         assert_eq!(ps.place_of_stay(1).unwrap().id, 1);
@@ -154,7 +155,7 @@ mod tests {
     #[test]
     fn centroid_is_mean_of_members() {
         let stays = vec![stay(39.9000, 116.4000, 0), stay(39.9004, 116.4000, 10_000)];
-        let ps = cluster_stays(&stays, 200.0, Metric::Equirectangular);
+        let ps = cluster_stays(&stays, Meters::new(200.0), Metric::Equirectangular);
         assert_eq!(ps.len(), 1);
         let c = ps.places()[0].centroid;
         assert!((c.lat() - 39.9002).abs() < 1e-9);
@@ -162,7 +163,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_empty_output() {
-        let ps = cluster_stays(&[], 100.0, Metric::Equirectangular);
+        let ps = cluster_stays(&[], Meters::new(100.0), Metric::Equirectangular);
         assert!(ps.is_empty());
         assert!(ps.assignment().is_empty());
         assert!(ps.place_of_stay(0).is_none());
@@ -173,7 +174,7 @@ mod tests {
         let stays: Vec<Stay> = (0..20)
             .map(|i| stay(39.9 + (i % 4) as f64 * 0.01, 116.4, i64::from(i) * 10_000))
             .collect();
-        let ps = cluster_stays(&stays, 100.0, Metric::Equirectangular);
+        let ps = cluster_stays(&stays, Meters::new(100.0), Metric::Equirectangular);
         assert_eq!(ps.assignment().len(), stays.len());
         let total: usize = ps.places().iter().map(Place::visit_count).sum();
         assert_eq!(total, stays.len());
@@ -183,6 +184,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "merge radius")]
     fn zero_radius_panics() {
-        let _ = cluster_stays(&[], 0.0, Metric::Equirectangular);
+        let _ = cluster_stays(&[], Meters::ZERO, Metric::Equirectangular);
     }
 }

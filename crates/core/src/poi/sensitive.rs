@@ -45,7 +45,7 @@ impl SensitivityThreshold {
 /// };
 /// // place A visited 3 times, place B once
 /// let stays = vec![visit(39.90, 0), visit(39.90, 10_000), visit(39.90, 20_000), visit(39.95, 30_000)];
-/// let set = cluster_stays(&stays, 100.0, Metric::Equirectangular);
+/// let set = cluster_stays(&stays, backwatch_geo::Meters::new(100.0), Metric::Equirectangular);
 /// let sensitive = sensitive_places(&set, SensitivityThreshold(1));
 /// assert_eq!(sensitive.len(), 1);
 /// assert_eq!(sensitive[0].visit_count(), 1);
@@ -94,7 +94,7 @@ mod tests {
                 t += 10_000;
             }
         }
-        cluster_stays(&stays, 100.0, Metric::Equirectangular)
+        cluster_stays(&stays, backwatch_geo::Meters::new(100.0), Metric::Equirectangular)
     }
 
     #[test]

@@ -87,7 +87,7 @@ mod tests {
     use backwatch_trace::Timestamp;
 
     fn grid() -> Grid {
-        Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0)
+        Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(250.0))
     }
 
     fn stay(lat: f64, lon: f64, t: i64, dwell: i64) -> Stay {

@@ -24,7 +24,7 @@ use std::fmt;
 /// use backwatch_trace::synth::{generate_user, SynthConfig};
 ///
 /// let user = generate_user(&SynthConfig::small(), 0);
-/// let grid = Grid::new(LatLon::new(39.9042, 116.4074)?, 250.0);
+/// let grid = Grid::new(LatLon::new(39.9042, 116.4074)?, backwatch_geo::Meters::new(250.0));
 /// let report = PrivacyReport::analyze(&user.trace, &grid);
 /// assert!(report.poi_visits > 0);
 /// println!("{report}");
@@ -162,7 +162,7 @@ mod tests {
     use backwatch_trace::synth::{generate_user, SynthConfig};
 
     fn grid() -> Grid {
-        Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), 250.0)
+        Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), backwatch_geo::Meters::new(250.0))
     }
 
     #[test]
@@ -205,7 +205,7 @@ mod tests {
     fn heavy_downsampling_reduces_severity() {
         let user = generate_user(&SynthConfig::small(), 2);
         let full = PrivacyReport::analyze(&user.trace, &grid());
-        let thin = PrivacyReport::analyze(&sampling::downsample(&user.trace, 7200), &grid());
+        let thin = PrivacyReport::analyze(&sampling::downsample(&user.trace, backwatch_geo::Seconds::new(7200)), &grid());
         assert!(thin.poi_visits < full.poi_visits);
         assert!(thin.severity() <= full.severity());
     }

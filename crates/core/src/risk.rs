@@ -123,7 +123,7 @@ mod tests {
         let user = generate_user(&SynthConfig::small(), 0);
         let params = ExtractorParams::paper_set1();
         let stays = SpatioTemporalExtractor::new(params).extract(&user.trace);
-        let grid = Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), 250.0);
+        let grid = Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), backwatch_geo::Meters::new(250.0));
         let p1 = Profile::from_stays(PatternKind::RegionVisits, &stays, &grid);
         let p2 = Profile::from_stays(PatternKind::MovementPattern, &stays, &grid);
         let risk = assess_risk(&stays, user.trace.len(), &grid, &Matcher::paper(), &p1, &p2);

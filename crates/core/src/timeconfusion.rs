@@ -54,11 +54,8 @@ impl Default for TtcConfig {
 /// `t`, clamped to the ends), or `None` for an empty trace.
 fn position_at(trace: &Trace, t: i64) -> Option<LatLon> {
     let pts = trace.points();
-    if pts.is_empty() {
-        return None;
-    }
     let idx = pts.partition_point(|p| p.time.as_secs() <= t);
-    Some(if idx == 0 { pts[0].pos } else { pts[idx - 1].pos })
+    pts.get(idx.saturating_sub(1)).map(|p| p.pos)
 }
 
 /// Computes time-to-confusion for `released` (the target's stream seen by

@@ -1,10 +1,12 @@
 //! Property-based tests for the privacy model.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_core::hisbin::Matcher;
 use backwatch_core::pattern::{PatternKind, Profile};
 use backwatch_core::poi::{cluster_stays, ExtractorParams, SpatioTemporalExtractor, Stay};
 use backwatch_geo::distance::Metric;
-use backwatch_geo::{Grid, LatLon};
+use backwatch_geo::{Grid, LatLon, Meters, Seconds};
 use backwatch_trace::{Timestamp, Trace, TracePoint};
 use proptest::prelude::*;
 
@@ -28,7 +30,7 @@ fn arb_day() -> impl Strategy<Value = (Trace, usize)> {
                 for s in 0..secs {
                     pts.push(TracePoint::new(
                         Timestamp::from_secs(t + s),
-                        frame.to_latlon(x * 1000.0, y * 1000.0),
+                        frame.to_latlon(Meters::new(x * 1000.0), Meters::new(y * 1000.0)),
                     ));
                 }
                 t += secs;
@@ -42,7 +44,10 @@ fn arb_day() -> impl Strategy<Value = (Trace, usize)> {
                     let f = s as f64 / secs as f64;
                     pts.push(TracePoint::new(
                         Timestamp::from_secs(t + s),
-                        frame.to_latlon((x + (nx - x) * f) * 1000.0, (y + (ny - y) * f) * 1000.0),
+                        frame.to_latlon(
+                            Meters::new((x + (nx - x) * f) * 1000.0),
+                            Meters::new((y + (ny - y) * f) * 1000.0),
+                        ),
                     ));
                 }
                 t += secs;
@@ -62,7 +67,7 @@ proptest! {
         let params = ExtractorParams::paper_set1();
         let stays = SpatioTemporalExtractor::new(params).extract(&trace);
         for s in &stays {
-            prop_assert!(s.dwell_secs() >= params.min_visit_secs);
+            prop_assert!(s.dwell_secs() >= params.min_visit_secs.get());
             prop_assert!(s.n_points >= 2);
             prop_assert!(s.end_index < trace.len());
         }
@@ -94,7 +99,7 @@ proptest! {
         // than the trace has dwell segments.
         let params = ExtractorParams::paper_set1();
         let full = SpatioTemporalExtractor::new(params).extract(&trace);
-        let sampled = backwatch_trace::sampling::downsample(&trace, interval);
+        let sampled = backwatch_trace::sampling::downsample(&trace, Seconds::new(interval));
         let coarse = SpatioTemporalExtractor::new(params).extract(&sampled);
         prop_assert!(coarse.len() <= full.len() + 1, "coarse {} vs full {}", coarse.len(), full.len());
     }
@@ -102,7 +107,7 @@ proptest! {
     #[test]
     fn clustering_assignment_is_total((trace, _) in arb_day(), radius in 50.0f64..500.0) {
         let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
-        let places = cluster_stays(&stays, radius, Metric::Equirectangular);
+        let places = cluster_stays(&stays, Meters::new(radius), Metric::Equirectangular);
         prop_assert_eq!(places.assignment().len(), stays.len());
         let total: usize = places.places().iter().map(|p| p.visit_count()).sum();
         prop_assert_eq!(total, stays.len());
@@ -116,7 +121,7 @@ proptest! {
 
     #[test]
     fn profiles_are_prefix_monotone((trace, _) in arb_day(), cut in 0.1f64..0.9) {
-        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0);
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(250.0));
         let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
         let k = ((stays.len() as f64) * cut) as usize;
         for kind in [PatternKind::RegionVisits, PatternKind::RegionVisitCounts, PatternKind::MovementPattern] {
@@ -132,7 +137,7 @@ proptest! {
     #[test]
     fn matcher_is_symmetric_in_safety_for_disjoint((trace, _) in arb_day(), shift in 1i32..5) {
         // shift a copy of the stays far away: neither direction matches
-        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0);
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(250.0));
         let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
         if stays.len() >= 3 {
             let moved: Vec<Stay> = stays
@@ -152,7 +157,7 @@ proptest! {
 
     #[test]
     fn self_match_always_leaks((trace, _) in arb_day()) {
-        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0);
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(250.0));
         let stays = SpatioTemporalExtractor::new(ExtractorParams::paper_set1()).extract(&trace);
         for kind in [PatternKind::RegionVisits, PatternKind::MovementPattern] {
             let p = Profile::from_stays(kind, &stays, &grid);

@@ -8,7 +8,7 @@
 //! enough neighbours share the cell.
 
 use crate::Lppm;
-use backwatch_geo::{Grid, LatLon};
+use backwatch_geo::{Grid, LatLon, Meters};
 use backwatch_trace::{Trace, TracePoint};
 use rand::RngCore;
 
@@ -23,7 +23,7 @@ pub struct KAnonymousCloaking {
 impl KAnonymousCloaking {
     /// Builds the mechanism from the population's anchor points.
     ///
-    /// `base_cell_m` is the finest cell size; the hierarchy doubles it
+    /// `base_cell` is the finest cell size; the hierarchy doubles it
     /// `levels` times. A fix that cannot be k-anonymized even at the
     /// coarsest level is released at that coarsest level anyway (the
     /// alternative — suppression — is what [`crate::suppression`]
@@ -31,16 +31,17 @@ impl KAnonymousCloaking {
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`, `levels == 0`, `base_cell_m <= 0`, or
+    /// Panics if `k == 0`, `levels == 0`, `base_cell` is not positive, or
     /// `anchors` is empty.
     #[must_use]
-    pub fn new(origin: LatLon, base_cell_m: f64, levels: usize, k: usize, anchors: Vec<LatLon>) -> Self {
+    pub fn new(origin: LatLon, base_cell: Meters, levels: usize, k: usize, anchors: Vec<LatLon>) -> Self {
+        let base_cell_m = base_cell.get();
         assert!(k >= 1, "k must be at least 1");
         assert!(levels >= 1, "need at least one level");
         assert!(base_cell_m > 0.0, "cell size must be positive");
         assert!(!anchors.is_empty(), "population anchors must be non-empty");
         let levels = (0..levels)
-            .map(|i| Grid::new(origin, base_cell_m * f64::powi(2.0, i as i32)))
+            .map(|i| Grid::new(origin, Meters::new(base_cell_m * f64::powi(2.0, i as i32))))
             .collect();
         Self { k, levels, anchors }
     }
@@ -100,7 +101,7 @@ mod tests {
     }
 
     fn mech(k: usize) -> KAnonymousCloaking {
-        KAnonymousCloaking::new(origin(), 250.0, 7, k, anchors())
+        KAnonymousCloaking::new(origin(), Meters::new(250.0), 7, k, anchors())
     }
 
     #[test]
@@ -161,6 +162,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be")]
     fn zero_k_panics() {
-        let _ = KAnonymousCloaking::new(origin(), 250.0, 3, 0, anchors());
+        let _ = KAnonymousCloaking::new(origin(), Meters::new(250.0), 3, 0, anchors());
     }
 }

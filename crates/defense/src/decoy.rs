@@ -11,7 +11,7 @@
 
 use crate::Lppm;
 use backwatch_geo::enu::Frame;
-use backwatch_geo::LatLon;
+use backwatch_geo::{LatLon, Meters};
 use backwatch_stats::sampling::normal;
 use backwatch_trace::{Trace, TracePoint};
 use rand::RngCore;
@@ -49,14 +49,16 @@ pub struct SyntheticDecoy {
 }
 
 impl SyntheticDecoy {
-    /// Creates the mechanism: per-fix Gaussian steps of `step_m` meters,
-    /// pulled back so the walk stays within `leash_m` of the anchor.
+    /// Creates the mechanism: per-fix Gaussian steps of `step` meters,
+    /// pulled back so the walk stays within `leash` of the anchor.
     ///
     /// # Panics
     ///
-    /// Panics if `step_m < 0` or `leash_m <= 0`.
+    /// Panics if `step` is negative or `leash` is not positive.
     #[must_use]
-    pub fn new(anchor: LatLon, step_m: f64, leash_m: f64) -> Self {
+    pub fn new(anchor: LatLon, step: Meters, leash: Meters) -> Self {
+        let step_m = step.get();
+        let leash_m = leash.get();
         assert!(step_m >= 0.0 && step_m.is_finite(), "step must be >= 0");
         assert!(leash_m > 0.0 && leash_m.is_finite(), "leash must be positive");
         Self { anchor, step_m, leash_m }
@@ -82,7 +84,7 @@ impl Lppm for SyntheticDecoy {
                     x *= scale;
                     y *= scale;
                 }
-                TracePoint::new(p.time, frame.to_latlon(x, y))
+                TracePoint::new(p.time, frame.to_latlon(Meters::new(x), Meters::new(y)))
             })
             .collect()
     }
@@ -126,7 +128,7 @@ mod tests {
     #[test]
     fn synthetic_decoy_moves_but_stays_leashed() {
         let mut rng = StdRng::seed_from_u64(1);
-        let out = SyntheticDecoy::new(anchor(), 20.0, 500.0).apply(&trace(), &mut rng);
+        let out = SyntheticDecoy::new(anchor(), Meters::new(20.0), Meters::new(500.0)).apply(&trace(), &mut rng);
         // it moves (liveness)…
         let distinct: std::collections::HashSet<u64> =
             out.iter().map(|p| p.pos.lat().to_bits() ^ p.pos.lon().to_bits()).collect();
@@ -140,7 +142,7 @@ mod tests {
     #[test]
     fn synthetic_decoy_is_unrelated_to_true_positions() {
         let mut rng = StdRng::seed_from_u64(2);
-        let out = SyntheticDecoy::new(anchor(), 20.0, 500.0).apply(&trace(), &mut rng);
+        let out = SyntheticDecoy::new(anchor(), Meters::new(20.0), Meters::new(500.0)).apply(&trace(), &mut rng);
         // every released fix is near the decoy anchor, not near the true
         // route (which is ~15 km away)
         for (t, r) in trace().iter().zip(out.iter()) {
@@ -151,6 +153,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "leash")]
     fn zero_leash_panics() {
-        let _ = SyntheticDecoy::new(anchor(), 10.0, 0.0);
+        let _ = SyntheticDecoy::new(anchor(), Meters::new(10.0), Meters::ZERO);
     }
 }

@@ -174,6 +174,7 @@ mod tests {
     use crate::throttle::ReleaseThrottle;
     use crate::truncation::GridTruncation;
     use crate::NoDefense;
+    use backwatch_geo::{Meters, Seconds};
     use backwatch_trace::synth::{generate_user, SynthConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -191,7 +192,7 @@ mod tests {
         cfg.n_users = 5;
         cfg.days = 6;
         let params = ExtractorParams::paper_set1();
-        let grid = Grid::new(cfg.city_center, 250.0);
+        let grid = Grid::new(cfg.city_center, Meters::new(250.0));
         let extractor = SpatioTemporalExtractor::new(params);
         let users: Vec<UserTrace> = (0..cfg.n_users).map(|i| generate_user(&cfg, i)).collect();
         let mut store = ProfileStore::new(PatternKind::MovementPattern);
@@ -237,7 +238,7 @@ mod tests {
     #[test]
     fn coarse_truncation_blocks_identification() {
         let f = fixture();
-        let mech = GridTruncation::new(Grid::new(f.grid.origin(), 2000.0));
+        let mech = GridTruncation::new(Grid::new(f.grid.origin(), Meters::new(2000.0)));
         let o = eval_with(&f, &mech);
         assert!(o.poi_recall < 0.3, "recall {}", o.poi_recall);
         assert!(!o.identified);
@@ -259,15 +260,15 @@ mod tests {
     #[test]
     fn mild_perturbation_preserves_pois() {
         let f = fixture();
-        let o = eval_with(&f, &GaussianPerturbation::new(10.0));
+        let o = eval_with(&f, &GaussianPerturbation::new(Meters::new(10.0)));
         assert!(o.poi_recall > 0.7, "10 m noise should not hide 50 m-radius PoIs");
     }
 
     #[test]
     fn heavy_perturbation_degrades_recall() {
         let f = fixture();
-        let mild = eval_with(&f, &GaussianPerturbation::new(10.0));
-        let heavy = eval_with(&f, &GaussianPerturbation::new(400.0));
+        let mild = eval_with(&f, &GaussianPerturbation::new(Meters::new(10.0)));
+        let heavy = eval_with(&f, &GaussianPerturbation::new(Meters::new(400.0)));
         assert!(heavy.poi_recall < mild.poi_recall);
         assert!(heavy.mean_error_m > mild.mean_error_m);
     }
@@ -275,7 +276,7 @@ mod tests {
     #[test]
     fn throttling_beyond_dwell_scale_kills_detection() {
         let f = fixture();
-        let o = eval_with(&f, &ReleaseThrottle::new(3600));
+        let o = eval_with(&f, &ReleaseThrottle::new(Seconds::new(3600)));
         assert!(o.poi_recall < 0.5);
         assert!(o.suppressed_fraction > 0.99);
     }
@@ -285,7 +286,7 @@ mod tests {
         let f = fixture();
         // suppress around the user's home
         let home = f.users[0].places[0].pos;
-        let mech = ZoneSuppression::new(vec![SensitiveZone::new(home, 300.0)]);
+        let mech = ZoneSuppression::new(vec![SensitiveZone::new(home, Meters::new(300.0))]);
         let o = eval_with(&f, &mech);
         assert!(o.suppressed_fraction > 0.05, "home fixes should vanish");
         assert!(o.poi_recall < 1.0);
@@ -297,7 +298,7 @@ mod tests {
     fn cloaking_outcome_is_between_none_and_decoy() {
         let f = fixture();
         let anchors: Vec<_> = f.users.iter().map(|u| u.places[0].pos).collect();
-        let mech = KAnonymousCloaking::new(f.grid.origin(), 250.0, 7, 3, anchors);
+        let mech = KAnonymousCloaking::new(f.grid.origin(), Meters::new(250.0), 7, 3, anchors);
         let o = eval_with(&f, &mech);
         let baseline = eval_with(&f, &NoDefense);
         assert!(o.poi_recall <= baseline.poi_recall + 1e-9);
@@ -307,7 +308,10 @@ mod tests {
     #[test]
     fn render_lists_every_mechanism() {
         let f = fixture();
-        let outcomes = vec![eval_with(&f, &NoDefense), eval_with(&f, &ReleaseThrottle::new(600))];
+        let outcomes = vec![
+            eval_with(&f, &NoDefense),
+            eval_with(&f, &ReleaseThrottle::new(Seconds::new(600))),
+        ];
         let text = render_outcomes(&outcomes);
         assert!(text.contains("none"));
         assert!(text.contains("release-throttle"));

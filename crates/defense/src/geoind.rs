@@ -9,6 +9,7 @@
 
 use crate::Lppm;
 use backwatch_geo::enu::Frame;
+use backwatch_geo::Meters;
 use backwatch_trace::{Trace, TracePoint};
 use rand::{Rng, RngCore};
 
@@ -96,7 +97,10 @@ impl Lppm for GeoIndistinguishability {
                 let r = self.sample_radius(rng);
                 let theta = rng.gen::<f64>() * std::f64::consts::TAU;
                 let (e, n) = frame.to_enu(p.pos);
-                TracePoint::new(p.time, frame.to_latlon(e + r * theta.cos(), n + r * theta.sin()))
+                TracePoint::new(
+                    p.time,
+                    frame.to_latlon(Meters::new(e + r * theta.cos()), Meters::new(n + r * theta.sin())),
+                )
             })
             .collect()
     }

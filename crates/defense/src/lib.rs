@@ -28,9 +28,6 @@
 //! assert_eq!(released.len(), user.trace.len());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cloaking;
 pub mod decoy;
 pub mod eval;

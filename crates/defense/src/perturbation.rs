@@ -6,11 +6,12 @@
 
 use crate::Lppm;
 use backwatch_geo::enu::Frame;
+use backwatch_geo::Meters;
 use backwatch_stats::sampling::normal;
 use backwatch_trace::{Trace, TracePoint};
 use rand::RngCore;
 
-/// Independent per-fix Gaussian noise of `sigma_m` meters per axis.
+/// Independent per-fix Gaussian noise of `sigma` meters per axis.
 #[derive(Debug, Clone, Copy)]
 pub struct GaussianPerturbation {
     sigma_m: f64,
@@ -21,17 +22,18 @@ impl GaussianPerturbation {
     ///
     /// # Panics
     ///
-    /// Panics if `sigma_m` is negative or non-finite.
+    /// Panics if `sigma` is negative or non-finite.
     #[must_use]
-    pub fn new(sigma_m: f64) -> Self {
+    pub fn new(sigma: Meters) -> Self {
+        let sigma_m = sigma.get();
         assert!(sigma_m.is_finite() && sigma_m >= 0.0, "sigma must be >= 0, got {sigma_m}");
         Self { sigma_m }
     }
 
     /// The configured noise scale.
     #[must_use]
-    pub fn sigma_m(&self) -> f64 {
-        self.sigma_m
+    pub fn sigma(&self) -> Meters {
+        Meters::new(self.sigma_m)
     }
 }
 
@@ -54,7 +56,10 @@ impl Lppm for GaussianPerturbation {
                 let (e, n) = frame.to_enu(p.pos);
                 TracePoint::new(
                     p.time,
-                    frame.to_latlon(e + normal(rng, 0.0, self.sigma_m), n + normal(rng, 0.0, self.sigma_m)),
+                    frame.to_latlon(
+                        Meters::new(e + normal(rng, 0.0, self.sigma_m)),
+                        Meters::new(n + normal(rng, 0.0, self.sigma_m)),
+                    ),
                 )
             })
             .collect()
@@ -81,14 +86,14 @@ mod tests {
     #[test]
     fn zero_sigma_is_identity() {
         let mut rng = StdRng::seed_from_u64(1);
-        let out = GaussianPerturbation::new(0.0).apply(&trace(), &mut rng);
+        let out = GaussianPerturbation::new(Meters::ZERO).apply(&trace(), &mut rng);
         assert_eq!(out, trace());
     }
 
     #[test]
     fn mean_displacement_matches_rayleigh() {
         let mut rng = StdRng::seed_from_u64(2);
-        let out = GaussianPerturbation::new(50.0).apply(&trace(), &mut rng);
+        let out = GaussianPerturbation::new(Meters::new(50.0)).apply(&trace(), &mut rng);
         let mean: f64 = trace()
             .iter()
             .zip(out.iter())
@@ -101,20 +106,22 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = GaussianPerturbation::new(10.0).apply(&trace(), &mut StdRng::seed_from_u64(3));
-        let b = GaussianPerturbation::new(10.0).apply(&trace(), &mut StdRng::seed_from_u64(3));
+        let a = GaussianPerturbation::new(Meters::new(10.0)).apply(&trace(), &mut StdRng::seed_from_u64(3));
+        let b = GaussianPerturbation::new(Meters::new(10.0)).apply(&trace(), &mut StdRng::seed_from_u64(3));
         assert_eq!(a, b);
     }
 
     #[test]
     fn empty_trace_stays_empty() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(GaussianPerturbation::new(10.0).apply(&Trace::new(), &mut rng).is_empty());
+        assert!(GaussianPerturbation::new(Meters::new(10.0))
+            .apply(&Trace::new(), &mut rng)
+            .is_empty());
     }
 
     #[test]
     #[should_panic(expected = "sigma")]
     fn negative_sigma_panics() {
-        let _ = GaussianPerturbation::new(-1.0);
+        let _ = GaussianPerturbation::new(Meters::new(-1.0));
     }
 }

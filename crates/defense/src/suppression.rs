@@ -4,7 +4,7 @@
 
 use crate::Lppm;
 use backwatch_geo::distance::Metric;
-use backwatch_geo::LatLon;
+use backwatch_geo::{LatLon, Meters};
 use backwatch_trace::Trace;
 use rand::RngCore;
 
@@ -23,9 +23,10 @@ impl SensitiveZone {
     ///
     /// # Panics
     ///
-    /// Panics if `radius_m` is not strictly positive.
+    /// Panics if `radius` is not strictly positive.
     #[must_use]
-    pub fn new(center: LatLon, radius_m: f64) -> Self {
+    pub fn new(center: LatLon, radius: Meters) -> Self {
+        let radius_m = radius.get();
         assert!(radius_m > 0.0 && radius_m.is_finite(), "zone radius must be positive");
         Self { center, radius_m }
     }
@@ -95,7 +96,7 @@ mod tests {
 
     #[test]
     fn suppresses_only_zone_fixes() {
-        let zone = SensitiveZone::new(LatLon::new(39.90, 116.40).unwrap(), 200.0);
+        let zone = SensitiveZone::new(LatLon::new(39.90, 116.40).unwrap(), Meters::new(200.0));
         let mut rng = StdRng::seed_from_u64(0);
         let out = ZoneSuppression::new(vec![zone]).apply(&trace(), &mut rng);
         assert_eq!(out.len(), 50);
@@ -111,8 +112,8 @@ mod tests {
 
     #[test]
     fn overlapping_zones_compose() {
-        let z1 = SensitiveZone::new(LatLon::new(39.90, 116.40).unwrap(), 200.0);
-        let z2 = SensitiveZone::new(LatLon::new(39.95, 116.40).unwrap(), 200.0);
+        let z1 = SensitiveZone::new(LatLon::new(39.90, 116.40).unwrap(), Meters::new(200.0));
+        let z2 = SensitiveZone::new(LatLon::new(39.95, 116.40).unwrap(), Meters::new(200.0));
         let mut rng = StdRng::seed_from_u64(0);
         let out = ZoneSuppression::new(vec![z1, z2]).apply(&trace(), &mut rng);
         assert!(out.is_empty());
@@ -121,6 +122,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "zone radius")]
     fn non_positive_radius_panics() {
-        let _ = SensitiveZone::new(LatLon::new(0.0, 0.0).unwrap(), 0.0);
+        let _ = SensitiveZone::new(LatLon::new(0.0, 0.0).unwrap(), Meters::ZERO);
     }
 }

@@ -7,13 +7,14 @@
 //! and slow the background stream below the PoI-extraction threshold.
 
 use crate::Lppm;
+use backwatch_geo::Seconds;
 use backwatch_trace::{sampling, Trace};
 use rand::RngCore;
 
 /// Enforce a minimum interval between released fixes.
 #[derive(Debug, Clone, Copy)]
 pub struct ReleaseThrottle {
-    min_interval_s: i64,
+    min_interval: Seconds,
 }
 
 impl ReleaseThrottle {
@@ -21,17 +22,17 @@ impl ReleaseThrottle {
     ///
     /// # Panics
     ///
-    /// Panics if `min_interval_s < 1`.
+    /// Panics if `min_interval` is shorter than one second.
     #[must_use]
-    pub fn new(min_interval_s: i64) -> Self {
-        assert!(min_interval_s >= 1, "interval must be at least 1 s");
-        Self { min_interval_s }
+    pub fn new(min_interval: Seconds) -> Self {
+        assert!(min_interval.get() >= 1, "interval must be at least 1 s");
+        Self { min_interval }
     }
 
     /// The enforced minimum interval.
     #[must_use]
-    pub fn min_interval_s(&self) -> i64 {
-        self.min_interval_s
+    pub fn min_interval(&self) -> Seconds {
+        self.min_interval
     }
 }
 
@@ -41,7 +42,7 @@ impl Lppm for ReleaseThrottle {
     }
 
     fn apply(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Trace {
-        sampling::downsample(trace, self.min_interval_s)
+        sampling::downsample(trace, self.min_interval)
     }
 }
 
@@ -64,7 +65,7 @@ mod tests {
     #[test]
     fn spacing_respects_cap() {
         let mut rng = StdRng::seed_from_u64(0);
-        let out = ReleaseThrottle::new(60).apply(&trace(), &mut rng);
+        let out = ReleaseThrottle::new(Seconds::new(60)).apply(&trace(), &mut rng);
         for w in out.points().windows(2) {
             assert!(w[1].time - w[0].time >= 60);
         }
@@ -74,12 +75,12 @@ mod tests {
     #[test]
     fn one_second_cap_is_identity_at_1hz() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(ReleaseThrottle::new(1).apply(&trace(), &mut rng), trace());
+        assert_eq!(ReleaseThrottle::new(Seconds::new(1)).apply(&trace(), &mut rng), trace());
     }
 
     #[test]
     #[should_panic(expected = "interval")]
     fn zero_interval_panics() {
-        let _ = ReleaseThrottle::new(0);
+        let _ = ReleaseThrottle::new(Seconds::new(0));
     }
 }

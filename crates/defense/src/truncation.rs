@@ -61,7 +61,7 @@ mod tests {
 
     #[test]
     fn preserves_length_and_times() {
-        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 500.0);
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(500.0));
         let mut rng = StdRng::seed_from_u64(0);
         let out = GridTruncation::new(g).apply(&trace(), &mut rng);
         assert_eq!(out.len(), 100);
@@ -72,7 +72,7 @@ mod tests {
 
     #[test]
     fn displacement_bounded_by_cell_diagonal() {
-        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 500.0);
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(500.0));
         let mut rng = StdRng::seed_from_u64(0);
         let out = GridTruncation::new(g).apply(&trace(), &mut rng);
         for (a, b) in trace().iter().zip(out.iter()) {
@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn quantizes_nearby_fixes_together() {
-        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 2000.0);
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(2000.0));
         let mut rng = StdRng::seed_from_u64(0);
         let out = GridTruncation::new(g).apply(&trace(), &mut rng);
         let first = out.points()[0].pos;

@@ -1,5 +1,7 @@
 //! Property-based tests for the LPPM mechanisms.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_defense::cloaking::KAnonymousCloaking;
 use backwatch_defense::decoy::{FixedDecoy, SyntheticDecoy};
 use backwatch_defense::geoind::GeoIndistinguishability;
@@ -8,7 +10,7 @@ use backwatch_defense::suppression::{SensitiveZone, ZoneSuppression};
 use backwatch_defense::throttle::ReleaseThrottle;
 use backwatch_defense::truncation::GridTruncation;
 use backwatch_defense::{Lppm, NoDefense};
-use backwatch_geo::{Grid, LatLon};
+use backwatch_geo::{Grid, LatLon, Meters, Seconds};
 use backwatch_trace::{Timestamp, Trace, TracePoint};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -37,12 +39,12 @@ fn origin() -> LatLon {
 fn shape_preserving() -> Vec<Box<dyn Lppm>> {
     vec![
         Box::new(NoDefense),
-        Box::new(GaussianPerturbation::new(30.0)),
+        Box::new(GaussianPerturbation::new(Meters::new(30.0))),
         Box::new(GeoIndistinguishability::new(0.01)),
-        Box::new(GridTruncation::new(Grid::new(origin(), 500.0))),
-        Box::new(KAnonymousCloaking::new(origin(), 250.0, 6, 2, vec![origin()])),
+        Box::new(GridTruncation::new(Grid::new(origin(), Meters::new(500.0)))),
+        Box::new(KAnonymousCloaking::new(origin(), Meters::new(250.0), 6, 2, vec![origin()])),
         Box::new(FixedDecoy::new(origin())),
-        Box::new(SyntheticDecoy::new(origin(), 15.0, 400.0)),
+        Box::new(SyntheticDecoy::new(origin(), Meters::new(15.0), Meters::new(400.0))),
     ]
 }
 
@@ -64,8 +66,8 @@ proptest! {
     #[test]
     fn all_mechanisms_are_deterministic_per_seed(trace in arb_trace(), seed in 0u64..1000) {
         let mut all = shape_preserving();
-        all.push(Box::new(ReleaseThrottle::new(60)));
-        all.push(Box::new(ZoneSuppression::new(vec![SensitiveZone::new(origin(), 500.0)])));
+        all.push(Box::new(ReleaseThrottle::new(Seconds::new(60))));
+        all.push(Box::new(ZoneSuppression::new(vec![SensitiveZone::new(origin(), Meters::new(500.0))])));
         for mech in all {
             let a = mech.apply(&trace, &mut StdRng::seed_from_u64(seed));
             let b = mech.apply(&trace, &mut StdRng::seed_from_u64(seed));
@@ -76,7 +78,7 @@ proptest! {
     #[test]
     fn throttle_output_is_a_time_subset(trace in arb_trace(), interval in 1i64..600) {
         let mut rng = StdRng::seed_from_u64(0);
-        let out = ReleaseThrottle::new(interval).apply(&trace, &mut rng);
+        let out = ReleaseThrottle::new(Seconds::new(interval)).apply(&trace, &mut rng);
         prop_assert!(out.len() <= trace.len());
         for w in out.points().windows(2) {
             prop_assert!(w[1].time - w[0].time >= interval);
@@ -89,7 +91,7 @@ proptest! {
 
     #[test]
     fn suppression_never_releases_zone_fixes(trace in arb_trace(), radius in 100.0f64..5000.0) {
-        let zone = SensitiveZone::new(origin(), radius);
+        let zone = SensitiveZone::new(origin(), Meters::new(radius));
         let mech = ZoneSuppression::new(vec![zone]);
         let mut rng = StdRng::seed_from_u64(0);
         let out = mech.apply(&trace, &mut rng);
@@ -102,7 +104,7 @@ proptest! {
 
     #[test]
     fn truncation_is_idempotent(trace in arb_trace()) {
-        let grid = Grid::new(origin(), 750.0);
+        let grid = Grid::new(origin(), Meters::new(750.0));
         let mech = GridTruncation::new(grid);
         let mut rng = StdRng::seed_from_u64(0);
         let once = mech.apply(&trace, &mut rng);
@@ -116,7 +118,7 @@ proptest! {
         let anchor = LatLon::new(38.0, 114.0).unwrap();
         for mech in [
             Box::new(FixedDecoy::new(anchor)) as Box<dyn Lppm>,
-            Box::new(SyntheticDecoy::new(anchor, 15.0, 400.0)),
+            Box::new(SyntheticDecoy::new(anchor, Meters::new(15.0), Meters::new(400.0))),
         ] {
             let mut rng = StdRng::seed_from_u64(1);
             let out = mech.apply(&trace, &mut rng);

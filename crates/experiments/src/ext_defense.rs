@@ -17,7 +17,7 @@ use backwatch_defense::perturbation::GaussianPerturbation;
 use backwatch_defense::throttle::ReleaseThrottle;
 use backwatch_defense::truncation::GridTruncation;
 use backwatch_defense::{Lppm, NoDefense};
-use backwatch_geo::Grid;
+use backwatch_geo::{Grid, Meters, Seconds};
 use backwatch_trace::synth::generate_user;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,12 +52,22 @@ pub struct DefenseResult {
 pub fn default_suite(cfg: &ExperimentConfig, anchors: Vec<backwatch_geo::LatLon>) -> Vec<Box<dyn Lppm>> {
     vec![
         Box::new(NoDefense),
-        Box::new(GaussianPerturbation::new(100.0)),
+        Box::new(GaussianPerturbation::new(Meters::new(100.0))),
         Box::new(GeoIndistinguishability::new(0.01)),
-        Box::new(GridTruncation::new(Grid::new(cfg.synth.city_center, 1000.0))),
-        Box::new(KAnonymousCloaking::new(cfg.synth.city_center, 250.0, 7, 5, anchors)),
-        Box::new(ReleaseThrottle::new(1800)),
-        Box::new(SyntheticDecoy::new(cfg.synth.city_center, 20.0, 500.0)),
+        Box::new(GridTruncation::new(Grid::new(cfg.synth.city_center, Meters::new(1000.0)))),
+        Box::new(KAnonymousCloaking::new(
+            cfg.synth.city_center,
+            Meters::new(250.0),
+            7,
+            5,
+            anchors,
+        )),
+        Box::new(ReleaseThrottle::new(Seconds::new(1800))),
+        Box::new(SyntheticDecoy::new(
+            cfg.synth.city_center,
+            Meters::new(20.0),
+            Meters::new(500.0),
+        )),
     ]
 }
 

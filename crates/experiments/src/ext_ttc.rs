@@ -9,6 +9,7 @@
 
 use crate::ExperimentConfig;
 use backwatch_core::timeconfusion::{time_to_confusion, TtcConfig};
+use backwatch_geo::Seconds;
 use backwatch_trace::sampling;
 use backwatch_trace::synth::generate_user;
 use backwatch_trace::Trace;
@@ -59,7 +60,7 @@ pub fn run(cfg: &ExperimentConfig, sample: usize, min_interval_s: i64) -> TtcRes
             let mut max_all = 0i64;
             let mut confusion_sum = 0usize;
             for target in 0..sample {
-                let released = sampling::downsample(&traces[target], interval_s);
+                let released = sampling::downsample(&traces[target], Seconds::new(interval_s));
                 let others: Vec<&Trace> = traces
                     .iter()
                     .enumerate()

@@ -51,8 +51,8 @@ pub fn run(cfg: &ExperimentConfig) -> Fig2Result {
         .enumerate()
         .map(|(k, p)| Fig2Row {
             set_id: k + 1,
-            visiting_min: p.min_visit_secs / 60,
-            radius_m: p.radius_m,
+            visiting_min: p.min_visit_secs.whole_minutes(),
+            radius_m: p.radius_m.get(),
             pois: per_user.iter().map(|c| c[k]).sum(),
         })
         .collect();

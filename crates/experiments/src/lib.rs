@@ -10,9 +10,6 @@
 //! uses 182 synthetic users and the 28×100 app corpus; `small()` runs in
 //! milliseconds for tests.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ext_ablation;
 pub mod ext_defense;
 pub mod ext_fgbg;
@@ -38,8 +35,8 @@ pub struct ExperimentConfig {
     pub synth: SynthConfig,
     /// Extraction parameters (the paper fixes Table III set 1).
     pub params: ExtractorParams,
-    /// Cell size of the shared region grid, meters.
-    pub grid_cell_m: f64,
+    /// Cell size of the shared region grid.
+    pub grid_cell_m: backwatch_geo::Meters,
     /// The His_bin matcher.
     pub matcher: Matcher,
     /// Access intervals to sweep, seconds.
@@ -55,7 +52,7 @@ impl ExperimentConfig {
         Self {
             synth: SynthConfig::paper_scale(),
             params: ExtractorParams::paper_set1(),
-            grid_cell_m: 250.0,
+            grid_cell_m: backwatch_geo::Meters::new(250.0),
             matcher: Matcher::paper(),
             intervals: PAPER_INTERVALS.to_vec(),
             threads: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
@@ -90,8 +87,8 @@ mod tests {
         assert_eq!(cfg.synth.n_users, 182);
         assert_eq!(cfg.intervals.first(), Some(&1));
         assert_eq!(cfg.intervals.last(), Some(&7200));
-        assert_eq!(cfg.params.radius_m, 50.0);
-        assert_eq!(cfg.params.min_visit_secs, 600);
+        assert_eq!(cfg.params.radius_m.get(), 50.0);
+        assert_eq!(cfg.params.min_visit_secs.get(), 600);
         assert!(cfg.threads >= 1);
     }
 
@@ -107,6 +104,6 @@ mod tests {
         let cfg = ExperimentConfig::small();
         let grid = cfg.grid();
         assert_eq!(grid.origin(), cfg.synth.city_center);
-        assert_eq!(grid.cell_size_m(), cfg.grid_cell_m);
+        assert_eq!(grid.cell_size_m(), cfg.grid_cell_m.get());
     }
 }

@@ -22,20 +22,24 @@ static REGISTER: Once = Once::new();
 /// Registers this crate's metrics with the global registry (idempotent).
 pub fn register() {
     REGISTER.call_once(|| {
-        backwatch_obs::register_counter("pool.maps_total", "map_users invocations", &POOL_MAPS);
+        backwatch_obs::register_counter("experiments.pool.maps_total", "map_users invocations", &POOL_MAPS);
         backwatch_obs::register_counter(
-            "pool.tasks_claimed_total",
+            "experiments.pool.tasks_claimed_total",
             "user indices claimed by workers",
             &POOL_TASKS_CLAIMED,
         );
-        backwatch_obs::register_counter("pool.busy_us_total", "worker time inside the per-user closure", &POOL_BUSY_US);
-        backwatch_obs::register_counter("pool.idle_us_total", "worker time spent waiting", &POOL_IDLE_US);
+        backwatch_obs::register_counter(
+            "experiments.pool.busy_us_total",
+            "worker time inside the per-user closure",
+            &POOL_BUSY_US,
+        );
+        backwatch_obs::register_counter("experiments.pool.idle_us_total", "worker time spent waiting", &POOL_IDLE_US);
         backwatch_obs::register_gauge(
-            "pool.workers_active",
+            "experiments.pool.workers_current",
             "workers currently running a map pass",
             &POOL_WORKERS_ACTIVE,
         );
-        backwatch_obs::register_histogram("pool.task_us", "per-user task latency", &POOL_TASK_US);
+        backwatch_obs::register_histogram("experiments.pool.task_us", "per-user task latency", &POOL_TASK_US);
     });
 }
 
@@ -68,7 +72,7 @@ mod tests {
         if snap.samples.is_empty() {
             return; // obs built with the `disabled` feature
         }
-        for prefix in ["pool.", "core.", "trace.", "stats.", "android.", "market."] {
+        for prefix in ["experiments.pool.", "core.", "trace.", "stats.", "android.", "market."] {
             assert!(
                 snap.samples.iter().any(|s| s.name.starts_with(prefix)),
                 "no metric registered under {prefix}"
@@ -81,6 +85,6 @@ mod tests {
         super::register_all();
         let text = super::snapshot_text();
         assert!(text.starts_with("TELEMETRY SNAPSHOT"));
-        assert!(text.contains("telemetry counter pool.maps_total"));
+        assert!(text.contains("telemetry counter experiments.pool.maps_total"));
     }
 }

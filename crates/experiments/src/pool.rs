@@ -18,7 +18,7 @@ use std::time::Instant;
 /// returned `Vec` is identical whatever the thread count (`threads` is
 /// clamped to `1..=n_users`).
 ///
-/// Every pass reports to telemetry: `pool.tasks_claimed_total` advances by
+/// Every pass reports to telemetry: `experiments.pool.tasks_claimed_total` advances by
 /// exactly `n_users` (the exactly-once claim invariant the integration
 /// tests assert), and per-worker busy/idle time lands in
 /// `pool.busy_us_total`/`pool.idle_us_total`.

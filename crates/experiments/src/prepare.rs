@@ -11,6 +11,7 @@ use crate::ExperimentConfig;
 use backwatch_core::metrics::{impact_from_stays, FrequencyImpact};
 use backwatch_core::pattern::{PatternKind, Profile};
 use backwatch_core::poi::{SpatioTemporalExtractor, Stay};
+use backwatch_geo::Seconds;
 use backwatch_trace::sampling;
 use backwatch_trace::synth::generate_user;
 use backwatch_trace::ProjectedTrace;
@@ -69,7 +70,7 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
         .intervals
         .iter()
         .map(|&interval_s| {
-            let indices = sampling::downsample_indices(&user.trace, interval_s);
+            let indices = sampling::downsample_indices(&user.trace, Seconds::new(interval_s));
             IntervalData {
                 interval_s,
                 collected_points: indices.len(),
@@ -90,7 +91,7 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
 
     let impacts = per_interval
         .iter()
-        .map(|d| impact_from_stays(&user, d.interval_s, d.collected_points, &d.stays, cfg.params))
+        .map(|d| impact_from_stays(&user, Seconds::new(d.interval_s), d.collected_points, &d.stays, cfg.params))
         .collect();
 
     UserData {

@@ -2,6 +2,8 @@
 //! path; this test re-derives every per-user artifact with the original
 //! owned-trace lat/lon pipeline and demands bit-identical stays.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_core::poi::SpatioTemporalExtractor;
 use backwatch_experiments::prepare::prepare_users;
 use backwatch_experiments::ExperimentConfig;
@@ -28,7 +30,7 @@ fn prepared_users_match_the_owned_latlon_pipeline() {
         );
 
         for (slot, &interval_s) in prepared.per_interval.iter().zip(&cfg.intervals) {
-            let owned = sampling::downsample(&user.trace, interval_s);
+            let owned = sampling::downsample(&user.trace, backwatch_geo::Seconds::new(interval_s));
             assert_eq!(slot.interval_s, interval_s);
             assert_eq!(slot.collected_points, owned.len(), "interval {interval_s}, user {user_idx}");
             assert_eq!(

@@ -9,6 +9,8 @@
 //! The counters are process-global, so every test serializes on one lock
 //! and works with before/after deltas.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_experiments::{obs, pool, prepare, ExperimentConfig};
 use std::sync::Mutex;
 

@@ -4,7 +4,7 @@
 //! initial great-circle bearing between two coordinates, and the
 //! destination reached by travelling a distance along a bearing.
 
-use crate::{LatLon, EARTH_RADIUS_M};
+use crate::{Degrees, LatLon, Meters, EARTH_RADIUS_M};
 
 /// Initial great-circle bearing from `a` to `b`, in degrees clockwise from
 /// north, normalized to `[0, 360)`.
@@ -30,14 +30,15 @@ pub fn initial_bearing(a: LatLon, b: LatLon) -> f64 {
     (y.atan2(x).to_degrees() + 360.0) % 360.0
 }
 
-/// The point reached by travelling `distance_m` meters from `start` along
-/// the great circle at `bearing_deg` (clockwise from north).
+/// The point reached by travelling `distance` from `start` along the
+/// great circle at `bearing` (clockwise from north).
 ///
 /// # Panics
 ///
-/// Panics if `distance_m` is negative or non-finite.
+/// Panics if `distance` is negative or non-finite.
 #[must_use]
-pub fn destination(start: LatLon, bearing_deg: f64, distance_m: f64) -> LatLon {
+pub fn destination(start: LatLon, bearing: Degrees, distance: Meters) -> LatLon {
+    let (bearing_deg, distance_m) = (bearing.get(), distance.get());
     assert!(
         distance_m.is_finite() && distance_m >= 0.0,
         "distance must be >= 0, got {distance_m}"
@@ -74,7 +75,7 @@ mod tests {
         let start = ll(39.9, 116.4);
         for bearing in [0.0, 45.0, 137.0, 271.5] {
             for dist in [100.0, 5_000.0, 80_000.0] {
-                let dest = destination(start, bearing, dist);
+                let dest = destination(start, Degrees::new(bearing), Meters::new(dist));
                 let measured = haversine(start, dest);
                 assert!((measured - dist).abs() < dist * 1e-6 + 0.01, "d={dist} b={bearing}");
                 let back = initial_bearing(start, dest);
@@ -97,13 +98,13 @@ mod tests {
     #[test]
     fn zero_distance_is_identity() {
         let start = ll(39.9, 116.4);
-        let dest = destination(start, 123.0, 0.0);
+        let dest = destination(start, Degrees::new(123.0), Meters::ZERO);
         assert!(haversine(start, dest) < 1e-6);
     }
 
     #[test]
     #[should_panic(expected = "distance")]
     fn negative_distance_panics() {
-        let _ = destination(ll(0.0, 0.0), 0.0, -1.0);
+        let _ = destination(ll(0.0, 0.0), Degrees::ZERO, Meters::new(-1.0));
     }
 }

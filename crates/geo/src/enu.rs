@@ -5,6 +5,7 @@
 //! projection is the standard small-angle approximation, accurate to well
 //! under a meter across a metropolitan extent.
 
+use crate::units::Meters;
 use crate::{LatLon, EARTH_RADIUS_M};
 
 /// A local tangent-plane frame anchored at an origin coordinate.
@@ -12,10 +13,10 @@ use crate::{LatLon, EARTH_RADIUS_M};
 /// # Examples
 ///
 /// ```
-/// use backwatch_geo::{enu::Frame, LatLon};
+/// use backwatch_geo::{enu::Frame, LatLon, Meters};
 ///
 /// let frame = Frame::new(LatLon::new(39.9, 116.4)?);
-/// let p = frame.to_latlon(1000.0, 500.0); // 1 km east, 500 m north
+/// let p = frame.to_latlon(Meters::new(1000.0), Meters::new(500.0)); // 1 km east, 500 m north
 /// let (e, n) = frame.to_enu(p);
 /// assert!((e - 1000.0).abs() < 0.5);
 /// assert!((n - 500.0).abs() < 0.5);
@@ -70,14 +71,14 @@ impl Frame {
         )
     }
 
-    /// Unprojects (east, north) meter offsets back to a coordinate.
+    /// Unprojects (east, north) offsets back to a coordinate.
     ///
     /// The result is clamped/wrapped into the valid lat/lon domain.
     #[must_use]
-    pub fn to_latlon(&self, east_m: f64, north_m: f64) -> LatLon {
+    pub fn to_latlon(&self, east: Meters, north: Meters) -> LatLon {
         LatLon::clamped(
-            self.origin.lat() + north_m / self.meters_per_deg_lat,
-            self.origin.lon() + east_m / self.meters_per_deg_lon,
+            self.origin.lat() + north.get() / self.meters_per_deg_lat,
+            self.origin.lon() + east.get() / self.meters_per_deg_lon,
         )
     }
 }
@@ -91,7 +92,7 @@ mod tests {
     fn round_trip_is_tight() {
         let frame = Frame::new(LatLon::new(39.9, 116.4).unwrap());
         for (e, n) in [(0.0, 0.0), (1234.5, -987.6), (-20_000.0, 15_000.0)] {
-            let p = frame.to_latlon(e, n);
+            let p = frame.to_latlon(Meters::new(e), Meters::new(n));
             let (e2, n2) = frame.to_enu(p);
             assert!((e - e2).abs() < 1e-6, "east {e} vs {e2}");
             assert!((n - n2).abs() < 1e-6, "north {n} vs {n2}");
@@ -101,7 +102,7 @@ mod tests {
     #[test]
     fn offsets_match_metric_distance() {
         let frame = Frame::new(LatLon::new(39.9, 116.4).unwrap());
-        let p = frame.to_latlon(3000.0, 4000.0);
+        let p = frame.to_latlon(Meters::new(3000.0), Meters::new(4000.0));
         let d = haversine(frame.origin(), p);
         assert!((d - 5000.0).abs() < 5.0, "got {d}");
     }

@@ -5,6 +5,7 @@
 //! [`CellId`]s of approximately uniform metric size, anchored at an origin
 //! so that nearby coordinates map deterministically to the same cell.
 
+use crate::units::Meters;
 use crate::{LatLon, EARTH_RADIUS_M};
 
 /// Identifier of a grid cell: integer (row, column) offsets from the grid
@@ -27,10 +28,10 @@ pub struct CellId {
 /// # Examples
 ///
 /// ```
-/// use backwatch_geo::{Grid, LatLon};
+/// use backwatch_geo::{Grid, LatLon, Meters};
 ///
 /// let origin = LatLon::new(39.9, 116.4)?;
-/// let grid = Grid::new(origin, 100.0);
+/// let grid = Grid::new(origin, Meters::new(100.0));
 /// let here = grid.cell_of(origin);
 /// // Moving ~100m east lands in the adjacent column.
 /// let east = grid.cell_of(LatLon::new(39.9, 116.4 + grid.lon_step_deg())?);
@@ -48,16 +49,17 @@ pub struct Grid {
 }
 
 impl Grid {
-    /// Creates a grid anchored at `origin` with square cells of
-    /// `cell_size_m` meters.
+    /// Creates a grid anchored at `origin` with square cells of edge
+    /// length `cell_size`.
     ///
     /// # Panics
     ///
-    /// Panics if `cell_size_m` is not strictly positive and finite, or if
+    /// Panics if `cell_size` is not strictly positive and finite, or if
     /// the origin latitude is within 0.1° of a pole (the longitude scale
     /// degenerates there).
     #[must_use]
-    pub fn new(origin: LatLon, cell_size_m: f64) -> Self {
+    pub fn new(origin: LatLon, cell_size: Meters) -> Self {
+        let cell_size_m = cell_size.get();
         assert!(cell_size_m.is_finite() && cell_size_m > 0.0, "cell size must be positive");
         assert!(origin.lat().abs() < 89.9, "grid origin too close to a pole");
         let meters_per_deg_lat = EARTH_RADIUS_M.to_radians();
@@ -131,13 +133,13 @@ mod tests {
 
     #[test]
     fn origin_is_in_cell_zero() {
-        let g = Grid::new(ll(39.9, 116.4), 100.0);
+        let g = Grid::new(ll(39.9, 116.4), Meters::new(100.0));
         assert_eq!(g.cell_of(g.origin()), CellId { row: 0, col: 0 });
     }
 
     #[test]
     fn points_in_same_cell_share_id() {
-        let g = Grid::new(ll(39.9, 116.4), 1000.0);
+        let g = Grid::new(ll(39.9, 116.4), Meters::new(1000.0));
         let a = ll(39.9001, 116.4001);
         let b = ll(39.9002, 116.4003);
         assert_eq!(g.cell_of(a), g.cell_of(b));
@@ -145,7 +147,7 @@ mod tests {
 
     #[test]
     fn distinct_cells_for_distant_points() {
-        let g = Grid::new(ll(39.9, 116.4), 100.0);
+        let g = Grid::new(ll(39.9, 116.4), Meters::new(100.0));
         let a = ll(39.9, 116.4);
         let b = ll(39.92, 116.4); // ~2.2 km north
         assert_ne!(g.cell_of(a), g.cell_of(b));
@@ -153,7 +155,7 @@ mod tests {
 
     #[test]
     fn negative_indices_south_west_of_origin() {
-        let g = Grid::new(ll(39.9, 116.4), 100.0);
+        let g = Grid::new(ll(39.9, 116.4), Meters::new(100.0));
         let c = g.cell_of(ll(39.89, 116.39));
         assert!(c.row < 0);
         assert!(c.col < 0);
@@ -161,7 +163,7 @@ mod tests {
 
     #[test]
     fn snap_moves_at_most_half_diagonal() {
-        let g = Grid::new(ll(39.9, 116.4), 100.0);
+        let g = Grid::new(ll(39.9, 116.4), Meters::new(100.0));
         for (dlat, dlon) in [(0.0001, 0.0002), (0.0007, -0.0005), (-0.0003, 0.0009)] {
             let p = ll(39.9 + dlat, 116.4 + dlon);
             let s = g.snap(p);
@@ -173,7 +175,7 @@ mod tests {
 
     #[test]
     fn snap_is_idempotent() {
-        let g = Grid::new(ll(39.9, 116.4), 250.0);
+        let g = Grid::new(ll(39.9, 116.4), Meters::new(250.0));
         let p = ll(39.9123, 116.4321);
         let s = g.snap(p);
         assert_eq!(g.snap(s), s);
@@ -181,7 +183,7 @@ mod tests {
 
     #[test]
     fn cell_metric_size_is_approximately_requested() {
-        let g = Grid::new(ll(39.9, 116.4), 100.0);
+        let g = Grid::new(ll(39.9, 116.4), Meters::new(100.0));
         let a = g.cell_center(CellId { row: 0, col: 0 });
         let east = g.cell_center(CellId { row: 0, col: 1 });
         let north = g.cell_center(CellId { row: 1, col: 0 });
@@ -192,6 +194,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "cell size must be positive")]
     fn zero_cell_size_panics() {
-        let _ = Grid::new(ll(0.0, 0.0), 0.0);
+        let _ = Grid::new(ll(0.0, 0.0), Meters::ZERO);
     }
 }

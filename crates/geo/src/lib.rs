@@ -17,6 +17,9 @@
 //!   batch-projects point sets into flat meters once, with a certified
 //!   error bound so hot loops can replace trigonometric distances with
 //!   planar arithmetic.
+//! - [`units`] — the [`Degrees`]/[`Meters`]/[`Seconds`] newtypes that
+//!   unit-bearing public APIs across the workspace take instead of raw
+//!   scalars (enforced by the `backwatch-lint` unit-safety rules).
 //!
 //! # Examples
 //!
@@ -29,9 +32,6 @@
 //! assert!((d - 1_600.0).abs() < 200.0, "about 1.6 km apart, got {d}");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bbox;
 pub mod bearing;
 pub mod distance;
@@ -39,10 +39,12 @@ pub mod enu;
 pub mod grid;
 pub mod point;
 pub mod projection;
+pub mod units;
 
 pub use bbox::BoundingBox;
 pub use grid::{CellId, Grid};
 pub use point::{LatLon, LatLonError};
+pub use units::{Degrees, Meters, Seconds};
 
 /// Mean Earth radius in meters (IUGG definition), used by all spherical
 /// distance computations in this crate.

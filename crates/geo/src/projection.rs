@@ -38,6 +38,7 @@
 //! pole, where [`crate::enu::Frame`] degenerates) must not use it.
 
 use crate::enu::Frame;
+use crate::units::{Degrees, Meters};
 use crate::LatLon;
 
 /// Multiplicative + additive slack absorbing floating-point evaluation
@@ -100,10 +101,10 @@ impl LocalProjection {
         self.frame.to_enu(p)
     }
 
-    /// Unprojects (east, north) meters back to a coordinate.
+    /// Unprojects (east, north) offsets back to a coordinate.
     #[must_use]
-    pub fn unproject(&self, east_m: f64, north_m: f64) -> LatLon {
-        self.frame.to_latlon(east_m, north_m)
+    pub fn unproject(&self, east: Meters, north: Meters) -> LatLon {
+        self.frame.to_latlon(east, north)
     }
 
     /// Projects a whole point set in one pass.
@@ -113,23 +114,24 @@ impl LocalProjection {
     }
 
     /// Certified bound, in meters, on `|planar − equirectangular|` for a
-    /// pair whose planar east separation is `east_sep_m` meters, given that
-    /// every latitude involved stays within `lat_band_rad` radians of the
-    /// anchor latitude (see the module docs for the derivation).
+    /// pair whose planar east separation is `east_sep`, given that every
+    /// latitude involved stays within `lat_band` degrees of the anchor
+    /// latitude (see the module docs for the derivation).
     ///
-    /// Monotone in `|east_sep_m|`, so a bound computed from an upper
+    /// Monotone in `|east_sep|`, so a bound computed from an upper
     /// estimate of the separation is still valid.
     #[must_use]
-    pub fn equirectangular_error_bound_m(&self, east_sep_m: f64, lat_band_rad: f64) -> f64 {
-        east_sep_m.abs() * self.error_per_east_meter(lat_band_rad) + FP_ABSOLUTE_SLACK_M
+    pub fn equirectangular_error_bound_m(&self, east_sep: Meters, lat_band: Degrees) -> f64 {
+        east_sep.get().abs() * self.error_per_east_meter(lat_band) + FP_ABSOLUTE_SLACK_M
     }
 
     /// The bound's slope: certified error per meter of planar east
-    /// separation, for latitudes within `lat_band_rad` of the anchor.
+    /// separation, for latitudes within `lat_band` degrees of the anchor.
     /// Returns `+inf` when the band is not finite (callers then treat every
     /// decision as ambiguous and fall back to exact math).
     #[must_use]
-    pub fn error_per_east_meter(&self, lat_band_rad: f64) -> f64 {
+    pub fn error_per_east_meter(&self, lat_band: Degrees) -> f64 {
+        let lat_band_rad = lat_band.to_radians();
         let cos_a = self.anchor().lat_rad().cos();
         (lat_band_rad / cos_a) * (1.0 + FP_RELATIVE_SLACK) + FP_RELATIVE_SLACK
     }
@@ -155,7 +157,7 @@ mod tests {
         let proj = LocalProjection::new(ll(39.9, 116.4));
         let p = ll(39.95, 116.47);
         let (x, y) = proj.project(p);
-        let back = proj.unproject(x, y);
+        let back = proj.unproject(Meters::new(x), Meters::new(y));
         assert!(haversine(p, back) < 1e-6);
     }
 
@@ -187,12 +189,12 @@ mod tests {
                     for (plat, plon) in [(0.0, 0.0), (0.1, -0.1), (-0.15, 0.2)] {
                         let a = ll(anchor_lat + dlat, 116.4 + dlon);
                         let b = ll(anchor_lat + plat, 116.4 + plon);
-                        let band = 0.21f64.to_radians();
+                        let band = Degrees::new(0.21);
                         let planar = planar_dist(&proj, a, b);
                         let exact = equirectangular(a, b);
                         let (ax, _) = proj.project(a);
                         let (bx, _) = proj.project(b);
-                        let bound = proj.equirectangular_error_bound_m(ax - bx, band);
+                        let bound = proj.equirectangular_error_bound_m(Meters::new(ax - bx), band);
                         assert!(
                             (planar - exact).abs() <= bound,
                             "anchor {anchor_lat}: planar {planar} exact {exact} bound {bound}"

@@ -1,6 +1,8 @@
 //! Property-based tests for the geodesy substrate.
 
-use backwatch_geo::{distance, enu::Frame, projection::LocalProjection, BoundingBox, Grid, LatLon};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_geo::{distance, enu::Frame, projection::LocalProjection, BoundingBox, Degrees, Grid, LatLon, Meters};
 use proptest::prelude::*;
 
 /// City-scale coordinates around Beijing so approximations hold.
@@ -58,14 +60,14 @@ proptest! {
 
     #[test]
     fn grid_snap_idempotent(p in city_point(), size in 10.0f64..2000.0) {
-        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), size);
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(size));
         let s = g.snap(p);
         prop_assert_eq!(g.snap(s), s);
     }
 
     #[test]
     fn grid_snap_bounded_displacement(p in city_point(), size in 10.0f64..2000.0) {
-        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), size);
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(size));
         let s = g.snap(p);
         let d = distance::haversine(p, s);
         // at most half the cell diagonal, with 2% tolerance for projection error
@@ -74,7 +76,7 @@ proptest! {
 
     #[test]
     fn grid_cell_center_round_trips(row in -500i64..500, col in -500i64..500, size in 20.0f64..500.0) {
-        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), size);
+        let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(size));
         let cell = backwatch_geo::CellId { row, col };
         prop_assert_eq!(g.cell_of(g.cell_center(cell)), cell);
     }
@@ -82,7 +84,7 @@ proptest! {
     #[test]
     fn enu_round_trip(e in -30_000.0f64..30_000.0, n in -30_000.0f64..30_000.0) {
         let frame = Frame::new(LatLon::new(39.9, 116.4).unwrap());
-        let p = frame.to_latlon(e, n);
+        let p = frame.to_latlon(Meters::new(e), Meters::new(n));
         let (e2, n2) = frame.to_enu(p);
         prop_assert!((e - e2).abs() < 1e-5);
         prop_assert!((n - n2).abs() < 1e-5);
@@ -91,7 +93,7 @@ proptest! {
     #[test]
     fn enu_distance_consistent(e in -10_000.0f64..10_000.0, n in -10_000.0f64..10_000.0) {
         let frame = Frame::new(LatLon::new(39.9, 116.4).unwrap());
-        let p = frame.to_latlon(e, n);
+        let p = frame.to_latlon(Meters::new(e), Meters::new(n));
         let planar = (e * e + n * n).sqrt();
         let spherical = distance::haversine(frame.origin(), p);
         prop_assert!((planar - spherical).abs() <= 0.002 * planar + 0.01);
@@ -114,12 +116,12 @@ proptest! {
         let proj = LocalProjection::new(anchor);
         let a = LatLon::new(anchor_lat + a_dlat, anchor_lon + a_dlon).unwrap();
         let b = LatLon::new(anchor_lat + b_dlat, anchor_lon + b_dlon).unwrap();
-        let band = 0.26f64.to_radians();
+        let band = Degrees::new(0.26);
         let (ax, ay) = proj.project(a);
         let (bx, by) = proj.project(b);
         let planar = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
         let exact = distance::equirectangular(a, b);
-        let bound = proj.equirectangular_error_bound_m(ax - bx, band);
+        let bound = proj.equirectangular_error_bound_m(Meters::new(ax - bx), band);
         prop_assert!((planar - exact).abs() <= bound, "planar {planar} exact {exact} bound {bound}");
     }
 
@@ -140,7 +142,7 @@ proptest! {
         let (bx, by) = proj.project(b);
         let planar = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
         let exact = distance::haversine(a, b);
-        let bound = proj.equirectangular_error_bound_m(ax - bx, 0.21f64.to_radians());
+        let bound = proj.equirectangular_error_bound_m(Meters::new(ax - bx), Degrees::new(0.21));
         prop_assert!((planar - exact).abs() <= bound + 0.001 * exact + 0.01, "planar {planar} vs {exact}");
     }
 }

@@ -1,0 +1,58 @@
+//! Property tests for the unit newtypes: wrapping and arithmetic must be
+//! *bit-identical* to the raw scalars they replaced — the whole refactor
+//! rests on `Meters::new(x).get()` being the identity, including for
+//! NaNs, infinities, negative zero, and subnormals.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_geo::{Degrees, Meters, Seconds};
+use proptest::prelude::*;
+
+/// All f64 bit patterns, including NaN payloads and infinities.
+fn any_bits() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn meters_round_trip_is_bit_exact(x in any_bits()) {
+        prop_assert_eq!(Meters::new(x).get().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn degrees_round_trip_is_bit_exact(x in any_bits()) {
+        prop_assert_eq!(Degrees::new(x).get().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn seconds_round_trip_is_exact(x in any::<i64>()) {
+        prop_assert_eq!(Seconds::new(x).get(), x);
+    }
+
+    #[test]
+    fn meters_arithmetic_matches_raw_f64(a in any_bits(), b in any_bits()) {
+        prop_assert_eq!((Meters::new(a) + Meters::new(b)).get().to_bits(), (a + b).to_bits());
+        prop_assert_eq!((Meters::new(a) - Meters::new(b)).get().to_bits(), (a - b).to_bits());
+        prop_assert_eq!((Meters::new(a) * b).get().to_bits(), (a * b).to_bits());
+        prop_assert_eq!((Meters::new(a) / Meters::new(b)).to_bits(), (a / b).to_bits());
+    }
+
+    #[test]
+    fn degrees_radian_conversions_match_raw_f64(a in any_bits()) {
+        prop_assert_eq!(Degrees::new(a).to_radians().to_bits(), a.to_radians().to_bits());
+        prop_assert_eq!(Degrees::from_radians(a).get().to_bits(), a.to_degrees().to_bits());
+    }
+
+    #[test]
+    fn seconds_arithmetic_matches_raw_i64(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+        prop_assert_eq!((Seconds::new(a) + Seconds::new(b)).get(), a + b);
+        prop_assert_eq!((Seconds::new(a) - Seconds::new(b)).get(), a - b);
+        prop_assert_eq!(Seconds::new(a).whole_minutes(), a / 60);
+    }
+
+    #[test]
+    fn ordering_matches_raw_scalars(a in any_bits(), b in any_bits()) {
+        prop_assert_eq!(Meters::new(a).partial_cmp(&Meters::new(b)), a.partial_cmp(&b));
+        prop_assert_eq!(Degrees::new(a).partial_cmp(&Degrees::new(b)), a.partial_cmp(&b));
+    }
+}

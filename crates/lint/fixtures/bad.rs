@@ -1,0 +1,51 @@
+//! Deliberately-bad fixture for backwatch-lint's self-test. This file is
+//! never compiled (it lives outside any `src/` tree); it exists so the
+//! test suite and `./ci` can prove the lint actually fires on each rule.
+
+// US001 x2: raw scalars with unit-implying names in a public signature.
+pub fn cloak(radius_m: f64, interval: i64, n: usize) -> f64 {
+    radius_m + interval as f64 + n as f64
+}
+
+// PF001 + PF004 on one line, then PF002 and PF003.
+pub fn head(xs: &[f64]) -> f64 {
+    xs.iter().next().unwrap() + xs[0]
+}
+
+pub fn must(o: Option<f64>) -> f64 {
+    o.expect("the caller always sets it")
+}
+
+pub fn boom() {
+    panic!("unreachable by construction");
+}
+
+// A comment mentioning .unwrap() and a string with panic!( must NOT fire.
+pub fn decoy() -> &'static str {
+    "contains panic!( and xs[0] and .unwrap() in a literal"
+}
+
+pub fn register() {
+    // TM001: not crate.subsystem.name
+    backwatch_obs::register_counter("badname", "help", &C);
+    // TM002: counter must end _total
+    backwatch_obs::register_counter("fixture.pool.latency_seconds", "help", &C);
+    // fine
+    backwatch_obs::register_gauge("fixture.pool.workers_current", "help", &G);
+    // TM003: duplicate registration
+    backwatch_obs::register_gauge("fixture.pool.workers_current", "help", &G);
+    // TM004: non-literal name
+    backwatch_obs::register_histogram(dynamic_name, "help", &H);
+}
+
+#[cfg(test)]
+mod tests {
+    // None of these may fire: test code is out of scope.
+    #[test]
+    fn test_code_is_exempt() {
+        let xs = vec![1.0f64];
+        let _ = xs[0];
+        let _: f64 = Some(1.0).unwrap();
+        let _: f64 = Some(1.0).expect("fine in tests");
+    }
+}

@@ -1,0 +1,276 @@
+//! The `lint-allow.toml` suppression file.
+//!
+//! A deliberately tiny TOML subset: `[[allow]]` tables of string
+//! key/value pairs. Every entry must name its rule family and carry a
+//! justification of at least three words — a suppression without a reason
+//! is a load error, not a style nit. Entries match a violation by
+//! `(rule, file, contains)` where `contains` is a substring of the
+//! offending source line, so entries survive line-number drift.
+
+use crate::Violation;
+
+/// One suppression: `(rule, file, contains)` plus the mandatory reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule family name (`unit-safety` | `panic-freedom` | `telemetry-naming`).
+    pub rule: String,
+    /// Workspace-relative path the suppression applies to.
+    pub file: String,
+    /// Substring of the offending raw source line.
+    pub contains: String,
+    /// Why the violation is acceptable (at least three words).
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header in the allowlist file.
+    pub line: usize,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+const FAMILIES: [&str; 3] = ["unit-safety", "panic-freedom", "telemetry-naming"];
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SeenKeys {
+    rule: bool,
+    file: bool,
+    contains: bool,
+    justification: bool,
+}
+
+impl Allowlist {
+    /// Parses allowlist `text`; returns a description of the first
+    /// problem on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<(AllowEntry, SeenKeys)> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some((e, seen)) = current.take() {
+                    finish_entry(e, seen, &mut entries)?;
+                }
+                current = Some((
+                    AllowEntry {
+                        rule: String::new(),
+                        file: String::new(),
+                        contains: String::new(),
+                        justification: String::new(),
+                        line: line_no,
+                    },
+                    SeenKeys::default(),
+                ));
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                return Err(format!(
+                    "lint-allow.toml:{line_no}: expected `key = \"value\"` or `[[allow]]`"
+                ));
+            };
+            let Some((entry, seen)) = current.as_mut() else {
+                return Err(format!("lint-allow.toml:{line_no}: `{key}` outside an [[allow]] table"));
+            };
+            match key.as_str() {
+                "rule" => {
+                    entry.rule = value;
+                    seen.rule = true;
+                }
+                "file" => {
+                    entry.file = value;
+                    seen.file = true;
+                }
+                "contains" => {
+                    entry.contains = value;
+                    seen.contains = true;
+                }
+                "justification" => {
+                    entry.justification = value;
+                    seen.justification = true;
+                }
+                other => {
+                    return Err(format!("lint-allow.toml:{line_no}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some((e, seen)) = current.take() {
+            finish_entry(e, seen, &mut entries)?;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Splits `violations` into (unsuppressed, suppressed-count) and
+    /// reports which entries went unused (their indices).
+    #[must_use]
+    pub fn apply(&self, violations: Vec<Violation>) -> (Vec<Violation>, usize, Vec<usize>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut remaining = Vec::new();
+        let mut suppressed = 0usize;
+        for v in violations {
+            let hit = self
+                .entries
+                .iter()
+                .enumerate()
+                .find(|(_, e)| e.rule == v.family.as_str() && e.file == v.file && v.source.contains(&e.contains));
+            match hit {
+                Some((i, _)) => {
+                    if let Some(u) = used.get_mut(i) {
+                        *u = true;
+                    }
+                    suppressed += 1;
+                }
+                None => remaining.push(v),
+            }
+        }
+        let unused = used
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &u)| if u { None } else { Some(i) })
+            .collect();
+        (remaining, suppressed, unused)
+    }
+}
+
+fn finish_entry(e: AllowEntry, seen: SeenKeys, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+    let missing = [
+        (seen.rule, "rule"),
+        (seen.file, "file"),
+        (seen.contains, "contains"),
+        (seen.justification, "justification"),
+    ];
+    for (present, key) in missing {
+        if !present {
+            return Err(format!("lint-allow.toml:{}: entry is missing `{key}`", e.line));
+        }
+    }
+    if !FAMILIES.contains(&e.rule.as_str()) {
+        return Err(format!(
+            "lint-allow.toml:{}: unknown rule `{}` (expected one of {FAMILIES:?})",
+            e.line, e.rule
+        ));
+    }
+    if e.contains.is_empty() {
+        return Err(format!("lint-allow.toml:{}: `contains` must be non-empty", e.line));
+    }
+    if e.justification.split_whitespace().count() < 3 {
+        return Err(format!(
+            "lint-allow.toml:{}: justification must explain why (at least three words)",
+            e.line
+        ));
+    }
+    entries.push(e);
+    Ok(())
+}
+
+/// `key = "value"` with `\"` and `\\` escapes; trailing `#` comments are
+/// not supported inside entries (keep lines simple).
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let eq = line.find('=')?;
+    let key = line.get(..eq)?.trim().to_owned();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+        return None;
+    }
+    let rest = line.get(eq + 1..)?.trim();
+    let mut chars = rest.chars();
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut value = String::new();
+    let mut escaped = false;
+    let mut closed = false;
+    for c in chars {
+        if escaped {
+            value.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            closed = true;
+            break;
+        } else {
+            value.push(c);
+        }
+    }
+    if closed {
+        Some((key, value))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+rule = "panic-freedom"
+file = "crates/obs/src/registry.rs"
+contains = "expect(\"metric registry never poisoned\")"
+justification = "lock poisoning is unreachable: no panic while held"
+"#;
+
+    #[test]
+    fn parses_entries_with_escapes() {
+        let a = Allowlist::parse(GOOD).map_err(|e| e.to_string());
+        let a = a.as_ref().map(|x| &x.entries);
+        assert_eq!(a.map(Vec::len), Ok(1), "{a:?}");
+        let e = a.ok().and_then(|v| v.first());
+        assert_eq!(
+            e.map(|x| x.contains.as_str()),
+            Some("expect(\"metric registry never poisoned\")")
+        );
+    }
+
+    #[test]
+    fn rejects_missing_or_thin_justifications() {
+        let missing = GOOD.replace("justification = \"lock poisoning is unreachable: no panic while held\"\n", "");
+        assert!(Allowlist::parse(&missing).is_err());
+        let thin = GOOD.replace("lock poisoning is unreachable: no panic while held", "because");
+        assert!(Allowlist::parse(&thin).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_keys() {
+        assert!(Allowlist::parse(&GOOD.replace("panic-freedom", "vibes")).is_err());
+        assert!(Allowlist::parse(&GOOD.replace("file =", "path =")).is_err());
+    }
+
+    #[test]
+    fn apply_matches_on_rule_file_and_substring() {
+        let a = Allowlist::parse(GOOD).unwrap_or_default();
+        let v = |file: &str, source: &str| Violation {
+            file: file.to_owned(),
+            line: 1,
+            family: Family::PanicFreedom,
+            id: "PF002",
+            message: String::new(),
+            suggestion: "",
+            source: source.to_owned(),
+        };
+        let hit = v(
+            "crates/obs/src/registry.rs",
+            "let g = REGISTRY.lock().expect(\"metric registry never poisoned\");",
+        );
+        let miss_file = v("crates/obs/src/lib.rs", "x.expect(\"metric registry never poisoned\")");
+        let miss_text = v("crates/obs/src/registry.rs", "x.expect(\"other\")");
+        let (remaining, suppressed, unused) = a.apply(vec![hit, miss_file, miss_text]);
+        assert_eq!((remaining.len(), suppressed), (2, 1));
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let a = Allowlist::parse(GOOD).unwrap_or_default();
+        let (_, _, unused) = a.apply(Vec::new());
+        assert_eq!(unused, vec![0]);
+    }
+}

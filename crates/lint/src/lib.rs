@@ -1,0 +1,184 @@
+//! backwatch-lint: the workspace's own static-analysis pass.
+//!
+//! Three rule families guard invariants that `rustc` and clippy cannot
+//! see (DESIGN.md §"Workspace lint"):
+//!
+//! - **unit-safety** (`US001`): public functions of the geometry-bearing
+//!   crates must not take raw `f64`/`i64` for unit-named parameters —
+//!   they take the `backwatch-geo` `Meters`/`Seconds`/`Degrees` newtypes.
+//! - **panic-freedom** (`PF001`–`PF004`): no `.unwrap()`, `.expect(...)`,
+//!   `panic!`, or constant-index slicing in non-test library code.
+//! - **telemetry-naming** (`TM001`–`TM004`): metric names registered with
+//!   `backwatch-obs` are literals shaped `crate.subsystem.name` with a
+//!   kind-matching suffix, unique workspace-wide.
+//!
+//! Violations are suppressed only through `lint-allow.toml`, where every
+//! entry carries a mandatory justification; the entry count is pinned in
+//! this crate's tests so the list can only shrink.
+
+pub mod allowlist;
+pub mod rules;
+pub mod source;
+
+use allowlist::Allowlist;
+use source::SourceFile;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The rule family a violation belongs to (and an allowlist `rule` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Raw scalars where unit newtypes are required.
+    UnitSafety,
+    /// Panicking constructs in library code.
+    PanicFreedom,
+    /// Malformed or colliding telemetry metric names.
+    TelemetryNaming,
+}
+
+impl Family {
+    /// The allowlist / diagnostic name of the family.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::UnitSafety => "unit-safety",
+            Family::PanicFreedom => "panic-freedom",
+            Family::TelemetryNaming => "telemetry-naming",
+        }
+    }
+}
+
+/// One diagnostic: where, which rule, what, and what to do instead.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule family.
+    pub family: Family,
+    /// Stable rule id (`US001`, `PF002`, ...).
+    pub id: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: &'static str,
+    /// The raw source line, for allowlist matching and display.
+    pub source: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{} [{}/{}] {}",
+            self.file,
+            self.line,
+            self.family.as_str(),
+            self.id,
+            self.message
+        )?;
+        writeln!(f, "    | {}", self.source.trim())?;
+        write!(f, "    = suggestion: {}", self.suggestion)
+    }
+}
+
+/// Outcome of a lint pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived the allowlist.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by allowlist entries.
+    pub suppressed: usize,
+    /// Allowlist entries that matched nothing (stale suppressions).
+    pub unused_entries: Vec<allowlist::AllowEntry>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Collects the workspace's library sources: `crates/*/src/**/*.rs` plus
+/// the root crate's `src/**/*.rs`, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut out)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Runs all rules over `files` (paths under `root`), applying
+/// `allowlist` if given. `force_all_rules` treats every file as
+/// unit-API library code — used for fixtures and ad-hoc file arguments.
+pub fn run(root: &Path, files: &[PathBuf], allowlist: Option<&Allowlist>, force_all_rules: bool) -> Result<Report, String> {
+    let mut violations = Vec::new();
+    let mut telemetry = rules::TelemetryState::default();
+    for path in files {
+        let rel = rel_path(root, path);
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut sf = SourceFile::new(&rel, &text);
+        if force_all_rules {
+            sf.is_bin = false;
+        }
+        violations.extend(rules::unit_safety(&sf, force_all_rules));
+        violations.extend(rules::panic_freedom(&sf));
+        violations.extend(rules::telemetry_naming(&sf, &mut telemetry));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    match allowlist {
+        Some(list) => {
+            let (remaining, suppressed, unused) = list.apply(violations);
+            report.violations = remaining;
+            report.suppressed = suppressed;
+            report.unused_entries = unused.iter().filter_map(|&i| list.entries.get(i).cloned()).collect();
+        }
+        None => report.violations = violations,
+    }
+    Ok(report)
+}
+
+/// `path` relative to `root` with forward slashes (falls back to the
+/// path as given when it is not under `root`).
+#[must_use]
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let p = path.strip_prefix(root).unwrap_or(path);
+    p.to_string_lossy().replace('\\', "/")
+}
+
+/// Loads `lint-allow.toml` from `path`.
+pub fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Allowlist::parse(&text)
+}

@@ -1,0 +1,129 @@
+//! CLI for the workspace lint. See `crate` docs (`backwatch_lint`) for
+//! the rule families.
+//!
+//! ```text
+//! backwatch-lint [--deny-all] [--root DIR] [--allowlist FILE] [--no-allowlist] [FILES...]
+//! ```
+//!
+//! Without flags the pass is advisory: diagnostics print, exit code 0.
+//! `--deny-all` exits non-zero on any surviving violation *or* stale
+//! allowlist entry — the CI mode. Positional FILES restrict the scan to
+//! those files with every rule forced on (used against fixtures).
+
+use backwatch_lint::{load_allowlist, run, workspace_files, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    deny_all: bool,
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    no_allowlist: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_all: false,
+        root: PathBuf::from("."),
+        allowlist: None,
+        no_allowlist: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-all" => args.deny_all = true,
+            "--no-allowlist" => args.no_allowlist = true,
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?),
+            "--allowlist" => args.allowlist = Some(PathBuf::from(it.next().ok_or("--allowlist needs a file")?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: backwatch-lint [--deny-all] [--root DIR] [--allowlist FILE] [--no-allowlist] [FILES...]".to_owned(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}` (try --help)")),
+            other => args.files.push(PathBuf::from(other)),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            println!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let started = Instant::now();
+
+    let allowlist = if args.no_allowlist {
+        None
+    } else {
+        let path = args.allowlist.clone().unwrap_or_else(|| args.root.join("lint-allow.toml"));
+        if path.is_file() {
+            match load_allowlist(&path) {
+                Ok(list) => Some(list),
+                Err(msg) => {
+                    println!("backwatch-lint: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            None
+        }
+    };
+
+    let explicit_files = !args.files.is_empty();
+    let files = if explicit_files {
+        args.files.clone()
+    } else {
+        match workspace_files(&args.root) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("backwatch-lint: walking {}: {e}", args.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = match run(&args.root, &files, allowlist.as_ref(), explicit_files) {
+        Ok(r) => r,
+        Err(msg) => {
+            println!("backwatch-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print_report(&report, started.elapsed().as_millis());
+    let fail = !report.violations.is_empty() || (args.deny_all && !report.unused_entries.is_empty());
+    if args.deny_all && fail {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_report(report: &Report, elapsed_ms: u128) {
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.unused_entries {
+        println!(
+            "lint-allow.toml:{} [stale] entry for {} ({}) matched nothing — delete it",
+            e.line, e.file, e.rule
+        );
+    }
+    println!(
+        "backwatch-lint: {} violation(s), {} allowlisted, {} stale allowlist entr{} across {} files in {} ms",
+        report.violations.len(),
+        report.suppressed,
+        report.unused_entries.len(),
+        if report.unused_entries.len() == 1 { "y" } else { "ies" },
+        report.files_scanned,
+        elapsed_ms
+    );
+}

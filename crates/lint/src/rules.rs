@@ -1,0 +1,502 @@
+//! The three rule families: unit-safety, panic-freedom, and
+//! telemetry-naming.
+//!
+//! Every rule is a scanner over the sanitized view of a file (see
+//! [`crate::source`]); none of them parse Rust properly, and they do not
+//! need to — the invariants they enforce are lexically visible once
+//! comments, strings, and test regions are masked out.
+
+use crate::source::SourceFile;
+use crate::{Family, Violation};
+use std::collections::HashMap;
+
+/// Crates whose public APIs must use the `backwatch-geo` unit newtypes.
+pub const UNIT_API_CRATES: [&str; 4] = ["crates/geo/", "crates/trace/", "crates/core/", "crates/defense/"];
+
+/// Parameter-name suffixes that imply a physical unit.
+const UNIT_SUFFIXES: [&str; 6] = ["_m", "_deg", "_lat", "_lon", "_secs", "_s"];
+/// Bare parameter names that imply a physical unit.
+const UNIT_NAMES: [&str; 2] = ["radius", "interval"];
+
+/// US001: raw `f64`/`i64` parameters with unit-implying names in public
+/// functions of the unit-API crates.
+#[must_use]
+pub fn unit_safety(file: &SourceFile, force: bool) -> Vec<Violation> {
+    if !force && !UNIT_API_CRATES.iter().any(|c| file.rel_path.starts_with(c)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for start in find_all(&file.clean, "pub fn ") {
+        let line = file.line_of(start);
+        if file.is_test_line(line) {
+            continue;
+        }
+        for (name, ty, pos) in signature_params(&file.clean, start) {
+            let ty_norm: String = ty.split_whitespace().collect::<Vec<_>>().join(" ");
+            if (ty_norm == "f64" || ty_norm == "i64") && unit_named(&name) {
+                let vline = file.line_of(pos);
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: vline,
+                    family: Family::UnitSafety,
+                    id: "US001",
+                    message: format!("public fn takes raw `{ty_norm}` for unit-named parameter `{name}`"),
+                    suggestion: "take a backwatch_geo newtype (Meters/Seconds/Degrees) and unwrap with `.get()` at the boundary",
+                    source: file.raw_line(vline),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn unit_named(name: &str) -> bool {
+    UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) || UNIT_NAMES.contains(&name)
+}
+
+/// PF001–PF004: `.unwrap()`, `.expect(...)`, `panic!`, and
+/// constant-literal slice indexing in non-test library code.
+///
+/// `assert!`/`debug_assert!` are deliberately *not* flagged: an assertion
+/// is a stated invariant, whereas an unwrap is an unstated one. Variable
+/// indices (`xs[i]`) are also out of scope — they are usually loop-bound;
+/// the rule targets the `xs[0]`-style head/tail accesses that empty inputs
+/// turn into panics.
+#[must_use]
+pub fn panic_freedom(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if file.is_bin {
+        return out;
+    }
+    let n_lines = file.line_starts.len();
+    for line_no in 1..=n_lines {
+        if file.is_test_line(line_no) {
+            continue;
+        }
+        let start = match file.line_starts.get(line_no - 1) {
+            Some(&s) => s,
+            None => continue,
+        };
+        let end = file.line_starts.get(line_no).copied().unwrap_or(file.clean.len());
+        let clean_line: String = file.clean[start..end].iter().collect();
+        let mut push = |id: &'static str, message: String, suggestion: &'static str| {
+            out.push(Violation {
+                file: file.rel_path.clone(),
+                line: line_no,
+                family: Family::PanicFreedom,
+                id,
+                message,
+                suggestion,
+                source: file.raw_line(line_no),
+            });
+        };
+        if clean_line.contains(".unwrap()") {
+            push(
+                "PF001",
+                "`.unwrap()` in non-test library code".to_owned(),
+                "return Option/Result, use `unwrap_or`/`let Some(..)`, or allowlist with a justification",
+            );
+        }
+        if clean_line.contains(".expect(") {
+            push(
+                "PF002",
+                "`.expect(...)` in non-test library code".to_owned(),
+                "restructure to avoid the panic path, or allowlist with the invariant as justification",
+            );
+        }
+        if has_bare_macro(&clean_line, "panic!") {
+            push(
+                "PF003",
+                "`panic!` in non-test library code".to_owned(),
+                "return an error instead, or allowlist with a justification",
+            );
+        }
+        if has_literal_index(&clean_line) {
+            push(
+                "PF004",
+                "constant-index slice access in non-test library code".to_owned(),
+                "use `.first()`/`.get(n)` (or prove the bound and allowlist with a justification)",
+            );
+        }
+    }
+    out
+}
+
+fn has_bare_macro(line: &str, mac: &str) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    let pat: Vec<char> = mac.chars().collect();
+    let mut i = 0;
+    while i + pat.len() <= chars.len() {
+        if chars[i..i + pat.len()] == pat[..] {
+            let prev = if i == 0 { '\0' } else { chars[i - 1] };
+            if !(prev.is_ascii_alphanumeric() || prev == '_') {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// `ident[0]`-style indexing: an identifier (or `)`/`]`) followed by a
+/// bracketed integer literal.
+fn has_literal_index(line: &str) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars.get(i - 1).copied().unwrap_or('\0');
+        if !(prev.is_ascii_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        let mut j = i + 1;
+        let digits_start = j;
+        while chars.get(j).is_some_and(char::is_ascii_digit) {
+            j += 1;
+        }
+        if j > digits_start && chars.get(j) == Some(&']') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Cross-file state for telemetry-name uniqueness (TM003).
+#[derive(Debug, Default)]
+pub struct TelemetryState {
+    /// metric name -> first registration site (`file:line`).
+    seen: HashMap<String, String>,
+}
+
+/// TM001–TM004: telemetry names registered with `backwatch-obs` must be
+/// string literals shaped `crate.subsystem.name` with a kind-matching
+/// suffix (`_total` for counters, `_current` for gauges, `_seconds` for
+/// histograms) and must be unique workspace-wide.
+#[must_use]
+pub fn telemetry_naming(file: &SourceFile, state: &mut TelemetryState) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let kinds: [(&str, &str); 3] = [
+        ("register_counter(", "_total"),
+        ("register_gauge(", "_current"),
+        ("register_histogram(", "_seconds"),
+    ];
+    for (call, suffix) in kinds {
+        for start in find_all(&file.clean, call) {
+            let line = file.line_of(start);
+            if file.is_test_line(line) || is_fn_definition(&file.clean, start) {
+                continue;
+            }
+            let open = start + call.len() - 1; // the '('
+            let mut push = |line: usize, id: &'static str, message: String, suggestion: &'static str| {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line,
+                    family: Family::TelemetryNaming,
+                    id,
+                    message,
+                    suggestion,
+                    source: file.raw_line(line),
+                });
+            };
+            let Some((name, name_pos)) = literal_after(file, open) else {
+                push(
+                    line,
+                    "TM004",
+                    "metric name at a registration site must be a string literal".to_owned(),
+                    "pass the name as a literal so the lint (and grep) can see it",
+                );
+                continue;
+            };
+            let name_line = file.line_of(name_pos);
+            if !well_formed_metric(&name) {
+                push(
+                    name_line,
+                    "TM001",
+                    format!("metric name `{name}` is not `crate.subsystem.name` (3 lowercase dot-segments)"),
+                    "rename to `<crate>.<subsystem>.<name>` using [a-z0-9_] segments",
+                );
+            } else if !name.ends_with(suffix) {
+                push(
+                    name_line,
+                    "TM002",
+                    format!("metric `{name}` must end with `{suffix}` for this instrument kind"),
+                    "suffix counters `_total`, gauges `_current`, histograms `_seconds` (or allowlist with a justification)",
+                );
+            }
+            let site = format!("{}:{name_line}", file.rel_path);
+            if let Some(first) = state.seen.get(&name) {
+                push(
+                    name_line,
+                    "TM003",
+                    format!("metric `{name}` already registered at {first}"),
+                    "metric names must be unique workspace-wide; rename one of the two",
+                );
+            } else {
+                state.seen.insert(name, site);
+            }
+        }
+    }
+    out
+}
+
+fn well_formed_metric(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() == 3
+        && segs.iter().all(|s| {
+            !s.is_empty()
+                && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Whether the match at `start` is the `fn register_*` definition itself
+/// rather than a call site.
+fn is_fn_definition(clean: &[char], start: usize) -> bool {
+    let lead: String = clean[start.saturating_sub(4)..start].iter().collect();
+    lead.ends_with("fn ")
+}
+
+/// The first string literal after char offset `open`, if the next token is
+/// one. Returns the literal's contents (from the raw view) and the offset
+/// of its opening quote.
+fn literal_after(file: &SourceFile, open: usize) -> Option<(String, usize)> {
+    let mut i = open + 1;
+    while file.clean.get(i).is_some_and(|c| c.is_whitespace()) {
+        i += 1;
+    }
+    if file.clean.get(i) != Some(&'"') {
+        return None;
+    }
+    let q1 = i;
+    let mut j = q1 + 1;
+    while file.clean.get(j).is_some_and(|&c| c != '"') {
+        j += 1;
+    }
+    let name: String = file.raw.get(q1 + 1..j)?.iter().collect();
+    Some((name, q1))
+}
+
+/// All char offsets where `pat` occurs in `hay`.
+fn find_all(hay: &[char], pat: &str) -> Vec<usize> {
+    let pat: Vec<char> = pat.chars().collect();
+    let mut out = Vec::new();
+    if pat.is_empty() || hay.len() < pat.len() {
+        return out;
+    }
+    for i in 0..=hay.len() - pat.len() {
+        if hay[i..i + pat.len()] == pat[..] {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Parses the parameter list of the `pub fn` starting at `start`:
+/// yields `(name, type_text, char_offset_of_name)` per parameter.
+/// Handles generic sections before the parens (including `Fn(..) -> R`
+/// bounds) and nested types inside the parens.
+fn signature_params(clean: &[char], start: usize) -> Vec<(String, String, usize)> {
+    let mut i = start;
+    // find the param-list '(' — skip a generic section if present
+    let mut angle: i64 = 0;
+    let open = loop {
+        match clean.get(i) {
+            None => return Vec::new(),
+            Some('<') => angle += 1,
+            Some('>') => {
+                if i > 0 && clean.get(i - 1) != Some(&'-') {
+                    angle -= 1;
+                }
+            }
+            Some('(') if angle == 0 => break i,
+            Some('{') | Some(';') => return Vec::new(), // no params found
+            _ => {}
+        }
+        i += 1;
+    };
+    // find the matching ')'
+    let mut depth = 0i64;
+    let mut close = open;
+    for (j, &c) in clean.iter().enumerate().skip(open) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    if close == open {
+        return Vec::new();
+    }
+    // split params at top-level commas
+    let mut params = Vec::new();
+    let mut seg_start = open + 1;
+    let mut pdepth = 0i64;
+    let mut adepth = 0i64;
+    for j in open + 1..=close {
+        let c = clean.get(j).copied().unwrap_or('\0');
+        match c {
+            '(' | '[' | '{' => pdepth += 1,
+            ']' | '}' => pdepth -= 1,
+            ')' if j < close => pdepth -= 1,
+            '<' => adepth += 1,
+            '>' => {
+                if clean.get(j.wrapping_sub(1)) != Some(&'-') {
+                    adepth -= 1;
+                }
+            }
+            _ => {}
+        }
+        if (c == ',' && pdepth == 0 && adepth == 0) || j == close {
+            if let Some(p) = parse_param(clean, seg_start, j) {
+                params.push(p);
+            }
+            seg_start = j + 1;
+        }
+    }
+    params
+}
+
+/// One `name: Type` parameter within `clean[start..end]`; `None` for
+/// `self`, patterns, or empty segments.
+fn parse_param(clean: &[char], start: usize, end: usize) -> Option<(String, String, usize)> {
+    // find the ':' at top level (':' of '::' does not occur at top level
+    // before the type separator in a parameter name position)
+    let mut depth = 0i64;
+    let mut colon = None;
+    for j in start..end {
+        match clean.get(j).copied().unwrap_or('\0') {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth -= 1,
+            ':' if depth == 0 => {
+                colon = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let colon = colon?;
+    let raw_name: String = clean.get(start..colon)?.iter().collect();
+    let name = raw_name.trim().trim_start_matches("mut ").trim().to_owned();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') || name.ends_with("self") {
+        return None;
+    }
+    let ty: String = clean.get(colon + 1..end)?.iter().collect();
+    let ty = ty.trim().trim_end_matches(',').trim().to_owned();
+    // offset of the name's first char, for line reporting
+    let lead_ws = raw_name.len() - raw_name.trim_start().len();
+    Some((name, ty, start + lead_ws))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> SourceFile {
+        SourceFile::new(path, text)
+    }
+
+    #[test]
+    fn unit_safety_flags_raw_unit_params_in_unit_crates() {
+        let f = src(
+            "crates/geo/src/x.rs",
+            "pub fn cloak(radius_m: f64, n: usize, interval: i64) -> f64 { radius_m }\n",
+        );
+        let v = unit_safety(&f, false);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.id == "US001"));
+        assert!(v.iter().any(|x| x.message.contains("radius_m")));
+        assert!(v.iter().any(|x| x.message.contains("interval")));
+    }
+
+    #[test]
+    fn unit_safety_skips_other_crates_newtypes_and_tests() {
+        let other = src("crates/market/src/x.rs", "pub fn f(radius_m: f64) {}\n");
+        assert!(unit_safety(&other, false).is_empty());
+        let newtype = src("crates/geo/src/x.rs", "pub fn f(radius: Meters, dt: Seconds) {}\n");
+        assert!(unit_safety(&newtype, false).is_empty());
+        let test = src(
+            "crates/geo/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    pub fn f(radius_m: f64) {}\n}\n",
+        );
+        assert!(unit_safety(&test, false).is_empty());
+    }
+
+    #[test]
+    fn unit_safety_handles_multiline_and_generic_signatures() {
+        let f = src(
+            "crates/core/src/x.rs",
+            "pub fn sweep<F: Fn(u32) -> f64>(\n    user: &User,\n    interval_s: i64,\n    score: F,\n) {}\n",
+        );
+        let v = unit_safety(&f, false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v.first().map(|x| x.line), Some(3));
+    }
+
+    #[test]
+    fn panic_freedom_flags_each_pattern_outside_tests() {
+        let f = src(
+            "crates/core/src/x.rs",
+            "fn a(xs: &[i32]) -> i32 { xs.iter().next().unwrap() + xs[0] }\nfn b(o: Option<i32>) -> i32 { o.expect(\"set\") }\nfn c() { panic!(\"no\"); }\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+        );
+        let v = panic_freedom(&f);
+        let ids: Vec<&str> = v.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec!["PF001", "PF004", "PF002", "PF003"], "{v:?}");
+    }
+
+    #[test]
+    fn panic_freedom_skips_bins_ranges_and_macro_lookalikes() {
+        let bin = src("crates/x/src/bin/tool.rs", "fn m() { x.unwrap(); }\n");
+        assert!(panic_freedom(&bin).is_empty());
+        let f = src(
+            "crates/x/src/lib.rs",
+            "fn a(xs: &[i32]) { let _ = &xs[1..]; let _ = vec![0]; let _ = [0; 4]; }\n",
+        );
+        assert!(panic_freedom(&f).is_empty(), "{:?}", panic_freedom(&f));
+    }
+
+    #[test]
+    fn telemetry_rules_cover_shape_suffix_duplicates_and_literals() {
+        let mut st = TelemetryState::default();
+        let f = src(
+            "crates/x/src/obs.rs",
+            concat!(
+                "fn reg() {\n",
+                "    backwatch_obs::register_counter(\"badname\", \"h\", &C);\n",
+                "    backwatch_obs::register_counter(\"a.b.c_seconds\", \"h\", &C);\n",
+                "    backwatch_obs::register_gauge(\"a.b.g_current\", \"h\", &G);\n",
+                "    backwatch_obs::register_gauge(\"a.b.g_current\", \"h\", &G);\n",
+                "    backwatch_obs::register_histogram(name, \"h\", &H);\n",
+                "}\n",
+            ),
+        );
+        let v = telemetry_naming(&f, &mut st);
+        let ids: Vec<&str> = v.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec!["TM001", "TM002", "TM003", "TM004"], "{v:?}");
+    }
+
+    #[test]
+    fn telemetry_skips_the_definitions_and_good_names() {
+        let mut st = TelemetryState::default();
+        let f = src(
+            "crates/obs/src/registry.rs",
+            "pub fn register_counter(name: &'static str, help: &'static str, c: &'static Counter) {}\nfn reg() { register_counter(\"core.poi.passes_total\", \"h\", &C); }\n",
+        );
+        assert!(telemetry_naming(&f, &mut st).is_empty());
+    }
+
+    #[test]
+    fn metric_shape_validation() {
+        assert!(well_formed_metric("core.poi.passes_total"));
+        assert!(!well_formed_metric("core.passes_total"));
+        assert!(!well_formed_metric("core.poi.passes.total"));
+        assert!(!well_formed_metric("Core.poi.passes_total"));
+        assert!(!well_formed_metric("core..passes_total"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Source preprocessing: comment/string blanking and `#[cfg(test)]`
+//! region detection.
+//!
+//! The rules in [`crate::rules`] are substring scanners; running them on
+//! raw Rust text would trip on doc comments ("call `.unwrap()` here"),
+//! string literals, and test modules. This module produces a *sanitized*
+//! view of each file — the same length in characters, with comment and
+//! string-literal interiors blanked to spaces — plus a per-line flag for
+//! lines inside `#[cfg(test)]` items. Offsets in the sanitized text map
+//! one-to-one onto the raw text, so a rule can locate a match in the
+//! sanitized view and read the original characters (e.g. a metric-name
+//! literal) back out of the raw view.
+
+/// A preprocessed source file ready for rule scanning.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, forward slashes.
+    pub rel_path: String,
+    /// Raw file contents as characters (aligned with `clean`).
+    pub raw: Vec<char>,
+    /// Sanitized contents: comments and string interiors blanked.
+    pub clean: Vec<char>,
+    /// Char offset of the start of each line (into `raw`/`clean`).
+    pub line_starts: Vec<usize>,
+    /// `true` for lines inside a `#[cfg(test)]` item.
+    pub test_line: Vec<bool>,
+    /// Whether the file is a binary target (`src/bin/` or `main.rs`):
+    /// panic-freedom does not apply there.
+    pub is_bin: bool,
+}
+
+impl SourceFile {
+    /// Preprocesses `text` under the given workspace-relative path.
+    #[must_use]
+    pub fn new(rel_path: &str, text: &str) -> Self {
+        let raw: Vec<char> = text.chars().collect();
+        let clean = sanitize(&raw);
+        let line_starts = line_starts(&raw);
+        let test_line = test_lines(&clean, &line_starts);
+        let is_bin = rel_path.contains("/bin/") || rel_path.ends_with("main.rs");
+        Self {
+            rel_path: rel_path.to_owned(),
+            raw,
+            clean,
+            line_starts,
+            test_line,
+            is_bin,
+        }
+    }
+
+    /// 1-based line number of char offset `pos`.
+    #[must_use]
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// The raw text of 1-based line `line`, without the trailing newline.
+    #[must_use]
+    pub fn raw_line(&self, line: usize) -> String {
+        let start = match self.line_starts.get(line.wrapping_sub(1)) {
+            Some(&s) => s,
+            None => return String::new(),
+        };
+        let end = self.line_starts.get(line).copied().unwrap_or(self.raw.len());
+        self.raw[start..end].iter().filter(|&&c| c != '\n').collect()
+    }
+
+    /// Whether the 1-based line is inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_line.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+}
+
+fn line_starts(raw: &[char]) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, &c) in raw.iter().enumerate() {
+        if c == '\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Blanks comments and string-literal interiors to spaces, preserving
+/// length, newlines, and the quote characters themselves. Handles line
+/// and nested block comments, plain/byte/raw string literals, and char
+/// literals (without confusing lifetimes for them).
+#[must_use]
+pub fn sanitize(raw: &[char]) -> Vec<char> {
+    let mut out: Vec<char> = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    let at = |j: usize| raw.get(j).copied().unwrap_or('\0');
+    while i < raw.len() {
+        let c = at(i);
+        let prev = if i == 0 { '\0' } else { at(i - 1) };
+        if c == '/' && at(i + 1) == '/' {
+            while i < raw.len() && at(i) != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && at(i + 1) == '*' {
+            let mut depth = 0usize;
+            while i < raw.len() {
+                if at(i) == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if at(i) == '*' && at(i + 1) == '/' {
+                    depth = depth.saturating_sub(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if at(i) == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        } else if (c == 'r' || c == 'b') && !is_ident(prev) && is_raw_string_start(raw, i) {
+            // r"..."  r#"..."#  br"..."  (keep delimiters, blank interior)
+            let mut j = i;
+            while at(j) == 'r' || at(j) == 'b' {
+                out.push(at(j));
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while at(j) == '#' {
+                out.push('#');
+                hashes += 1;
+                j += 1;
+            }
+            out.push('"'); // opening quote
+            j += 1;
+            loop {
+                if j >= raw.len() {
+                    break;
+                }
+                if at(j) == '"' && (0..hashes).all(|h| at(j + 1 + h) == '#') {
+                    out.push('"');
+                    j += 1;
+                    for _ in 0..hashes {
+                        out.push('#');
+                        j += 1;
+                    }
+                    break;
+                }
+                out.push(if at(j) == '\n' { '\n' } else { ' ' });
+                j += 1;
+            }
+            i = j;
+        } else if c == '"' || (c == 'b' && at(i + 1) == '"' && !is_ident(prev)) {
+            if c == 'b' {
+                out.push('b');
+                i += 1;
+            }
+            out.push('"');
+            i += 1;
+            while i < raw.len() {
+                match at(i) {
+                    '\\' => {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        out.push('\n');
+                        i += 1;
+                    }
+                    _ => {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        } else if c == '\'' {
+            // char literal vs lifetime: 'x' or '\..' is a literal
+            if at(i + 1) == '\\' {
+                out.push('\'');
+                out.push(' '); // backslash
+                out.push(' '); // escaped char (covers '\'' and opens '\u{..}')
+                i += 3;
+                while i < raw.len() && at(i) != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if i < raw.len() {
+                    out.push('\'');
+                    i += 1;
+                }
+            } else if at(i + 2) == '\'' && at(i + 1) != '\'' {
+                out.push('\'');
+                out.push(' ');
+                out.push('\'');
+                i += 3;
+            } else {
+                out.push('\''); // lifetime tick
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    // Pad in case a truncated escape at EOF over-advanced the cursor.
+    out.truncate(raw.len());
+    while out.len() < raw.len() {
+        out.push(' ');
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn is_raw_string_start(raw: &[char], i: usize) -> bool {
+    // at raw[i] == 'r' or 'b': accept r", r#", br", br#"
+    let at = |j: usize| raw.get(j).copied().unwrap_or('\0');
+    let mut j = i;
+    if at(j) == 'b' {
+        j += 1;
+    }
+    if at(j) != 'r' {
+        return false;
+    }
+    j += 1;
+    while at(j) == '#' {
+        j += 1;
+    }
+    at(j) == '"'
+}
+
+/// Per-line flags for `#[cfg(test)]` items, computed by char-accurate
+/// brace tracking over the sanitized text.
+fn test_lines(clean: &[char], line_starts: &[usize]) -> Vec<bool> {
+    let n_lines = line_starts.len();
+    let mut flags = vec![false; n_lines];
+    let marker: Vec<char> = "#[cfg(test)]".chars().collect();
+    // char offsets where a #[cfg(test)] attribute starts
+    let mut attr_at = vec![false; clean.len()];
+    let mut i = 0;
+    while i + marker.len() <= clean.len() {
+        if clean[i..i + marker.len()] == marker[..] {
+            if let Some(slot) = attr_at.get_mut(i) {
+                *slot = true;
+            }
+        }
+        i += 1;
+    }
+
+    let mut depth: i64 = 0;
+    let mut pending = false; // saw #[cfg(test)], waiting for the item's `{`
+    let mut test_until: Option<i64> = None; // close depth of the test item
+    let mut line = 0usize;
+    for (pos, &c) in clean.iter().enumerate() {
+        if line + 1 < n_lines && line_starts.get(line + 1).is_some_and(|&s| pos >= s) {
+            line += 1;
+        }
+        if attr_at.get(pos).copied().unwrap_or(false) && test_until.is_none() {
+            pending = true;
+        }
+        let in_test = test_until.is_some() || pending;
+        match c {
+            '{' => {
+                if pending && test_until.is_none() {
+                    test_until = Some(depth);
+                    pending = false;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if test_until.is_some_and(|d| depth <= d) {
+                    test_until = None;
+                }
+            }
+            ';' => {
+                // `#[cfg(test)] use ...;` — attribute on a braceless item
+                if pending && test_until.is_none() {
+                    pending = false;
+                }
+            }
+            _ => {}
+        }
+        if (in_test || test_until.is_some()) && line < n_lines {
+            if let Some(f) = flags.get_mut(line) {
+                *f = true;
+            }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_str(s: &str) -> String {
+        sanitize(&s.chars().collect::<Vec<_>>()).iter().collect()
+    }
+
+    #[test]
+    fn sanitize_preserves_length_and_newlines() {
+        let s = "let a = 1; // call .unwrap() here\nlet b = \"panic!(\"; /* x[0] */\n";
+        let c = clean_str(s);
+        assert_eq!(c.chars().count(), s.chars().count());
+        assert_eq!(c.matches('\n').count(), s.matches('\n').count());
+        assert!(!c.contains(".unwrap()"));
+        assert!(!c.contains("panic!("));
+        assert!(!c.contains("x[0]"));
+    }
+
+    #[test]
+    fn sanitize_keeps_code_outside_comments_and_strings() {
+        let s = "let v = xs.first().unwrap(); // ok\n";
+        assert!(clean_str(s).contains(".unwrap()"));
+    }
+
+    #[test]
+    fn sanitize_handles_nested_block_comments_and_raw_strings() {
+        let s = "/* outer /* inner */ still comment */ code(); let r = r#\"un\"wrap\"#;";
+        let c = clean_str(s);
+        assert!(c.contains("code();"));
+        assert!(!c.contains("still"));
+        assert!(!c.contains("wrap"));
+    }
+
+    #[test]
+    fn sanitize_distinguishes_lifetimes_from_char_literals() {
+        let s = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let c = clean_str(s);
+        assert!(c.contains("&'a str"));
+        assert!(!c.contains("'x'") || c.contains("' '"));
+    }
+
+    #[test]
+    fn test_region_detection_covers_nested_braces() {
+        let s = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { if x { y[0]; } }\n}\nfn lib2() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", s);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn bin_paths_are_classified() {
+        assert!(SourceFile::new("crates/x/src/bin/tool.rs", "").is_bin);
+        assert!(SourceFile::new("src/main.rs", "").is_bin);
+        assert!(!SourceFile::new("crates/x/src/lib.rs", "").is_bin);
+    }
+}

@@ -35,9 +35,6 @@
 //! assert!(study.headline.background > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod breakdown;
 pub mod category;
 pub mod corpus;

@@ -37,9 +37,6 @@
 //! assert_eq!(snap.counter("demo.frames_total"), Some(3));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod metrics;
 mod registry;
 

@@ -199,10 +199,10 @@ impl Snapshot {
     ///
     /// ```text
     /// telemetry counter core.poi.points_total 12345
-    /// telemetry gauge pool.workers_active 0
-    /// telemetry histogram_count pool.task_us 182
-    /// telemetry histogram_bucket pool.task_us le=1024 17
-    /// telemetry histogram_bucket pool.task_us le=+inf 3
+    /// telemetry gauge experiments.pool.workers_current 0
+    /// telemetry histogram_count experiments.pool.task_us 182
+    /// telemetry histogram_bucket experiments.pool.task_us le=1024 17
+    /// telemetry histogram_bucket experiments.pool.task_us le=+inf 3
     /// ```
     #[must_use]
     pub fn render_machine(&self) -> String {

@@ -28,9 +28,6 @@
 //! assert!((p - 0.05).abs() < 1e-3);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod chi2;
 pub mod divergence;
 pub mod entropy;

@@ -231,9 +231,9 @@ mod tests {
 
         fn messy_f64() -> impl Strategy<Value = f64> {
             prop_oneof![
-                (-1.0e9..1.0e9f64),
-                (-1.0e9..1.0e9f64),
-                (-1.0e9..1.0e9f64),
+                -1.0e9..1.0e9f64,
+                -1.0e9..1.0e9f64,
+                -1.0e9..1.0e9f64,
                 Just(f64::NAN),
                 Just(f64::INFINITY),
                 Just(f64::NEG_INFINITY),

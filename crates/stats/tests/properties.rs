@@ -1,5 +1,7 @@
 //! Property-based tests for the statistics substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch_stats::{chi2, entropy, gamma, summary::Ecdf, CountHistogram};
 use proptest::prelude::*;
 

@@ -11,7 +11,7 @@
 //!   measurement error on *fine* locations.
 
 use crate::trajectory::Trace;
-use backwatch_geo::{enu::Frame, Grid, LatLon};
+use backwatch_geo::{enu::Frame, Grid, LatLon, Meters};
 use backwatch_stats::sampling::normal;
 use rand::Rng;
 
@@ -21,10 +21,10 @@ use rand::Rng;
 ///
 /// ```
 /// use backwatch_trace::{coarsen, Trace, TracePoint, Timestamp};
-/// use backwatch_geo::{Grid, LatLon};
+/// use backwatch_geo::{Grid, LatLon, Meters};
 ///
 /// let origin = LatLon::new(39.9, 116.4)?;
-/// let grid = Grid::new(origin, 1000.0);
+/// let grid = Grid::new(origin, Meters::new(1000.0));
 /// let trace = Trace::from_points(vec![
 ///     TracePoint::new(Timestamp::from_secs(0), LatLon::new(39.9001, 116.4001)?),
 ///     TracePoint::new(Timestamp::from_secs(1), LatLon::new(39.9002, 116.4003)?),
@@ -48,13 +48,14 @@ pub fn snap_to_grid(trace: &Trace, grid: &Grid) -> Trace {
 }
 
 /// Adds independent zero-mean Gaussian noise of standard deviation
-/// `sigma_m` meters (per axis) to every fix.
+/// `sigma` meters (per axis) to every fix.
 ///
 /// # Panics
 ///
-/// Panics if `sigma_m` is negative or non-finite.
+/// Panics if `sigma` is negative or non-finite.
 #[must_use]
-pub fn jitter<R: Rng + ?Sized>(trace: &Trace, sigma_m: f64, rng: &mut R) -> Trace {
+pub fn jitter<R: Rng + ?Sized>(trace: &Trace, sigma: Meters, rng: &mut R) -> Trace {
+    let sigma_m = sigma.get();
     assert!(sigma_m.is_finite() && sigma_m >= 0.0, "sigma must be >= 0, got {sigma_m}");
     if trace.is_empty() || sigma_m == 0.0 {
         return trace.clone();
@@ -65,19 +66,23 @@ pub fn jitter<R: Rng + ?Sized>(trace: &Trace, sigma_m: f64, rng: &mut R) -> Trac
         .map(|p| {
             let (e, n) = frame.to_enu(p.pos);
             let mut q = *p;
-            q.pos = frame.to_latlon(e + normal(rng, 0.0, sigma_m), n + normal(rng, 0.0, sigma_m));
+            q.pos = frame.to_latlon(
+                Meters::new(e + normal(rng, 0.0, sigma_m)),
+                Meters::new(n + normal(rng, 0.0, sigma_m)),
+            );
             q
         })
         .collect();
     Trace::from_points(pts)
 }
 
-/// Jitters a single coordinate by Gaussian noise of `sigma_m` meters per
+/// Jitters a single coordinate by Gaussian noise of `sigma` meters per
 /// axis around itself.
 #[must_use]
-pub fn jitter_point<R: Rng + ?Sized>(pos: LatLon, sigma_m: f64, rng: &mut R) -> LatLon {
+pub fn jitter_point<R: Rng + ?Sized>(pos: LatLon, sigma: Meters, rng: &mut R) -> LatLon {
+    let sigma_m = sigma.get();
     let frame = Frame::new(pos);
-    frame.to_latlon(normal(rng, 0.0, sigma_m), normal(rng, 0.0, sigma_m))
+    frame.to_latlon(Meters::new(normal(rng, 0.0, sigma_m)), Meters::new(normal(rng, 0.0, sigma_m)))
 }
 
 #[cfg(test)]
@@ -99,7 +104,7 @@ mod tests {
     #[test]
     fn snap_preserves_times() {
         let tr = trace_of(5);
-        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 500.0);
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(500.0));
         let snapped = snap_to_grid(&tr, &grid);
         assert_eq!(snapped.len(), tr.len());
         for (a, b) in tr.iter().zip(snapped.iter()) {
@@ -110,7 +115,7 @@ mod tests {
     #[test]
     fn snap_quantizes_nearby_points_together() {
         let tr = trace_of(5);
-        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), 1000.0);
+        let grid = Grid::new(LatLon::new(39.9, 116.4).unwrap(), Meters::new(1000.0));
         let snapped = snap_to_grid(&tr, &grid);
         let first = snapped.points()[0].pos;
         assert!(snapped.iter().all(|p| p.pos == first));
@@ -120,14 +125,14 @@ mod tests {
     fn jitter_zero_sigma_is_identity() {
         let tr = trace_of(3);
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(jitter(&tr, 0.0, &mut rng), tr);
+        assert_eq!(jitter(&tr, Meters::ZERO, &mut rng), tr);
     }
 
     #[test]
     fn jitter_displacement_is_bounded_statistically() {
         let tr = trace_of(1000);
         let mut rng = StdRng::seed_from_u64(2);
-        let noisy = jitter(&tr, 5.0, &mut rng);
+        let noisy = jitter(&tr, Meters::new(5.0), &mut rng);
         let mean_disp: f64 = tr.iter().zip(noisy.iter()).map(|(a, b)| haversine(a.pos, b.pos)).sum::<f64>() / tr.len() as f64;
         // mean of Rayleigh(σ=5) is σ√(π/2) ≈ 6.27 m
         assert!((mean_disp - 6.27).abs() < 0.8, "mean displacement {mean_disp}");
@@ -138,7 +143,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let p = LatLon::new(39.9, 116.4).unwrap();
         for _ in 0..100 {
-            let q = jitter_point(p, 3.0, &mut rng);
+            let q = jitter_point(p, Meters::new(3.0), &mut rng);
             assert!(haversine(p, q) < 30.0);
         }
     }
@@ -147,6 +152,6 @@ mod tests {
     #[should_panic(expected = "sigma")]
     fn negative_sigma_panics() {
         let mut rng = StdRng::seed_from_u64(4);
-        let _ = jitter(&trace_of(1), -1.0, &mut rng);
+        let _ = jitter(&trace_of(1), Meters::new(-1.0), &mut rng);
     }
 }

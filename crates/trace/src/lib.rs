@@ -35,9 +35,6 @@
 //! assert!(!user.true_visits.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod coarsen;
 pub mod dataset;
 pub mod modes;

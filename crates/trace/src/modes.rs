@@ -9,6 +9,7 @@
 use crate::point::Timestamp;
 use crate::trajectory::Trace;
 use backwatch_geo::distance::Metric;
+use backwatch_geo::Seconds;
 use std::fmt;
 
 /// A coarse transportation mode.
@@ -78,16 +79,17 @@ impl ModeSegment {
 
 /// Segments a trace into transport modes.
 ///
-/// Per-hop speeds are averaged over a trailing `smooth_secs` window; each
+/// Per-hop speeds are averaged over a trailing `smooth` window; each
 /// fix is classified from the smoothed speed and consecutive fixes of the
 /// same mode merge into segments. Traces with fewer than two fixes yield
 /// no segments.
 ///
 /// # Panics
 ///
-/// Panics if `smooth_secs < 1`.
+/// Panics if `smooth` is shorter than one second.
 #[must_use]
-pub fn segment_modes(trace: &Trace, smooth_secs: i64) -> Vec<ModeSegment> {
+pub fn segment_modes(trace: &Trace, smooth: Seconds) -> Vec<ModeSegment> {
+    let smooth_secs = smooth.get();
     assert!(smooth_secs >= 1, "smoothing window must be at least 1 s");
     let pts = trace.points();
     if pts.len() < 2 {
@@ -169,7 +171,7 @@ mod tests {
     #[test]
     fn pure_walk_is_one_segment() {
         let trace = Trace::from_points(moving(0, 300, 39.9, 1.4));
-        let segs = segment_modes(&trace, 30);
+        let segs = segment_modes(&trace, Seconds::new(30));
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].mode, TransportMode::Walk);
         assert_eq!(segs[0].duration_secs(), 299);
@@ -180,7 +182,7 @@ mod tests {
     fn dwell_then_drive_yields_two_segments() {
         let mut pts = moving(0, 300, 39.9, 0.0);
         pts.extend(moving(300, 300, 39.9, 12.0));
-        let segs = segment_modes(&Trace::from_points(pts), 30);
+        let segs = segment_modes(&Trace::from_points(pts), Seconds::new(30));
         let modes: Vec<TransportMode> = segs.iter().map(|s| s.mode).collect();
         assert!(modes.starts_with(&[TransportMode::Still]));
         assert_eq!(*modes.last().unwrap(), TransportMode::Vehicle);
@@ -203,8 +205,8 @@ mod tests {
             })
             .collect();
         let trace = Trace::from_points(pts);
-        let rough = segment_modes(&trace, 1);
-        let smooth = segment_modes(&trace, 30);
+        let rough = segment_modes(&trace, Seconds::new(1));
+        let smooth = segment_modes(&trace, Seconds::new(30));
         assert!(rough.len() > 20, "unsmoothed flip-flops: {} segments", rough.len());
         assert!(smooth.len() <= 2, "smoothed: {smooth:?}");
         assert_eq!(smooth.last().unwrap().mode, TransportMode::Walk);
@@ -216,7 +218,7 @@ mod tests {
         pts.extend(moving(200, 200, 39.9 + 0.0018, 5.0));
         pts.extend(moving(400, 200, 39.9 + 0.0108, 0.0));
         let trace = Trace::from_points(pts);
-        let segs = segment_modes(&trace, 20);
+        let segs = segment_modes(&trace, Seconds::new(20));
         assert_eq!(segs.first().unwrap().start, trace.first().unwrap().time);
         assert_eq!(segs.last().unwrap().end, trace.last().unwrap().time);
         for w in segs.windows(2) {
@@ -226,8 +228,8 @@ mod tests {
 
     #[test]
     fn tiny_traces_have_no_segments() {
-        assert!(segment_modes(&Trace::new(), 30).is_empty());
+        assert!(segment_modes(&Trace::new(), Seconds::new(30)).is_empty());
         let one = Trace::from_points(moving(0, 1, 39.9, 1.0));
-        assert!(segment_modes(&one, 30).is_empty());
+        assert!(segment_modes(&one, Seconds::new(30)).is_empty());
     }
 }

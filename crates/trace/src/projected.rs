@@ -20,7 +20,7 @@
 use crate::point::{Timestamp, TracePoint};
 use crate::trajectory::Trace;
 use backwatch_geo::projection::LocalProjection;
-use backwatch_geo::LatLon;
+use backwatch_geo::{Degrees, LatLon};
 
 /// A fix with both its geographic position and its planar projection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,7 +98,7 @@ impl ProjectedTrace {
             .collect();
         Self {
             projection,
-            slack_per_east_meter: projection.error_per_east_meter(lat_band_deg.to_radians()),
+            slack_per_east_meter: projection.error_per_east_meter(Degrees::new(lat_band_deg)),
             points,
         }
     }
@@ -249,8 +249,8 @@ mod tests {
         let tr = city_trace();
         let proj = ProjectedTrace::project(&tr);
         for interval in [1, 60, 7200] {
-            let owned = sampling::downsample(&tr, interval);
-            let indices = sampling::downsample_indices(&tr, interval);
+            let owned = sampling::downsample(&tr, backwatch_geo::Seconds::new(interval));
+            let indices = sampling::downsample_indices(&tr, backwatch_geo::Seconds::new(interval));
             let view: Vec<TracePoint> = proj.sampled(&indices).map(|p| TracePoint::new(p.time, p.pos)).collect();
             assert_eq!(view, owned.points().to_vec(), "interval {interval}");
         }

@@ -8,6 +8,7 @@
 
 use crate::point::TracePoint;
 use crate::trajectory::Trace;
+use backwatch_geo::Seconds;
 use rand::Rng;
 
 /// Returns the subsequence of `trace` an app polling every
@@ -25,18 +26,18 @@ use rand::Rng;
 ///
 /// ```
 /// use backwatch_trace::{sampling, Trace, TracePoint, Timestamp};
-/// use backwatch_geo::LatLon;
+/// use backwatch_geo::{LatLon, Seconds};
 ///
 /// let pts: Vec<TracePoint> = (0..10)
 ///     .map(|i| TracePoint::new(Timestamp::from_secs(i), LatLon::new(39.9, 116.4).unwrap()))
 ///     .collect();
 /// let trace = Trace::from_points(pts);
-/// let sampled = sampling::downsample(&trace, 3);
+/// let sampled = sampling::downsample(&trace, Seconds::new(3));
 /// let times: Vec<i64> = sampled.iter().map(|p| p.time.as_secs()).collect();
 /// assert_eq!(times, vec![0, 3, 6, 9]);
 /// ```
 #[must_use]
-pub fn downsample(trace: &Trace, interval_secs: i64) -> Trace {
+pub fn downsample(trace: &Trace, interval_secs: Seconds) -> Trace {
     let indices = downsample_indices(trace, interval_secs);
     let pts = trace.points();
     Trace::from_points(indices.iter().map(|&i| pts[i as usize]).collect())
@@ -54,7 +55,7 @@ pub fn downsample(trace: &Trace, interval_secs: i64) -> Trace {
 /// Panics if `interval_secs <= 0` or the trace has more than `u32::MAX`
 /// fixes.
 #[must_use]
-pub fn downsample_indices(trace: &Trace, interval_secs: i64) -> Vec<u32> {
+pub fn downsample_indices(trace: &Trace, interval_secs: Seconds) -> Vec<u32> {
     downsample_indices_from_times(trace.iter().map(|p| p.time.as_secs()), interval_secs)
 }
 
@@ -64,10 +65,11 @@ pub fn downsample_indices(trace: &Trace, interval_secs: i64) -> Vec<u32> {
 ///
 /// Panics if `interval_secs <= 0` or the sequence has more than `u32::MAX`
 /// entries.
-pub fn downsample_indices_from_times<I>(times: I, interval_secs: i64) -> Vec<u32>
+pub fn downsample_indices_from_times<I>(times: I, interval_secs: Seconds) -> Vec<u32>
 where
     I: IntoIterator<Item = i64>,
 {
+    let interval_secs = interval_secs.get();
     assert!(interval_secs > 0, "interval must be positive, got {interval_secs}");
     let mut kept = Vec::new();
     let mut next_due: Option<i64> = None;
@@ -137,13 +139,16 @@ pub fn random_start_index<R: Rng + ?Sized>(len: usize, rng: &mut R) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if `start >= trace.len()`.
+/// Panics if `start >= trace.len()` and the trace is non-empty. An empty
+/// trace with `start == 0` is not an error: it returns an empty clone, so
+/// zero-point inputs flow through the rotation path without panicking
+/// (mirroring [`crate::ProjectedTrace::rotated_from`]).
 #[must_use]
 pub fn rotate_to_start(trace: &Trace, start: usize) -> Trace {
-    assert!(start < trace.len(), "start {start} out of range for {} points", trace.len());
     if start == 0 {
         return trace.clone();
     }
+    assert!(start < trace.len(), "start {start} out of range for {} points", trace.len());
     let pts = trace.points();
     let mut out = Vec::with_capacity(pts.len());
     out.extend_from_slice(&pts[start..]);
@@ -203,7 +208,7 @@ pub fn foreground_sessions<R: Rng + ?Sized>(trace: &Trace, n: usize, rng: &mut R
 /// the original trace's fixes that were kept, in `[0, 1]` (`0.0` for an
 /// empty trace) — convenience for completeness ratios.
 #[must_use]
-pub fn downsample_with_ratio(trace: &Trace, interval_secs: i64) -> (Trace, f64) {
+pub fn downsample_with_ratio(trace: &Trace, interval_secs: Seconds) -> (Trace, f64) {
     let sampled = downsample(trace, interval_secs);
     let ratio = if trace.is_empty() {
         0.0
@@ -230,19 +235,19 @@ mod tests {
     #[test]
     fn interval_one_keeps_everything() {
         let tr = seq(&[0, 1, 2, 3, 4]);
-        assert_eq!(downsample(&tr, 1).len(), 5);
+        assert_eq!(downsample(&tr, Seconds::new(1)).len(), 5);
     }
 
     #[test]
     fn interval_larger_than_span_keeps_first_only() {
         let tr = seq(&[0, 1, 2]);
-        assert_eq!(downsample(&tr, 100).len(), 1);
+        assert_eq!(downsample(&tr, Seconds::new(100)).len(), 1);
     }
 
     #[test]
     fn irregular_spacing_respects_interval() {
         let tr = seq(&[0, 5, 9, 10, 11, 30]);
-        let times: Vec<i64> = downsample(&tr, 10).iter().map(|p| p.time.as_secs()).collect();
+        let times: Vec<i64> = downsample(&tr, Seconds::new(10)).iter().map(|p| p.time.as_secs()).collect();
         assert_eq!(times, vec![0, 10, 30]);
     }
 
@@ -250,14 +255,14 @@ mod tests {
     fn gaps_longer_than_interval_sample_immediately() {
         // recording gap of 7200s: the next recorded fix is kept
         let tr = seq(&[0, 1, 7200, 7201]);
-        let times: Vec<i64> = downsample(&tr, 60).iter().map(|p| p.time.as_secs()).collect();
+        let times: Vec<i64> = downsample(&tr, Seconds::new(60)).iter().map(|p| p.time.as_secs()).collect();
         assert_eq!(times, vec![0, 7200]);
     }
 
     #[test]
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_panics() {
-        let _ = downsample(&seq(&[0]), 0);
+        let _ = downsample(&seq(&[0]), Seconds::ZERO);
     }
 
     #[test]
@@ -285,6 +290,26 @@ mod tests {
     fn rotation_at_zero_is_identity() {
         let tr = seq(&[0, 1, 2]);
         assert_eq!(rotate_to_start(&tr, 0), tr);
+    }
+
+    #[test]
+    fn rotation_of_empty_trace_is_empty_not_panic() {
+        assert!(rotate_to_start(&Trace::new(), 0).is_empty());
+    }
+
+    #[test]
+    fn rotation_of_one_point_trace_is_identity() {
+        let tr = seq(&[7]);
+        assert_eq!(rotate_to_start(&tr, 0), tr);
+    }
+
+    #[test]
+    fn random_start_on_empty_and_singleton_clones() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(from_random_start(&Trace::new(), &mut rng).is_empty());
+        let one = seq(&[3]);
+        assert_eq!(from_random_start(&one, &mut rng), one);
     }
 
     #[test]
@@ -335,7 +360,7 @@ mod tests {
     #[test]
     fn downsample_ratio() {
         let tr = seq(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
-        let (s, r) = downsample_with_ratio(&tr, 5);
+        let (s, r) = downsample_with_ratio(&tr, Seconds::new(5));
         assert_eq!(s.len(), 2);
         assert!((r - 0.2).abs() < 1e-12);
     }

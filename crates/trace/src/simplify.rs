@@ -11,16 +11,18 @@
 use crate::point::TracePoint;
 use crate::trajectory::Trace;
 use backwatch_geo::enu::Frame;
+use backwatch_geo::Meters;
 
-/// Simplifies `trace` with tolerance `epsilon_m` meters: the result keeps
+/// Simplifies `trace` with tolerance `epsilon` meters: the result keeps
 /// the first and last fix and every fix whose removal would displace the
-/// polyline by more than `epsilon_m`.
+/// polyline by more than `epsilon`.
 ///
 /// # Panics
 ///
-/// Panics if `epsilon_m` is negative or non-finite.
+/// Panics if `epsilon` is negative or non-finite.
 #[must_use]
-pub fn douglas_peucker(trace: &Trace, epsilon_m: f64) -> Trace {
+pub fn douglas_peucker(trace: &Trace, epsilon: Meters) -> Trace {
+    let epsilon_m = epsilon.get();
     assert!(
         epsilon_m.is_finite() && epsilon_m >= 0.0,
         "epsilon must be >= 0, got {epsilon_m}"
@@ -88,7 +90,7 @@ mod tests {
     fn straight_line_collapses_to_endpoints() {
         let pts: Vec<TracePoint> = (0..100).map(|i| pt(i, 39.9 + i as f64 * 1e-5, 116.4)).collect();
         let trace = Trace::from_points(pts);
-        let simplified = douglas_peucker(&trace, 5.0);
+        let simplified = douglas_peucker(&trace, Meters::new(5.0));
         assert_eq!(simplified.len(), 2);
         assert_eq!(simplified.first(), trace.first());
         assert_eq!(simplified.last(), trace.last());
@@ -100,7 +102,7 @@ mod tests {
         let mut pts: Vec<TracePoint> = (0..50).map(|i| pt(i, 39.9, 116.4 + i as f64 * 1e-4)).collect();
         pts.extend((0..50).map(|i| pt(50 + i, 39.9 + i as f64 * 1e-4, 116.4 + 49.0 * 1e-4)));
         let trace = Trace::from_points(pts);
-        let simplified = douglas_peucker(&trace, 10.0);
+        let simplified = douglas_peucker(&trace, Meters::new(10.0));
         assert!(simplified.len() >= 3, "the corner must survive: {}", simplified.len());
         assert!(simplified.len() < 10);
     }
@@ -116,7 +118,7 @@ mod tests {
             .collect();
         let trace = Trace::from_points(pts);
         let eps = 20.0;
-        let simplified = douglas_peucker(&trace, eps);
+        let simplified = douglas_peucker(&trace, Meters::new(eps));
         // DP guarantee: every dropped point lies within eps of the segment
         // between the surrounding kept points
         let frame = Frame::new(trace.first().unwrap().pos);
@@ -137,8 +139,8 @@ mod tests {
             .map(|i| pt(i, 39.9 + (f64::from(i as u32) * 0.07).sin() * 1e-3, 116.4 + i as f64 * 1e-5))
             .collect();
         let trace = Trace::from_points(pts);
-        let fine = douglas_peucker(&trace, 5.0);
-        let coarse = douglas_peucker(&trace, 100.0);
+        let fine = douglas_peucker(&trace, Meters::new(5.0));
+        let coarse = douglas_peucker(&trace, Meters::new(100.0));
         assert!(coarse.len() <= fine.len());
         assert!(fine.len() < trace.len());
     }
@@ -146,20 +148,20 @@ mod tests {
     #[test]
     fn tiny_traces_pass_through() {
         let trace = Trace::from_points(vec![pt(0, 39.9, 116.4), pt(1, 39.91, 116.4)]);
-        assert_eq!(douglas_peucker(&trace, 50.0), trace);
-        assert_eq!(douglas_peucker(&Trace::new(), 50.0), Trace::new());
+        assert_eq!(douglas_peucker(&trace, Meters::new(50.0)), trace);
+        assert_eq!(douglas_peucker(&Trace::new(), Meters::new(50.0)), Trace::new());
     }
 
     #[test]
     fn zero_epsilon_is_identity() {
         let pts: Vec<TracePoint> = (0..10).map(|i| pt(i, 39.9 + i as f64 * 1e-5, 116.4)).collect();
         let trace = Trace::from_points(pts);
-        assert_eq!(douglas_peucker(&trace, 0.0), trace);
+        assert_eq!(douglas_peucker(&trace, Meters::ZERO), trace);
     }
 
     #[test]
     #[should_panic(expected = "epsilon")]
     fn negative_epsilon_panics() {
-        let _ = douglas_peucker(&Trace::new(), -1.0);
+        let _ = douglas_peucker(&Trace::new(), Meters::new(-1.0));
     }
 }

@@ -74,7 +74,7 @@ mod tests {
     use backwatch_geo::LatLon;
 
     fn grid() -> Grid {
-        Grid::new(LatLon::new(39.9, 116.4).unwrap(), 250.0)
+        Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(250.0))
     }
 
     fn pt(t: i64, lat: f64, lon: f64) -> TracePoint {

@@ -24,7 +24,7 @@
 
 use crate::point::{Timestamp, TracePoint, SECS_PER_DAY};
 use crate::trajectory::Trace;
-use backwatch_geo::{enu::Frame, LatLon};
+use backwatch_geo::{enu::Frame, LatLon, Meters, Seconds};
 use backwatch_stats::sampling::{coin, normal, truncated_normal, weighted_index, Zipf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,20 +106,20 @@ pub struct SynthConfig {
     pub seed: u64,
     /// City anchor (defaults to Beijing, where most Geolife data lives).
     pub city_center: LatLon,
-    /// Radius within which homes are placed, meters.
-    pub city_radius_m: f64,
+    /// Radius within which homes are placed.
+    pub city_radius_m: Meters,
     /// Inclusive range of secondary places per user.
     pub secondary_places: (usize, usize),
     /// Zipf exponent for secondary-place popularity.
     pub zipf_exponent: f64,
     /// Fraction of users with a weekday workplace.
     pub worker_fraction: f64,
-    /// Recording period of the device, seconds (Geolife: 1).
-    pub sample_interval_s: i64,
-    /// Per-axis GPS noise standard deviation, meters.
-    pub gps_noise_m: f64,
-    /// Recording stops this many seconds after arriving at a place.
-    pub max_recorded_dwell_s: i64,
+    /// Recording period of the device (Geolife: 1 s).
+    pub sample_interval_s: Seconds,
+    /// Per-axis GPS noise standard deviation.
+    pub gps_noise_m: Meters,
+    /// Recording stops this long after arriving at a place.
+    pub max_recorded_dwell_s: Seconds,
     /// Size of the city-wide pool of shared errand destinations (malls,
     /// restaurants, parks). Users draw their secondary places from this
     /// pool, so different users visit the *same* spots — the spatial
@@ -149,7 +149,7 @@ impl SynthConfig {
             days: 3,
             seed: 0xBAC2_0175,
             city_center: LatLon::new(39.9042, 116.4074).expect("Beijing is a valid coordinate"),
-            city_radius_m: 10_000.0,
+            city_radius_m: Meters::new(10_000.0),
             secondary_places: (6, 12),
             // Visit frequency over a user's places is sharply skewed
             // (preferential return): the favourite one or two errand spots
@@ -157,9 +157,9 @@ impl SynthConfig {
             // movement patterns identifying.
             zipf_exponent: 1.5,
             worker_fraction: 0.8,
-            sample_interval_s: 1,
-            gps_noise_m: 4.0,
-            max_recorded_dwell_s: 1_500,
+            sample_interval_s: Seconds::new(1),
+            gps_noise_m: Meters::new(4.0),
+            max_recorded_dwell_s: Seconds::new(1_500),
             shared_place_pool: 240,
             workplace_pool: 40,
         }
@@ -173,12 +173,12 @@ impl SynthConfig {
     pub fn validate(&self) {
         assert!(self.n_users > 0, "need at least one user");
         assert!(self.days > 0, "need at least one day");
-        assert!(self.city_radius_m > 500.0, "city radius too small");
+        assert!(self.city_radius_m.get() > 500.0, "city radius too small");
         assert!(self.secondary_places.0 >= 1 && self.secondary_places.0 <= self.secondary_places.1);
         assert!((0.0..=1.0).contains(&self.worker_fraction));
-        assert!(self.sample_interval_s >= 1);
-        assert!(self.gps_noise_m >= 0.0);
-        assert!(self.max_recorded_dwell_s >= 60, "recorded dwell window too small");
+        assert!(self.sample_interval_s.get() >= 1);
+        assert!(self.gps_noise_m.get() >= 0.0);
+        assert!(self.max_recorded_dwell_s.get() >= 60, "recorded dwell window too small");
         assert!(
             self.shared_place_pool >= self.secondary_places.1,
             "shared pool must cover the largest per-user place count"
@@ -281,15 +281,15 @@ type EnuPool = Vec<(f64, f64)>;
 /// pool)`, in ENU meters around the city center.
 fn shared_pools(cfg: &SynthConfig) -> (EnuPool, EnuPool) {
     let mut rng = StdRng::seed_from_u64(split_seed(cfg.seed, u32::MAX));
-    let errands = scatter(&mut rng, cfg.shared_place_pool, cfg.city_radius_m);
-    let workplaces = scatter(&mut rng, cfg.workplace_pool, cfg.city_radius_m * 0.7);
+    let errands = scatter(&mut rng, cfg.shared_place_pool, cfg.city_radius_m.get());
+    let workplaces = scatter(&mut rng, cfg.workplace_pool, cfg.city_radius_m.get() * 0.7);
     (errands, workplaces)
 }
 
 fn gen_places(cfg: &SynthConfig, frame: &Frame, rng: &mut StdRng) -> Vec<Place> {
     let (errand_pool, work_pool) = shared_pools(cfg);
     // Home is private: uniform in the residential disk.
-    let home = uniform_in_disk(rng, cfg.city_radius_m * 0.8);
+    let home = uniform_in_disk(rng, cfg.city_radius_m.get() * 0.8);
     // Work comes from the shared workplace pool, Zipf-popular (big
     // employers attract many of the synthetic users — the Geolife campus
     // effect).
@@ -320,19 +320,19 @@ fn gen_places(cfg: &SynthConfig, frame: &Frame, rng: &mut StdRng) -> Vec<Place> 
     places.push(Place {
         id: 0,
         kind: PlaceKind::Home,
-        pos: frame.to_latlon(home.0, home.1),
+        pos: frame.to_latlon(Meters::new(home.0), Meters::new(home.1)),
     });
     places.push(Place {
         id: 1,
         kind: PlaceKind::Work,
-        pos: frame.to_latlon(work.0, work.1),
+        pos: frame.to_latlon(Meters::new(work.0), Meters::new(work.1)),
     });
     for (i, &idx) in chosen.iter().enumerate() {
         let p = errand_pool[idx];
         places.push(Place {
             id: 2 + i,
             kind: PlaceKind::Secondary,
-            pos: frame.to_latlon(p.0, p.1),
+            pos: frame.to_latlon(Meters::new(p.0), Meters::new(p.1)),
         });
     }
     places
@@ -472,11 +472,14 @@ fn record(
     let enu: Vec<(f64, f64)> = places.iter().map(|p| local.to_enu(p.pos)).collect();
     let mut pts: Vec<TracePoint> = Vec::new();
     let mut visits: Vec<TrueVisit> = Vec::new();
-    let noise = cfg.gps_noise_m;
-    let step = cfg.sample_interval_s;
+    let noise = cfg.gps_noise_m.get();
+    let step = cfg.sample_interval_s.get();
 
     let emit = |pts: &mut Vec<TracePoint>, t: i64, x: f64, y: f64, rng: &mut StdRng| {
-        let pos = local.to_latlon(x + normal(rng, 0.0, noise), y + normal(rng, 0.0, noise));
+        let pos = local.to_latlon(
+            Meters::new(x + normal(rng, 0.0, noise)),
+            Meters::new(y + normal(rng, 0.0, noise)),
+        );
         pts.push(TracePoint::new(Timestamp::from_secs(t), pos));
     };
 
@@ -491,7 +494,7 @@ fn record(
         // Dwell recording: from arrival until the recording window closes
         // (or departure, whichever is earlier). The departure fix itself is
         // emitted as the first point of the outgoing leg below.
-        let dwell_end = (v.arrive + cfg.max_recorded_dwell_s).min(v.depart - 1);
+        let dwell_end = (v.arrive + cfg.max_recorded_dwell_s.get()).min(v.depart - 1);
         let mut t = v.arrive;
         while t <= dwell_end {
             emit(&mut pts, t, px, py, rng);

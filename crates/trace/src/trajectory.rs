@@ -1,7 +1,7 @@
 //! Location traces: ordered sequences of timestamped fixes.
 
 use crate::point::{Timestamp, TracePoint};
-use backwatch_geo::{distance, BoundingBox};
+use backwatch_geo::{distance, BoundingBox, Seconds};
 use std::error::Error;
 use std::fmt;
 
@@ -151,13 +151,14 @@ impl Trace {
     }
 
     /// Splits the trace into trajectories at recording gaps longer than
-    /// `max_gap_secs` — the Geolife notion of separate trips.
+    /// `max_gap` — the Geolife notion of separate trips.
     ///
     /// # Panics
     ///
-    /// Panics if `max_gap_secs <= 0`.
+    /// Panics if `max_gap` is not positive.
     #[must_use]
-    pub fn split_by_gap(&self, max_gap_secs: i64) -> Vec<Trace> {
+    pub fn split_by_gap(&self, max_gap: Seconds) -> Vec<Trace> {
+        let max_gap_secs = max_gap.get();
         assert!(max_gap_secs > 0, "gap must be positive, got {max_gap_secs}");
         let mut out = Vec::new();
         let mut current: Vec<TracePoint> = Vec::new();
@@ -259,7 +260,7 @@ mod tests {
     #[test]
     fn split_by_gap_partitions_all_points() {
         let tr = Trace::from_points(vec![pt(0, 0.0, 0.0), pt(10, 0.0, 0.0), pt(500, 0.0, 0.0), pt(505, 0.0, 0.0)]);
-        let parts = tr.split_by_gap(60);
+        let parts = tr.split_by_gap(Seconds::new(60));
         assert_eq!(parts.len(), 2);
         assert_eq!(parts[0].len(), 2);
         assert_eq!(parts[1].len(), 2);
@@ -270,7 +271,7 @@ mod tests {
     #[test]
     fn split_no_gaps_is_identity() {
         let tr = Trace::from_points(vec![pt(0, 0.0, 0.0), pt(1, 0.0, 0.0)]);
-        let parts = tr.split_by_gap(10);
+        let parts = tr.split_by_gap(Seconds::new(10));
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0], tr);
     }

@@ -1,6 +1,8 @@
 //! Property-based tests for the trajectory substrate.
 
-use backwatch_geo::LatLon;
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_geo::{LatLon, Seconds};
 use backwatch_trace::{sampling, synth, ProjectedTrace, Timestamp, Trace, TracePoint};
 use proptest::prelude::*;
 
@@ -23,13 +25,13 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
 proptest! {
     #[test]
     fn downsample_never_grows(trace in arb_trace(), interval in 1i64..5000) {
-        let s = sampling::downsample(&trace, interval);
+        let s = sampling::downsample(&trace, Seconds::new(interval));
         prop_assert!(s.len() <= trace.len());
     }
 
     #[test]
     fn downsample_is_subsequence(trace in arb_trace(), interval in 1i64..5000) {
-        let s = sampling::downsample(&trace, interval);
+        let s = sampling::downsample(&trace, Seconds::new(interval));
         let mut orig = trace.iter();
         for p in s.iter() {
             prop_assert!(orig.any(|q| q == p), "sampled point not in original order");
@@ -38,7 +40,7 @@ proptest! {
 
     #[test]
     fn downsample_spacing_respects_interval(trace in arb_trace(), interval in 1i64..5000) {
-        let s = sampling::downsample(&trace, interval);
+        let s = sampling::downsample(&trace, Seconds::new(interval));
         for w in s.points().windows(2) {
             prop_assert!(w[1].time - w[0].time >= interval);
         }
@@ -46,22 +48,22 @@ proptest! {
 
     #[test]
     fn downsample_keeps_first_point(trace in arb_trace(), interval in 1i64..5000) {
-        let s = sampling::downsample(&trace, interval);
+        let s = sampling::downsample(&trace, Seconds::new(interval));
         prop_assert_eq!(s.first(), trace.first());
     }
 
     #[test]
     fn downsample_idempotent(trace in arb_trace(), interval in 1i64..5000) {
-        let once = sampling::downsample(&trace, interval);
-        let twice = sampling::downsample(&once, interval);
+        let once = sampling::downsample(&trace, Seconds::new(interval));
+        let twice = sampling::downsample(&once, Seconds::new(interval));
         prop_assert_eq!(once, twice);
     }
 
     #[test]
     fn coarser_interval_keeps_fewer(trace in arb_trace(), a in 1i64..1000, b in 1i64..1000) {
         let (small, large) = (a.min(b), a.max(b));
-        let fine = sampling::downsample(&trace, small);
-        let coarse = sampling::downsample(&trace, large);
+        let fine = sampling::downsample(&trace, Seconds::new(small));
+        let coarse = sampling::downsample(&trace, Seconds::new(large));
         prop_assert!(coarse.len() <= fine.len());
     }
 
@@ -81,7 +83,7 @@ proptest! {
 
     #[test]
     fn split_by_gap_is_partition(trace in arb_trace(), gap in 1i64..600) {
-        let parts = trace.split_by_gap(gap);
+        let parts = trace.split_by_gap(Seconds::new(gap));
         let total: usize = parts.iter().map(Trace::len).sum();
         prop_assert_eq!(total, trace.len());
         for part in &parts {
@@ -93,8 +95,8 @@ proptest! {
 
     #[test]
     fn downsample_indices_select_the_owned_downsample(trace in arb_trace(), interval in 1i64..5000) {
-        let owned = sampling::downsample(&trace, interval);
-        let indices = sampling::downsample_indices(&trace, interval);
+        let owned = sampling::downsample(&trace, Seconds::new(interval));
+        let indices = sampling::downsample_indices(&trace, Seconds::new(interval));
         prop_assert_eq!(owned.len(), indices.len());
         for (p, &i) in owned.iter().zip(&indices) {
             prop_assert_eq!(*p, trace.points()[i as usize]);
@@ -108,9 +110,9 @@ proptest! {
         // points the owned downsample materializes (empty and single-point
         // traces included — arb_trace generates 0..120 points).
         let interval = [1i64, 60, 7200][pick];
-        let owned = sampling::downsample(&trace, interval);
+        let owned = sampling::downsample(&trace, Seconds::new(interval));
         let projected = ProjectedTrace::project(&trace);
-        let indices = sampling::downsample_indices(&trace, interval);
+        let indices = sampling::downsample_indices(&trace, Seconds::new(interval));
         let view: Vec<_> = projected.sampled(&indices).collect();
         prop_assert_eq!(view.len(), owned.len());
         for (v, p) in view.iter().zip(owned.iter()) {

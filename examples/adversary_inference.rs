@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example adversary_inference`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::model::adversary::ProfileStore;
 use backwatch::model::anonymity::Weighting;
 use backwatch::model::hisbin::Matcher;
@@ -24,7 +26,7 @@ fn main() {
 
     let params = ExtractorParams::paper_set1();
     let extractor = SpatioTemporalExtractor::new(params);
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, backwatch::geo::Meters::new(250.0));
 
     // The adversary has movement-pattern profiles of all 8 users.
     let mut store = ProfileStore::new(PatternKind::MovementPattern);

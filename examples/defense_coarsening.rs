@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example defense_coarsening`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::model::hisbin::{detect_incremental, Matcher};
 use backwatch::model::pattern::{PatternKind, Profile};
 use backwatch::model::poi::{match_against_truth, ExtractorParams, SpatioTemporalExtractor};
@@ -17,7 +19,7 @@ fn main() {
     let user = generate_user(&cfg, 0);
     let params = ExtractorParams::paper_set1();
     let extractor = SpatioTemporalExtractor::new(params);
-    let profile_grid = Grid::new(cfg.city_center, 250.0);
+    let profile_grid = Grid::new(cfg.city_center, backwatch::geo::Meters::new(250.0));
 
     // Ground truth profile from the raw trace.
     let true_stays = extractor.extract(&user.trace);
@@ -32,10 +34,16 @@ fn main() {
         let released = if cell_m == 0.0 {
             user.trace.clone()
         } else {
-            coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, cell_m))
+            coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, backwatch::geo::Meters::new(cell_m)))
         };
         let stays = extractor.extract(&released);
-        let report = match_against_truth(&stays, &user, params.min_visit_secs, 300.0, params.metric);
+        let report = match_against_truth(
+            &stays,
+            &user,
+            params.min_visit_secs,
+            backwatch::geo::Meters::new(300.0),
+            params.metric,
+        );
         let detection = detect_incremental(
             &stays,
             released.len(),

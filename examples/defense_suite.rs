@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example defense_suite`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::defense::cloaking::KAnonymousCloaking;
 use backwatch::defense::decoy::{FixedDecoy, SyntheticDecoy};
 use backwatch::defense::eval::{evaluate, render_outcomes, EvalContext};
@@ -16,7 +18,7 @@ use backwatch::model::adversary::ProfileStore;
 use backwatch::model::hisbin::Matcher;
 use backwatch::model::pattern::{PatternKind, Profile};
 use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
-use backwatch::prelude::{Grid, SynthConfig};
+use backwatch::prelude::{Grid, Meters, Seconds, SynthConfig};
 use backwatch::trace::synth::generate_user;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,7 +28,7 @@ fn main() {
     cfg.n_users = 10;
     cfg.days = 8;
     let params = ExtractorParams::paper_set1();
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
     let extractor = SpatioTemporalExtractor::new(params);
 
     // Population: the adversary profiles everyone.
@@ -55,16 +57,16 @@ fn main() {
     let home = victim.places[0].pos;
     let mechanisms: Vec<Box<dyn Lppm>> = vec![
         Box::new(NoDefense),
-        Box::new(GaussianPerturbation::new(25.0)),
-        Box::new(GaussianPerturbation::new(200.0)),
+        Box::new(GaussianPerturbation::new(Meters::new(25.0))),
+        Box::new(GaussianPerturbation::new(Meters::new(200.0))),
         Box::new(GeoIndistinguishability::new(0.01)),
-        Box::new(GridTruncation::new(Grid::new(cfg.city_center, 500.0))),
-        Box::new(GridTruncation::new(Grid::new(cfg.city_center, 2000.0))),
-        Box::new(KAnonymousCloaking::new(cfg.city_center, 250.0, 7, 3, anchors)),
-        Box::new(ZoneSuppression::new(vec![SensitiveZone::new(home, 300.0)])),
-        Box::new(ReleaseThrottle::new(600)),
-        Box::new(ReleaseThrottle::new(3600)),
-        Box::new(SyntheticDecoy::new(cfg.city_center, 20.0, 500.0)),
+        Box::new(GridTruncation::new(Grid::new(cfg.city_center, Meters::new(500.0)))),
+        Box::new(GridTruncation::new(Grid::new(cfg.city_center, Meters::new(2000.0)))),
+        Box::new(KAnonymousCloaking::new(cfg.city_center, Meters::new(250.0), 7, 3, anchors)),
+        Box::new(ZoneSuppression::new(vec![SensitiveZone::new(home, Meters::new(300.0))])),
+        Box::new(ReleaseThrottle::new(Seconds::new(600))),
+        Box::new(ReleaseThrottle::new(Seconds::new(3600))),
+        Box::new(SyntheticDecoy::new(cfg.city_center, Meters::new(20.0), Meters::new(500.0))),
         Box::new(FixedDecoy::new(cfg.city_center)),
     ];
 

@@ -11,6 +11,8 @@
 //! Without the variable, a synthetic population demonstrates the same
 //! pipeline end to end.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::model::report::PrivacyReport;
 use backwatch::prelude::{Grid, SynthConfig};
 use backwatch::trace::dataset::load_geolife;
@@ -42,7 +44,7 @@ fn main() {
         .max_by_key(|(_, t)| t.len())
         .and_then(|(_, t)| t.first())
         .map_or_else(|| SynthConfig::small().city_center, |p| p.pos);
-    let grid = Grid::new(anchor, 250.0);
+    let grid = Grid::new(anchor, backwatch::geo::Meters::new(250.0));
 
     for (name, trace) in traces.iter().take(8) {
         println!("user {name}:");

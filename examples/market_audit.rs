@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example market_audit`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::market::{corpus::CorpusConfig, report, run_study};
 
 fn main() {

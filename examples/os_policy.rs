@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example os_policy`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::android::system::LocationPolicy;
 use backwatch::model::report::PrivacyReport;
 use backwatch::prelude::*;
@@ -14,7 +16,7 @@ fn main() {
     cfg.days = 7;
     let user = generate_user(&cfg, 0);
     let horizon = user.trace.last().expect("non-empty trace").time.as_secs();
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, backwatch::geo::Meters::new(250.0));
 
     let policies = [
         ("Allow (default)", LocationPolicy::Allow),

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release --example poi_profile`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::model::diary::Diary;
 use backwatch::model::hisbin::{detect_incremental, Matcher};
 use backwatch::model::pattern::{PatternKind, Profile};
@@ -41,7 +43,7 @@ fn main() {
         println!("{line}");
     }
 
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, backwatch::geo::Meters::new(250.0));
     let matcher = Matcher::paper();
     println!("\nhow much collected data reveals the profile (His_bin = 1):");
     for kind in [PatternKind::RegionVisits, PatternKind::MovementPattern] {

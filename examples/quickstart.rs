@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::model::metrics::{measure_at_interval, PAPER_INTERVALS};
 use backwatch::model::poi::ExtractorParams;
 use backwatch::trace::synth::{generate_user, SynthConfig};
@@ -29,7 +31,7 @@ fn main() {
     );
     let params = ExtractorParams::paper_set1();
     for &interval in &PAPER_INTERVALS {
-        let m = measure_at_interval(&user, interval, params);
+        let m = measure_at_interval(&user, backwatch_geo::Seconds::new(interval), params);
         println!(
             "{:>10} {:>10} {:>8} {:>8} {:>12} {:>7.0}%",
             interval,

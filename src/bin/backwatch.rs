@@ -111,7 +111,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map_err(|e| format!("bad --cell-m: {e}"))?;
             let trace = load_trace(path)?;
             let anchor = trace.first().expect("non-empty").pos;
-            let grid = Grid::new(anchor, cell_m);
+            let grid = Grid::new(anchor, backwatch_geo::Meters::new(cell_m));
             let report = PrivacyReport::analyze(&trace, &grid);
             Ok(format!("{report}\n"))
         }

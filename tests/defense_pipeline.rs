@@ -1,6 +1,8 @@
 //! Integration of the defense stack: OS policies, trace-level LPPMs, and
 //! the privacy report agreeing about what leaks.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::android::system::LocationPolicy;
 use backwatch::defense::throttle::ReleaseThrottle;
 use backwatch::defense::truncation::GridTruncation;
@@ -38,7 +40,7 @@ fn stalk(user: &backwatch::trace::synth::UserTrace, policy: LocationPolicy) -> T
 #[test]
 fn os_policies_order_the_privacy_severity() {
     let user = victim();
-    let grid = Grid::new(SynthConfig::small().city_center, 250.0);
+    let grid = Grid::new(SynthConfig::small().city_center, Meters::new(250.0));
     let allow = PrivacyReport::analyze(&stalk(&user, LocationPolicy::Allow), &grid);
     let coarsen = PrivacyReport::analyze(&stalk(&user, LocationPolicy::Coarsen), &grid);
     let block = PrivacyReport::analyze(&stalk(&user, LocationPolicy::Block), &grid);
@@ -68,7 +70,7 @@ fn fake_policy_fabricates_a_consistent_decoy_life() {
     assert!(collected.iter().all(|p| p.pos == decoy));
     // the decoy parks the "user" at one spot forever: the report sees one
     // very boring place and no movement profile
-    let grid = Grid::new(SynthConfig::small().city_center, 250.0);
+    let grid = Grid::new(SynthConfig::small().city_center, Meters::new(250.0));
     let report = PrivacyReport::analyze(&collected, &grid);
     assert!(report.places <= 1);
 }
@@ -80,10 +82,11 @@ fn trace_level_lppm_composes_with_device_collection() {
     let user = victim();
     let collected = stalk(&user, LocationPolicy::Allow);
     let mut rng = StdRng::seed_from_u64(11);
-    let grid = Grid::new(SynthConfig::small().city_center, 250.0);
+    let grid = Grid::new(SynthConfig::small().city_center, Meters::new(250.0));
 
-    let truncated = GridTruncation::new(Grid::new(SynthConfig::small().city_center, 2000.0)).apply(&collected, &mut rng);
-    let throttled = ReleaseThrottle::new(3600).apply(&collected, &mut rng);
+    let truncated =
+        GridTruncation::new(Grid::new(SynthConfig::small().city_center, Meters::new(2000.0))).apply(&collected, &mut rng);
+    let throttled = ReleaseThrottle::new(Seconds::new(3600)).apply(&collected, &mut rng);
 
     let raw = PrivacyReport::analyze(&collected, &grid);
     let trunc = PrivacyReport::analyze(&truncated, &grid);
@@ -126,7 +129,7 @@ fn energy_ranks_policies_identically() {
 fn transport_modes_of_a_synthetic_day_are_plausible() {
     use backwatch::trace::modes::{segment_modes, TransportMode};
     let user = victim();
-    let segments = segment_modes(&user.trace, 60);
+    let segments = segment_modes(&user.trace, Seconds::new(60));
     assert!(!segments.is_empty());
     // a daily routine contains both dwells and movement
     let still_secs: i64 = segments

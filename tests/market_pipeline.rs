@@ -2,6 +2,8 @@
 //! dynamic analysis → aggregated tables, verified against the planted
 //! ground truth.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::market::corpus::{CorpusConfig, Quotas};
 use backwatch::market::{report, run_study};
 use backwatch_android::permission::LocationClaim;

@@ -1,6 +1,8 @@
 //! End-to-end integration: synthetic user → simulated device collection →
 //! PoI extraction → profiles → detection → adversary inference.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::model::adversary::ProfileStore;
 use backwatch::model::anonymity::Weighting;
 use backwatch::model::hisbin::{detect_incremental, Matcher};
@@ -77,7 +79,7 @@ fn stolen_trace_still_yields_the_users_pois() {
 
     let stolen = device.collected_trace(id).unwrap();
     let stays = extractor.extract(&stolen);
-    let report = match_against_truth(&stays, &user, params.min_visit_secs, 200.0, params.metric);
+    let report = match_against_truth(&stays, &user, params.min_visit_secs, Meters::new(200.0), params.metric);
     assert!(
         report.recall() > 0.8,
         "a 10 s background poller should recover most PoIs, got {}",
@@ -90,7 +92,7 @@ fn full_attack_chain_identifies_the_victim() {
     let cfg = test_cfg();
     let params = ExtractorParams::paper_set1();
     let extractor = SpatioTemporalExtractor::new(params);
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
 
     let mut store = ProfileStore::new(PatternKind::MovementPattern);
     for i in 0..cfg.n_users {
@@ -100,7 +102,7 @@ fn full_attack_chain_identifies_the_victim() {
     }
 
     let victim = generate_user(&cfg, 3);
-    let collected = backwatch::trace::sampling::downsample(&victim.trace, 30);
+    let collected = backwatch::trace::sampling::downsample(&victim.trace, Seconds::new(30));
     let stays = extractor.extract(&collected);
     let observed = Profile::from_stays(PatternKind::MovementPattern, &stays, &grid);
     let inference = store.infer(&observed, &Matcher::paper(), Weighting::PaperChiSquare);
@@ -123,7 +125,7 @@ fn pattern2_detects_faster_than_pattern1_for_most_users() {
     cfg.days = 12;
     let params = ExtractorParams::paper_set1();
     let extractor = SpatioTemporalExtractor::new(params);
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
     let matcher = Matcher::paper();
 
     let mut p2_wins = 0i32;
@@ -163,14 +165,14 @@ fn coarse_only_app_cannot_pinpoint_sensitive_places() {
         let user = generate_user(&cfg, i);
         // Full-resolution view.
         let fine_stays = extractor.extract(&user.trace);
-        let fine_places = cluster_stays(&fine_stays, 150.0, params.metric);
+        let fine_places = cluster_stays(&fine_stays, Meters::new(150.0), params.metric);
         assert!(!fine_places.is_empty());
 
         // Released through a 1 km coarsening grid (the defense).
-        let coarse_trace = backwatch::trace::coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, 1000.0));
+        let coarse_trace = backwatch::trace::coarsen::snap_to_grid(&user.trace, &Grid::new(cfg.city_center, Meters::new(1000.0)));
         let coarse_stays = extractor.extract(&coarse_trace);
-        let coarse_report = match_against_truth(&coarse_stays, &user, params.min_visit_secs, 200.0, params.metric);
-        let fine_report = match_against_truth(&fine_stays, &user, params.min_visit_secs, 200.0, params.metric);
+        let coarse_report = match_against_truth(&coarse_stays, &user, params.min_visit_secs, Meters::new(200.0), params.metric);
+        let fine_report = match_against_truth(&fine_stays, &user, params.min_visit_secs, Meters::new(200.0), params.metric);
         assert!(fine_report.recall() > 0.8, "user {i}: fine recall {}", fine_report.recall());
         fine_sum += fine_report.recall();
         coarse_sum += coarse_report.recall();

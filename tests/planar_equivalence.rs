@@ -8,7 +8,11 @@
 //! `backwatch-core`'s `poi::buffer` docs). These tests pin the guarantee
 //! end to end on synthetic users.
 
-use backwatch::geo::distance::Metric;
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch::geo::distance::{equirectangular, haversine, Metric};
+use backwatch::geo::enu::Frame;
+use backwatch::geo::{bearing, Degrees, LatLon, Meters, Seconds};
 use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
 use backwatch::trace::sampling;
 use backwatch::trace::synth::{generate_user, SynthConfig};
@@ -48,13 +52,62 @@ fn sampled_extraction_is_bit_identical_at_every_interval() {
         for metric in METRICS {
             let extractor = SpatioTemporalExtractor::new(params_with(metric));
             for interval in [1, 60, 7200] {
-                let owned = sampling::downsample(&user.trace, interval);
+                let owned = sampling::downsample(&user.trace, Seconds::new(interval));
                 let exact = extractor.extract(&owned);
-                let indices = sampling::downsample_indices(&user.trace, interval);
+                let indices = sampling::downsample_indices(&user.trace, Seconds::new(interval));
                 let planar = extractor.extract_sampled(&projected, &indices);
                 assert_eq!(exact, planar, "metric {metric:?}, user {seed}, interval {interval}");
             }
         }
+    }
+}
+
+/// Golden bit patterns for the geometric primitives. The unit-newtype
+/// refactor promised *bit-identical* numerics; these constants were
+/// recorded from the raw-scalar implementation and pin that promise
+/// against any future "harmless" algebraic rewrite. If one of these
+/// fails, the numbers in every figure just silently changed — do not
+/// update the constant without understanding why.
+#[test]
+fn geometric_primitives_match_golden_bits() {
+    let a = LatLon::new(39.9042, 116.4074).unwrap();
+    let b = LatLon::new(39.95, 116.48).unwrap();
+    assert_eq!(haversine(a, b).to_bits(), 0x40bf_5045_8709_b93d, "haversine drifted");
+    assert_eq!(
+        equirectangular(a, b).to_bits(),
+        0x40bf_5045_a98b_0f4c,
+        "equirectangular drifted"
+    );
+    let (x, y) = Frame::new(a).to_enu(b);
+    assert_eq!(x.to_bits(), 0x40b8_30c3_4141_58a5, "ENU east drifted");
+    assert_eq!(y.to_bits(), 0x40b3_e4bc_13a4_0f9d, "ENU north drifted");
+    let d = bearing::destination(a, Degrees::new(45.0), Meters::new(1000.0));
+    assert_eq!(d.lat().to_bits(), 0x4043_f48d_3156_a945, "destination lat drifted");
+    assert_eq!(d.lon().to_bits(), 0x405d_1a9a_ac11_7fc0, "destination lon drifted");
+}
+
+/// Golden digest over a full extraction: every stay's centroid bits and
+/// enter/leave seconds folded FNV-style. Pins the end-to-end PoI pipeline
+/// (projection, certified planar filter, dwell logic) bit-for-bit.
+#[test]
+fn extractor_output_matches_golden_digest() {
+    let user = generate_user(&SynthConfig::small(), 0);
+    for metric in METRICS {
+        let extractor = SpatioTemporalExtractor::new(params_with(metric));
+        let stays = extractor.extract(&user.trace);
+        assert_eq!(stays.len(), 7, "stay count drifted under {metric:?}");
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for s in &stays {
+            for bits in [
+                s.centroid.lat().to_bits(),
+                s.centroid.lon().to_bits(),
+                s.enter.as_secs() as u64,
+                s.leave.as_secs() as u64,
+            ] {
+                digest = (digest ^ bits).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        assert_eq!(digest, 0x4a45_fe8a_af42_79f8, "extraction digest drifted under {metric:?}");
     }
 }
 

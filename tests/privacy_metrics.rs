@@ -2,13 +2,15 @@
 //! time-to-confusion, similarity, diary, and mobility statistics agreeing
 //! on the same synthetic population.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
 use backwatch::model::diary::Diary;
 use backwatch::model::pattern::{PatternKind, Profile};
 use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
 use backwatch::model::reident::top_n_anonymity;
 use backwatch::model::similarity;
 use backwatch::model::timeconfusion::{time_to_confusion, TtcConfig};
-use backwatch::prelude::{Grid, SynthConfig};
+use backwatch::prelude::{Grid, Meters, Seconds, SynthConfig};
 use backwatch::trace::sampling;
 use backwatch::trace::stats::mobility_stats;
 use backwatch::trace::synth::generate_user;
@@ -24,7 +26,7 @@ fn population() -> (SynthConfig, Vec<backwatch::trace::synth::UserTrace>) {
 #[test]
 fn top2_regions_identify_everyone_in_the_population() {
     let (cfg, users) = population();
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
     let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
     let stays: Vec<Vec<_>> = users.iter().map(|u| extractor.extract(&u.trace)).collect();
     let report = top_n_anonymity(&stays, &grid, 2);
@@ -40,8 +42,16 @@ fn top2_regions_identify_everyone_in_the_population() {
 fn sparse_release_lengthens_tracking_runs() {
     let (_, users) = population();
     let others: Vec<&backwatch::trace::Trace> = users[1..].iter().map(|u| &u.trace).collect();
-    let dense = time_to_confusion(&sampling::downsample(&users[0].trace, 60), &others, TtcConfig::default());
-    let sparse = time_to_confusion(&sampling::downsample(&users[0].trace, 3600), &others, TtcConfig::default());
+    let dense = time_to_confusion(
+        &sampling::downsample(&users[0].trace, Seconds::new(60)),
+        &others,
+        TtcConfig::default(),
+    );
+    let sparse = time_to_confusion(
+        &sampling::downsample(&users[0].trace, Seconds::new(3600)),
+        &others,
+        TtcConfig::default(),
+    );
     // fewer release moments -> fewer confusion opportunities
     assert!(sparse.confusion_events <= dense.confusion_events);
     assert!(dense.fixes > sparse.fixes);
@@ -50,7 +60,7 @@ fn sparse_release_lengthens_tracking_runs() {
 #[test]
 fn similarity_ranks_self_above_others() {
     let (cfg, users) = population();
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
     let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
     let profiles: Vec<Profile> = users
         .iter()
@@ -80,7 +90,7 @@ fn diary_and_mobility_stats_tell_one_story() {
     let params = ExtractorParams::paper_set1();
     let stays = SpatioTemporalExtractor::new(params).extract(&user.trace);
     let diary = Diary::from_stays(&stays, params.radius_m * 3.0, params.metric);
-    let grid = Grid::new(cfg.city_center, 250.0);
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
     let stats = mobility_stats(&user.trace, &grid).unwrap();
 
     // the diary's place count and the grid-cell count agree in magnitude
@@ -103,7 +113,7 @@ fn simplification_preserves_poi_extraction() {
     let extractor = SpatioTemporalExtractor::new(params);
     let full = extractor.extract(&user.trace);
     // simplify well below the PoI radius: dwell geometry survives
-    let simplified = douglas_peucker(&user.trace, 10.0);
+    let simplified = douglas_peucker(&user.trace, Meters::new(10.0));
     assert!(
         simplified.len() < user.trace.len() / 2,
         "simplification should drop redundancy"
