@@ -1,0 +1,99 @@
+//! Adversarial corpus for the `dumpsys` parser: every fixture under
+//! `tests/corpus/` is a hostile or degenerate report — truncated lines,
+//! unknown providers, overflowing intervals, reordered sections, CRLF
+//! transfers, interleaved `adb` noise. The parser's contract is
+//! *parse-or-counted-error, never panic*: each fixture declares its
+//! expected outcome in an inert first-line directive
+//! (`#expect: error` / `#expect: ok <n>`), and this test holds the parser
+//! to it, checks that failures bump the `android.dumpsys.parse_errors_total`
+//! counter, and that parsing is idempotent.
+//!
+//! Add a fixture by dropping a `.txt` file in the directory — no code
+//! change needed. The directive line never starts with `Receiver[`, so the
+//! parser ignores it by design and the full file (directive included) is
+//! fed to `parse`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_android::dumpsys;
+use std::fs;
+use std::path::PathBuf;
+
+/// The outcome a fixture's `#expect:` directive declares.
+#[derive(Debug, PartialEq, Eq)]
+enum Expect {
+    Error,
+    Ok(usize),
+}
+
+fn parse_directive(fixture: &str, text: &str) -> Expect {
+    let first = text.lines().next().unwrap_or_default();
+    let rest = first
+        .strip_prefix("#expect:")
+        .unwrap_or_else(|| panic!("{fixture}: first line must be an #expect: directive, got {first:?}"))
+        .trim();
+    if rest == "error" {
+        Expect::Error
+    } else if let Some(n) = rest.strip_prefix("ok ") {
+        Expect::Ok(
+            n.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{fixture}: bad entry count in directive {first:?}")),
+        )
+    } else {
+        panic!("{fixture}: directive must be `error` or `ok <n>`, got {first:?}");
+    }
+}
+
+#[test]
+fn every_corpus_fixture_parses_or_errors_without_panicking() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 12,
+        "corpus shrank to {} fixtures — expected the full adversarial set",
+        fixtures.len()
+    );
+
+    let obs_enabled = backwatch_obs::enabled();
+    for path in fixtures {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: unreadable fixture: {e}"));
+        let expect = parse_directive(&name, &text);
+
+        let errors_before = backwatch_android::obs::DUMPSYS_PARSE_ERRORS.get();
+        let outcome = dumpsys::parse(&text);
+        match (&expect, &outcome) {
+            (Expect::Error, Err(e)) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("malformed dumpsys report at line"),
+                    "{name}: error does not name the offending line: {msg}"
+                );
+                if obs_enabled {
+                    assert!(
+                        backwatch_android::obs::DUMPSYS_PARSE_ERRORS.get() > errors_before,
+                        "{name}: parse error was not counted"
+                    );
+                }
+            }
+            (Expect::Ok(n), Ok(entries)) => {
+                assert_eq!(entries.len(), *n, "{name}: wrong entry count");
+                for e in entries {
+                    assert!(!e.package.is_empty(), "{name}: empty package survived parsing");
+                    assert!(e.interval_s >= 1, "{name}: sub-second interval survived parsing");
+                }
+            }
+            (want, got) => panic!("{name}: expected {want:?}, got {got:?}"),
+        }
+
+        // parsing is pure: a second pass over the same bytes agrees
+        assert_eq!(outcome, dumpsys::parse(&text), "{name}: parse is not idempotent");
+    }
+}

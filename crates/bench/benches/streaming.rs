@@ -1,0 +1,93 @@
+//! Streaming-extraction benchmarks: the push-at-a-time engine vs the batch
+//! path it now underlies, the chunked driver with checkpoint round-trips,
+//! and the checkpoint codec itself. Throughput is reported in fixes/s;
+//! `peak_buffered × sizeof(TracePoint)` (printed by `ext_streaming` and
+//! recorded in `BENCH_poi.json`) is the peak-RSS proxy for the engine.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_bench::bench_user_long;
+use backwatch_core::poi::{Checkpoint, ExtractorParams, SpatioTemporalExtractor, StreamingExtractor};
+use backwatch_trace::chunks::ChunkCursor;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+
+/// Batch vs a plain streaming push loop on the same 10-day trace: the
+/// price of incremental emission with bounded memory.
+fn engine(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let mut g = c.benchmark_group("streaming/engine");
+    g.throughput(Throughput::Elements(user.trace.len() as u64));
+    g.bench_function("batch", |b| {
+        let e = SpatioTemporalExtractor::new(params);
+        b.iter(|| e.extract(black_box(&user.trace)));
+    });
+    g.bench_function("push_loop", |b| {
+        b.iter(|| {
+            let mut engine: StreamingExtractor = StreamingExtractor::new(params);
+            let mut stays = Vec::new();
+            for p in black_box(&user.trace).points() {
+                stays.extend(engine.push(*p));
+            }
+            stays.extend(engine.finish());
+            stays
+        });
+    });
+    g.finish();
+}
+
+/// The full online driver: fixed-size chunk windows with a checkpoint →
+/// bytes → resume round-trip at every boundary, as a storage-backed
+/// deployment would run it.
+fn chunked(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let mut g = c.benchmark_group("streaming/chunked");
+    g.throughput(Throughput::Elements(user.trace.len() as u64));
+    for window in [1_024_usize, 16_384] {
+        let name = format!("window_{window}");
+        let window = NonZeroUsize::new(window).unwrap();
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut engine: StreamingExtractor = StreamingExtractor::new(params);
+                let mut stays = Vec::new();
+                let mut cursor = ChunkCursor::new(black_box(&user.trace), window);
+                while let Some(chunk) = cursor.next_window() {
+                    for p in chunk {
+                        stays.extend(engine.push(*p));
+                    }
+                    let bytes = engine.checkpoint().to_bytes();
+                    engine = StreamingExtractor::resume(&Checkpoint::from_bytes(&bytes).unwrap()).unwrap();
+                }
+                stays.extend(engine.finish());
+                stays
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The checkpoint codec alone: serialize a mid-visit engine (a populated
+/// exit window is the worst case), parse it back, resume.
+fn checkpoint_codec(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let mut engine: StreamingExtractor = StreamingExtractor::new(params);
+    for p in &user.trace.points()[..user.trace.len() / 2] {
+        engine.push(*p);
+    }
+    let mut g = c.benchmark_group("streaming/checkpoint");
+    g.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&engine).checkpoint().to_bytes();
+            let resumed: StreamingExtractor = StreamingExtractor::resume(&Checkpoint::from_bytes(&bytes).unwrap()).unwrap();
+            black_box(resumed.stream_position())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine, chunked, checkpoint_codec);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! falls back to the exact metric: integration tests assert the refined
 //! fraction stays below 1 % on the synthetic city dataset.
 
-use backwatch_obs::{register_counter, Counter};
+use backwatch_obs::{register_counter, register_gauge, Counter, Gauge};
 use std::sync::Once;
 
 /// Extraction passes completed (one per `extract*` call).
@@ -23,6 +23,18 @@ pub static POI_PLANAR_CERTIFIED: Counter = Counter::new();
 pub static POI_PLANAR_REFINED: Counter = Counter::new();
 /// His_bin chi-square profile comparisons evaluated.
 pub static HISBIN_COMPARES: Counter = Counter::new();
+/// Fixes pushed through streaming extraction engines. Batch `extract*`
+/// calls ride the same engine, so this also counts their fixes.
+pub static STREAM_POINTS: Counter = Counter::new();
+/// Stays emitted by streaming engines (incremental and finish-flushed).
+pub static STREAM_STAYS: Counter = Counter::new();
+/// Checkpoints serialized from streaming engines.
+pub static STREAM_CHECKPOINTS: Counter = Counter::new();
+/// Engines reconstructed from checkpoints.
+pub static STREAM_RESUMES: Counter = Counter::new();
+/// Advisory high-water mark of fixes buffered by any single streaming
+/// engine (entry/exit windows; the PoI accumulator is constant-size).
+pub static STREAM_PEAK_BUFFER: Gauge = Gauge::new();
 
 /// Registers this crate's metrics with the global registry. Idempotent and
 /// cheap (a `Once`); called from the extractor and matcher constructors so
@@ -47,6 +59,31 @@ pub fn register() {
             "core.hisbin.compares_total",
             "His_bin chi-square comparisons",
             &HISBIN_COMPARES,
+        );
+        register_counter(
+            "core.stream.points_pushed_total",
+            "fixes pushed through streaming extraction engines",
+            &STREAM_POINTS,
+        );
+        register_counter(
+            "core.stream.stays_emitted_total",
+            "stays emitted by streaming engines",
+            &STREAM_STAYS,
+        );
+        register_counter(
+            "core.stream.checkpoints_total",
+            "checkpoints serialized from streaming engines",
+            &STREAM_CHECKPOINTS,
+        );
+        register_counter(
+            "core.stream.resumes_total",
+            "engines reconstructed from checkpoints",
+            &STREAM_RESUMES,
+        );
+        register_gauge(
+            "core.stream.peak_buffer_current",
+            "high-water mark of fixes buffered by a streaming engine",
+            &STREAM_PEAK_BUFFER,
         );
     });
 }

@@ -270,6 +270,28 @@ impl<P: BufferPoint> CentroidBuffer<P> {
         self.points.back()
     }
 
+    /// The raw running `(lat, lon)` sums. These are *not* in general equal
+    /// to recomputing the sums from the buffered points: `pop_front`
+    /// subtracts, so the values carry floating-point residue — which is
+    /// exactly why checkpoints capture them verbatim (see
+    /// [`super::streaming`]).
+    #[must_use]
+    pub fn sums(&self) -> (f64, f64) {
+        (self.sum_lat, self.sum_lon)
+    }
+
+    /// Rebuilds a buffer from checkpointed parts, trusting `sum_lat`/
+    /// `sum_lon` to be the captured running sums for `points` (including
+    /// their rounding residue). Crate-internal: only checkpoint restore
+    /// may bypass the incremental bookkeeping.
+    pub(crate) fn from_raw_parts(points: Vec<P>, sum_lat: f64, sum_lon: f64) -> Self {
+        Self {
+            points: points.into(),
+            sum_lat,
+            sum_lon,
+        }
+    }
+
     /// Time span covered by the buffer, seconds (0 for < 2 points).
     #[must_use]
     pub fn span_secs(&self) -> i64 {

@@ -16,6 +16,7 @@
 //! paper measures in Figure 3.
 
 use super::buffer::{BufferPoint, CentroidBuffer, PlanarCtx};
+use super::streaming::StreamingExtractor;
 use backwatch_geo::distance::Metric;
 use backwatch_geo::{LatLon, Meters, Seconds};
 use backwatch_trace::{ProjectedTrace, Timestamp, Trace};
@@ -133,17 +134,6 @@ pub struct SpatioTemporalExtractor {
     params: ExtractorParams,
 }
 
-enum State<P: BufferPoint> {
-    Outside {
-        entry: CentroidBuffer<P>,
-    },
-    Inside {
-        poi: CentroidBuffer<P>,
-        exit: CentroidBuffer<P>,
-        last_inside_index: usize,
-    },
-}
-
 impl SpatioTemporalExtractor {
     /// Creates an extractor with the given parameters.
     #[must_use]
@@ -202,124 +192,29 @@ impl SpatioTemporalExtractor {
         stays
     }
 
-    /// The three-buffer state machine, generic over the point
-    /// representation (raw lat/lon or projected planar).
+    /// Batch extraction, generic over the point representation (raw
+    /// lat/lon or projected planar): drives the streaming engine
+    /// ([`StreamingExtractor`]) over the iterator and collects its
+    /// incremental emissions. Delegating — rather than keeping a second
+    /// copy of the three-buffer state machine — is what makes the
+    /// streaming/batch differential guarantee hold by construction.
     fn run<P: BufferPoint>(&self, points: impl Iterator<Item = P>, ctx: &P::Ctx) -> Vec<Stay> {
-        let p = &self.params;
+        let mut engine = StreamingExtractor::new(self.params);
         let mut stays = Vec::new();
-        let mut n_points: u64 = 0;
-        let mut state = State::Outside {
-            entry: CentroidBuffer::new(),
-        };
-
-        for (index, point) in points.enumerate() {
-            n_points = index as u64 + 1;
-            state = match state {
-                State::Outside { mut entry } => {
-                    entry.push(point);
-                    entry.trim_to_span(p.entry_span_secs);
-                    if entry.is_within_spread(p.radius_m, ctx) {
-                        // Settled: the entry window becomes the start of the
-                        // PoI buffer (the overlap in the paper's description).
-                        let mut poi = CentroidBuffer::new();
-                        while let Some(q) = entry.pop_front() {
-                            poi.push(q);
-                        }
-                        State::Inside {
-                            poi,
-                            exit: CentroidBuffer::new(),
-                            last_inside_index: index,
-                        }
-                    } else {
-                        State::Outside { entry }
-                    }
-                }
-                State::Inside {
-                    mut poi,
-                    mut exit,
-                    last_inside_index,
-                } => {
-                    if poi.covers(&point, p.radius_m, ctx) {
-                        // Still at the PoI; any excursion points were a blip
-                        // and rejoin the visit.
-                        while let Some(q) = exit.pop_front() {
-                            poi.push(q);
-                        }
-                        poi.push(point);
-                        State::Inside {
-                            poi,
-                            exit,
-                            last_inside_index: index,
-                        }
-                    } else {
-                        exit.push(point);
-                        let away_secs = point.time() - poi.back().expect("non-empty").time();
-                        if away_secs >= p.exit_span_secs.get() {
-                            // Exit confirmed: close the visit.
-                            self.close(&poi, last_inside_index, &mut stays);
-                            // The exit window seeds the next entry window so
-                            // back-to-back PoIs are not missed (the second
-                            // overlap of the paper's description).
-                            let mut entry = CentroidBuffer::new();
-                            while let Some(q) = exit.pop_front() {
-                                entry.push(q);
-                            }
-                            entry.trim_to_span(p.entry_span_secs);
-                            // Re-check immediately: the exit points may
-                            // already cluster at the next PoI.
-                            if entry.is_within_spread(p.radius_m, ctx) && entry.span_secs() > 0 {
-                                let mut poi = CentroidBuffer::new();
-                                while let Some(q) = entry.pop_front() {
-                                    poi.push(q);
-                                }
-                                State::Inside {
-                                    poi,
-                                    exit: CentroidBuffer::new(),
-                                    last_inside_index: index,
-                                }
-                            } else {
-                                State::Outside { entry }
-                            }
-                        } else {
-                            State::Inside {
-                                poi,
-                                exit,
-                                last_inside_index,
-                            }
-                        }
-                    }
-                }
-            };
+        for point in points {
+            if let Some(stay) = engine.push_with(point, ctx) {
+                stays.push(stay);
+            }
         }
-        // Trace ended while inside a PoI: close the visit.
-        if let State::Inside {
-            poi, last_inside_index, ..
-        } = state
-        {
-            self.close(&poi, last_inside_index, &mut stays);
-        }
+        let n_points = engine.stream_position() as u64;
+        // Trace ended while inside a PoI: finish closes the open visit.
+        stays.extend(engine.finish());
         if backwatch_obs::enabled() {
             crate::obs::POI_PASSES.inc();
             crate::obs::POI_POINTS.add(n_points);
             crate::obs::POI_STAYS.add(stays.len() as u64);
         }
         stays
-    }
-
-    fn close<P: BufferPoint>(&self, poi: &CentroidBuffer<P>, last_inside_index: usize, stays: &mut Vec<Stay>) {
-        let (Some(front), Some(back), Some(centroid)) = (poi.front(), poi.back(), poi.centroid()) else {
-            return;
-        };
-        let dwell = back.time() - front.time();
-        if dwell >= self.params.min_visit_secs.get() {
-            stays.push(Stay {
-                centroid,
-                enter: front.time(),
-                leave: back.time(),
-                n_points: poi.len(),
-                end_index: last_inside_index,
-            });
-        }
     }
 }
 

@@ -1,0 +1,239 @@
+//! Extension experiment: online (streaming, chunked, checkpointed) vs
+//! batch PoI extraction at the paper's access frequencies.
+//!
+//! The paper's adversary is an online one — a background app sees fixes
+//! one at a time — so a production-scale backwatch must extract PoIs from
+//! a live stream, not a materialized trace. This experiment drives every
+//! user's trace through the streaming engine in fixed-size chunk windows
+//! with a full checkpoint → serialize → deserialize → resume round-trip at
+//! *every* window boundary (the most hostile suspension schedule), and
+//! verifies the stays are bit-identical to the batch extractor's while
+//! measuring the throughput cost and the engine's bounded memory
+//! footprint.
+
+use crate::pool::map_users;
+use crate::ExperimentConfig;
+use backwatch_core::poi::{Checkpoint, SpatioTemporalExtractor, StreamingExtractor};
+use backwatch_geo::Seconds;
+use backwatch_trace::chunks::ChunkCursor;
+use backwatch_trace::sampling;
+use backwatch_trace::synth::generate_user;
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Aggregate streaming-vs-batch comparison at one access interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRow {
+    /// Access interval, seconds.
+    pub interval_s: i64,
+    /// Fixes extracted from, summed over users.
+    pub points: u64,
+    /// Stays the batch path extracted (streaming must match exactly).
+    pub stays: usize,
+    /// Total batch extraction time, microseconds.
+    pub batch_us: u64,
+    /// Total streaming time including every checkpoint round-trip,
+    /// microseconds.
+    pub stream_us: u64,
+    /// Largest entry/exit-window population any engine reached — the
+    /// streaming memory footprint in fixes.
+    pub peak_buffered: usize,
+    /// Largest serialized checkpoint, bytes.
+    pub checkpoint_bytes: usize,
+    /// Users whose streaming stays differed from batch (must be 0).
+    pub mismatched_users: usize,
+    /// Users whose checkpoint round-trip failed (must be 0).
+    pub roundtrip_failures: usize,
+}
+
+/// The experiment bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingResult {
+    /// One row per access interval.
+    pub rows: Vec<StreamRow>,
+    /// Chunk window size used by the online driver, fixes.
+    pub chunk_len: usize,
+    /// Users compared.
+    pub users: u32,
+}
+
+/// Per-user outcome folded into a row.
+struct UserOutcome {
+    points: u64,
+    stays: usize,
+    batch_us: u64,
+    stream_us: u64,
+    peak_buffered: usize,
+    checkpoint_bytes: usize,
+    equal: bool,
+    roundtrip_failed: bool,
+}
+
+/// Runs the comparison: every user, every configured interval, chunked
+/// streaming with a checkpoint round-trip at each window boundary.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig, chunk_len: NonZeroUsize) -> StreamingResult {
+    let rows = cfg
+        .intervals
+        .iter()
+        .map(|&interval_s| {
+            let outcomes = map_users(cfg.synth.n_users, cfg.threads, |seed| {
+                compare_one_user(cfg, seed, interval_s, chunk_len)
+            });
+            let mut row = StreamRow {
+                interval_s,
+                points: 0,
+                stays: 0,
+                batch_us: 0,
+                stream_us: 0,
+                peak_buffered: 0,
+                checkpoint_bytes: 0,
+                mismatched_users: 0,
+                roundtrip_failures: 0,
+            };
+            for o in &outcomes {
+                row.points += o.points;
+                row.stays += o.stays;
+                row.batch_us += o.batch_us;
+                row.stream_us += o.stream_us;
+                row.peak_buffered = row.peak_buffered.max(o.peak_buffered);
+                row.checkpoint_bytes = row.checkpoint_bytes.max(o.checkpoint_bytes);
+                row.mismatched_users += usize::from(!o.equal);
+                row.roundtrip_failures += usize::from(o.roundtrip_failed);
+            }
+            row
+        })
+        .collect();
+    StreamingResult {
+        rows,
+        chunk_len: chunk_len.get(),
+        users: cfg.synth.n_users,
+    }
+}
+
+/// Batch-extracts and stream-extracts one user's downsampled trace,
+/// checking bit-identity.
+fn compare_one_user(cfg: &ExperimentConfig, seed: u32, interval_s: i64, chunk_len: NonZeroUsize) -> UserOutcome {
+    let user = generate_user(&cfg.synth, seed);
+    let sampled = sampling::downsample(&user.trace, Seconds::new(interval_s));
+
+    let batch_start = Instant::now();
+    let batch = SpatioTemporalExtractor::new(cfg.params).extract(&sampled);
+    let batch_us = batch_start.elapsed().as_micros() as u64;
+
+    let stream_start = Instant::now();
+    let mut engine: StreamingExtractor = StreamingExtractor::new(cfg.params);
+    let mut stays = Vec::new();
+    let mut peak_buffered = 0;
+    let mut checkpoint_bytes = 0;
+    let mut roundtrip_failed = false;
+    let mut cursor = ChunkCursor::new(&sampled, chunk_len);
+    while let Some(window) = cursor.next_window() {
+        for p in window {
+            stays.extend(engine.push(*p));
+        }
+        peak_buffered = peak_buffered.max(engine.peak_buffered());
+        // Suspend and resume at every window boundary — the engine that
+        // continues is always one that went through bytes.
+        let bytes = engine.checkpoint().to_bytes();
+        checkpoint_bytes = checkpoint_bytes.max(bytes.len());
+        match Checkpoint::from_bytes(&bytes).and_then(|cp| StreamingExtractor::resume(&cp)) {
+            Ok(resumed) => engine = resumed,
+            Err(_) => roundtrip_failed = true,
+        }
+    }
+    peak_buffered = peak_buffered.max(engine.peak_buffered());
+    stays.extend(engine.finish());
+    let stream_us = stream_start.elapsed().as_micros() as u64;
+
+    UserOutcome {
+        points: sampled.len() as u64,
+        stays: batch.len(),
+        batch_us,
+        stream_us,
+        peak_buffered,
+        checkpoint_bytes,
+        equal: stays == batch,
+        roundtrip_failed,
+    }
+}
+
+/// Renders the comparison table plus the differential verdict line the CI
+/// smoke greps for.
+#[must_use]
+pub fn render(result: &StreamingResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXTENSION: streaming vs batch PoI extraction (X6)");
+    let _ = writeln!(
+        out,
+        "online chunked driver: {} users, window {} fixes, checkpoint/resume round-trip at every boundary",
+        result.users, result.chunk_len
+    );
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>10}  {:>7}  {:>9}  {:>10}  {:>6}  {:>8}  {:>7}",
+        "interval_s", "points", "stays", "batch_ms", "stream_ms", "ratio", "peak_buf", "ckpt_B"
+    );
+    let mut mismatched = 0;
+    let mut failures = 0;
+    for r in &result.rows {
+        let batch_ms = r.batch_us as f64 / 1e3;
+        let stream_ms = r.stream_us as f64 / 1e3;
+        let ratio = if r.batch_us == 0 { 0.0 } else { stream_ms / batch_ms };
+        let _ = writeln!(
+            out,
+            "{:>10}  {:>10}  {:>7}  {:>9.2}  {:>10.2}  {:>6.2}  {:>8}  {:>7}",
+            r.interval_s, r.points, r.stays, batch_ms, stream_ms, ratio, r.peak_buffered, r.checkpoint_bytes
+        );
+        mismatched += r.mismatched_users;
+        failures += r.roundtrip_failures;
+    }
+    let _ = writeln!(
+        out,
+        "differential: mismatched_users={mismatched} roundtrip_failures={failures}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_batch_at_small_scale() {
+        let cfg = ExperimentConfig::small();
+        let chunk = NonZeroUsize::new(256).unwrap();
+        let result = run(&cfg, chunk);
+        assert_eq!(result.rows.len(), cfg.intervals.len());
+        for row in &result.rows {
+            assert_eq!(row.mismatched_users, 0, "interval {}", row.interval_s);
+            assert_eq!(row.roundtrip_failures, 0, "interval {}", row.interval_s);
+            assert!(row.points > 0);
+            assert!(row.checkpoint_bytes > 0, "at least one checkpoint per user");
+        }
+        // denser sampling leaves at least as many fixes to extract from
+        assert!(result.rows[0].points >= result.rows[result.rows.len() - 1].points);
+    }
+
+    #[test]
+    fn render_reports_the_differential_verdict() {
+        let cfg = ExperimentConfig::small();
+        let result = run(&cfg, NonZeroUsize::new(64).unwrap());
+        let text = render(&result);
+        assert!(text.contains("EXTENSION: streaming vs batch"));
+        assert!(text.contains("differential: mismatched_users=0 roundtrip_failures=0"));
+    }
+
+    #[test]
+    fn tiny_chunks_change_nothing_but_the_cost() {
+        let cfg = ExperimentConfig::small();
+        let a = run(&cfg, NonZeroUsize::new(1).unwrap());
+        let b = run(&cfg, NonZeroUsize::new(100_000).unwrap());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.stays, rb.stays, "chunking must not affect output");
+            assert_eq!(ra.mismatched_users, 0);
+            assert_eq!(rb.mismatched_users, 0);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Fixed-size windows over a trace — the feeding side of streaming PoI
+//! extraction.
+//!
+//! A streaming engine consumes fixes one at a time, but storage and
+//! transport move them in blocks. [`ChunkCursor`] walks a trace in
+//! fixed-size windows and is *resumable*: [`ChunkCursor::position`] pairs
+//! with a streaming checkpoint's `points_consumed()` so a driver can
+//! suspend after any window and [`ChunkCursor::seek`] back to the exact
+//! fix where the engine left off. The cursor borrows the trace and yields
+//! subslices, so chunking adds no copies.
+
+use crate::point::TracePoint;
+use crate::trajectory::Trace;
+use std::num::NonZeroUsize;
+
+/// A resumable fixed-window reader over a trace's fixes.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_trace::chunks::ChunkCursor;
+/// use backwatch_trace::{Trace, TracePoint, Timestamp};
+/// use backwatch_geo::LatLon;
+/// use std::num::NonZeroUsize;
+///
+/// let pts: Vec<TracePoint> = (0..10)
+///     .map(|t| TracePoint::new(Timestamp::from_secs(t), LatLon::new(39.9, 116.4).unwrap()))
+///     .collect();
+/// let trace = Trace::from_points(pts);
+/// let mut cursor = ChunkCursor::new(&trace, NonZeroUsize::new(4).unwrap());
+/// let sizes: Vec<usize> = cursor.by_ref().map(<[TracePoint]>::len).collect();
+/// assert_eq!(sizes, [4, 4, 2]); // the last window is the remainder
+/// assert!(cursor.is_done());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkCursor<'a> {
+    points: &'a [TracePoint],
+    window: NonZeroUsize,
+    pos: usize,
+}
+
+impl<'a> ChunkCursor<'a> {
+    /// Creates a cursor over `trace` yielding windows of up to `window`
+    /// fixes (the final window carries the remainder).
+    #[must_use]
+    pub fn new(trace: &'a Trace, window: NonZeroUsize) -> Self {
+        crate::obs::register();
+        Self {
+            points: trace.points(),
+            window,
+            pos: 0,
+        }
+    }
+
+    /// Index of the next fix to be yielded — feed this to a checkpoint
+    /// store, or restore it with [`seek`](Self::seek).
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor so the next window starts at fix `pos` (clamped to
+    /// the end of the trace). Pairs with a streaming checkpoint's
+    /// `points_consumed()` when resuming a suspended extraction.
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.points.len());
+    }
+
+    /// Fixes not yet yielded.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.points.len() - self.pos
+    }
+
+    /// Whether every fix has been yielded.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.points.len()
+    }
+
+    /// Windows still to come, counting the final partial one.
+    #[must_use]
+    pub fn windows_remaining(&self) -> usize {
+        self.remaining().div_ceil(self.window.get())
+    }
+
+    /// Yields the next window of fixes, advancing the cursor; `None` once
+    /// the trace is exhausted.
+    pub fn next_window(&mut self) -> Option<&'a [TracePoint]> {
+        if self.pos >= self.points.len() {
+            return None;
+        }
+        let end = self.pos.saturating_add(self.window.get()).min(self.points.len());
+        let out = self.points.get(self.pos..end)?;
+        self.pos = end;
+        if backwatch_obs::enabled() {
+            crate::obs::CHUNK_WINDOWS.inc();
+            crate::obs::CHUNK_POINTS.add(out.len() as u64);
+        }
+        Some(out)
+    }
+}
+
+impl<'a> Iterator for ChunkCursor<'a> {
+    type Item = &'a [TracePoint];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_window()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.windows_remaining();
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Timestamp;
+    use backwatch_geo::LatLon;
+
+    fn trace_of(n: i64) -> Trace {
+        Trace::from_points(
+            (0..n)
+                .map(|t| TracePoint::new(Timestamp::from_secs(t), LatLon::new(39.9, 116.4).unwrap()))
+                .collect(),
+        )
+    }
+
+    fn w(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn windows_partition_the_trace_exactly() {
+        let trace = trace_of(103);
+        let cursor = ChunkCursor::new(&trace, w(10));
+        let windows: Vec<_> = cursor.collect();
+        assert_eq!(windows.len(), 11);
+        let total: usize = windows.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 103);
+        let rejoined: Vec<TracePoint> = windows.into_iter().flatten().copied().collect();
+        assert_eq!(rejoined, trace.points());
+    }
+
+    #[test]
+    fn window_larger_than_trace_yields_one_chunk() {
+        let trace = trace_of(5);
+        let mut cursor = ChunkCursor::new(&trace, w(1000));
+        assert_eq!(cursor.windows_remaining(), 1);
+        assert_eq!(cursor.next_window().map(<[TracePoint]>::len), Some(5));
+        assert!(cursor.next_window().is_none());
+    }
+
+    #[test]
+    fn empty_trace_yields_no_windows() {
+        let trace = trace_of(0);
+        let mut cursor = ChunkCursor::new(&trace, w(8));
+        assert!(cursor.is_done());
+        assert_eq!(cursor.windows_remaining(), 0);
+        assert!(cursor.next_window().is_none());
+    }
+
+    #[test]
+    fn seek_resumes_at_the_exact_fix() {
+        let trace = trace_of(50);
+        let mut cursor = ChunkCursor::new(&trace, w(7));
+        let first = cursor.next_window().unwrap();
+        assert_eq!(cursor.position(), 7);
+        let mut resumed = ChunkCursor::new(&trace, w(7));
+        resumed.seek(cursor.position());
+        let continued: Vec<TracePoint> = resumed.flatten().copied().collect();
+        let mut all = first.to_vec();
+        all.extend(continued);
+        assert_eq!(all, trace.points());
+    }
+
+    #[test]
+    fn seek_past_the_end_clamps() {
+        let trace = trace_of(10);
+        let mut cursor = ChunkCursor::new(&trace, w(4));
+        cursor.seek(999);
+        assert!(cursor.is_done());
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let trace = trace_of(23);
+        let cursor = ChunkCursor::new(&trace, w(5));
+        assert_eq!(cursor.size_hint(), (5, Some(5)));
+        assert_eq!(cursor.count(), 5);
+    }
+}

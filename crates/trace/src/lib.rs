@@ -35,6 +35,7 @@
 //! assert!(!user.true_visits.is_empty());
 //! ```
 
+pub mod chunks;
 pub mod coarsen;
 pub mod dataset;
 pub mod modes;

@@ -11,6 +11,10 @@ use std::sync::Once;
 pub static DOWNSAMPLE_CALLS: Counter = Counter::new();
 /// Fixes kept across all downsampling passes.
 pub static DOWNSAMPLE_KEPT: Counter = Counter::new();
+/// Chunk windows yielded by [`crate::chunks::ChunkCursor`].
+pub static CHUNK_WINDOWS: Counter = Counter::new();
+/// Fixes delivered inside chunk windows.
+pub static CHUNK_POINTS: Counter = Counter::new();
 /// Synthetic users generated.
 pub static SYNTH_USERS: Counter = Counter::new();
 /// Fixes recorded across all synthetic users.
@@ -30,6 +34,16 @@ pub fn register() {
             "trace.sampling.downsample_kept_total",
             "fixes kept by downsampling passes",
             &DOWNSAMPLE_KEPT,
+        );
+        backwatch_obs::register_counter(
+            "trace.chunk.windows_total",
+            "chunk windows yielded to streaming drivers",
+            &CHUNK_WINDOWS,
+        );
+        backwatch_obs::register_counter(
+            "trace.chunk.points_total",
+            "fixes delivered inside chunk windows",
+            &CHUNK_POINTS,
         );
         backwatch_obs::register_counter("trace.synth.users_total", "synthetic users generated", &SYNTH_USERS);
         backwatch_obs::register_counter(

@@ -13,7 +13,7 @@
 use backwatch::geo::distance::{equirectangular, haversine, Metric};
 use backwatch::geo::enu::Frame;
 use backwatch::geo::{bearing, Degrees, LatLon, Meters, Seconds};
-use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch::model::poi::{Checkpoint, ExtractorParams, SpatioTemporalExtractor, StreamingExtractor};
 use backwatch::trace::sampling;
 use backwatch::trace::synth::{generate_user, SynthConfig};
 use backwatch::trace::ProjectedTrace;
@@ -88,7 +88,9 @@ fn geometric_primitives_match_golden_bits() {
 
 /// Golden digest over a full extraction: every stay's centroid bits and
 /// enter/leave seconds folded FNV-style. Pins the end-to-end PoI pipeline
-/// (projection, certified planar filter, dwell logic) bit-for-bit.
+/// (projection, certified planar filter, dwell logic) bit-for-bit — and
+/// the streaming engine, driven push-at-a-time with a checkpoint/resume
+/// split mid-trace, must land on the same digest.
 #[test]
 fn extractor_output_matches_golden_digest() {
     let user = generate_user(&SynthConfig::small(), 0);
@@ -96,19 +98,45 @@ fn extractor_output_matches_golden_digest() {
         let extractor = SpatioTemporalExtractor::new(params_with(metric));
         let stays = extractor.extract(&user.trace);
         assert_eq!(stays.len(), 7, "stay count drifted under {metric:?}");
-        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
-        for s in &stays {
-            for bits in [
-                s.centroid.lat().to_bits(),
-                s.centroid.lon().to_bits(),
-                s.enter.as_secs() as u64,
-                s.leave.as_secs() as u64,
-            ] {
-                digest = (digest ^ bits).wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-        assert_eq!(digest, 0x4a45_fe8a_af42_79f8, "extraction digest drifted under {metric:?}");
+        assert_eq!(
+            fnv_digest(&stays),
+            0x4a45_fe8a_af42_79f8,
+            "extraction digest drifted under {metric:?}"
+        );
+
+        // The streaming path (with a serialized suspend/resume at the
+        // midpoint) is pinned to the identical golden digest.
+        let pts = user.trace.points();
+        let split = pts.len() / 2;
+        let mut engine = StreamingExtractor::new(params_with(metric));
+        let mut streamed: Vec<_> = pts[..split].iter().filter_map(|p| engine.push(*p)).collect();
+        let bytes = engine.checkpoint().to_bytes();
+        let cp = Checkpoint::from_bytes(&bytes).expect("checkpoint bytes round-trip");
+        let mut engine: StreamingExtractor = StreamingExtractor::resume(&cp).expect("checkpoint resumes");
+        streamed.extend(pts[split..].iter().filter_map(|p| engine.push(*p)));
+        streamed.extend(engine.finish());
+        assert_eq!(streamed, stays, "streaming path diverged under {metric:?}");
+        assert_eq!(
+            fnv_digest(&streamed),
+            0x4a45_fe8a_af42_79f8,
+            "streaming digest drifted under {metric:?}"
+        );
     }
+}
+
+fn fnv_digest(stays: &[backwatch::model::poi::Stay]) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in stays {
+        for bits in [
+            s.centroid.lat().to_bits(),
+            s.centroid.lon().to_bits(),
+            s.enter.as_secs() as u64,
+            s.leave.as_secs() as u64,
+        ] {
+            digest = (digest ^ bits).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    digest
 }
 
 #[test]

@@ -1,0 +1,239 @@
+//! The streaming engine must be invisible: pushing a trace fix-by-fix
+//! through [`StreamingExtractor`] — in one go, through fixed-size chunk
+//! windows, or across serialized checkpoint/resume splits at arbitrary
+//! points — yields stays *bit-identical* to the batch
+//! `SpatioTemporalExtractor::extract`, for every Table III parameter set.
+//!
+//! The guarantee holds by construction (the batch path drives the same
+//! engine) for the unsplit case; these properties pin the parts that are
+//! *not* shared — checkpoint encode/decode, sum-bit restoration, chunk
+//! plumbing — on adversarially random traces.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch::geo::LatLon;
+use backwatch::model::poi::{Checkpoint, ExtractorParams, SpatioTemporalExtractor, Stay, StreamingExtractor};
+use backwatch::trace::chunks::ChunkCursor;
+use backwatch::trace::{Timestamp, Trace, TracePoint};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+/// One step of a synthetic movement pattern.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Dwelling: small time steps, GPS-noise-sized jitter.
+    Pause { dt: i64, jlat: f64, jlon: f64 },
+    /// Walking/driving: displacement up to a few hundred meters per fix.
+    Move { dt: i64, dlat: f64, dlon: f64 },
+    /// A sampling gap plus a jump (teleport between sessions).
+    Jump { dt: i64, dlat: f64, dlon: f64 },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    // the vendored prop_oneof! is unweighted; repeating the Pause arm
+    // biases toward dwells so traces actually produce stays
+    prop_oneof![
+        (1i64..=60, -2e-6f64..2e-6, -2e-6f64..2e-6).prop_map(|(dt, jlat, jlon)| Step::Pause { dt, jlat, jlon }),
+        (1i64..=60, -2e-6f64..2e-6, -2e-6f64..2e-6).prop_map(|(dt, jlat, jlon)| Step::Pause { dt, jlat, jlon }),
+        (1i64..=60, -2e-6f64..2e-6, -2e-6f64..2e-6).prop_map(|(dt, jlat, jlon)| Step::Pause { dt, jlat, jlon }),
+        (1i64..=120, -3e-3f64..3e-3, -3e-3f64..3e-3).prop_map(|(dt, dlat, dlon)| Step::Move { dt, dlat, dlon }),
+        (1i64..=120, -3e-3f64..3e-3, -3e-3f64..3e-3).prop_map(|(dt, dlat, dlon)| Step::Move { dt, dlat, dlon }),
+        (60i64..=7200, -0.05f64..0.05, -0.05f64..0.05).prop_map(|(dt, dlat, dlon)| Step::Jump { dt, dlat, dlon }),
+    ]
+}
+
+/// Folds steps into a strictly-increasing-time trace around a city anchor.
+fn build_trace(steps: &[Step]) -> Trace {
+    let mut t = 0i64;
+    let (mut lat, mut lon) = (39.9042f64, 116.4074f64);
+    let mut anchor = (lat, lon);
+    let mut pts = Vec::with_capacity(steps.len());
+    for s in steps {
+        match *s {
+            Step::Pause { dt, jlat, jlon } => {
+                t += dt;
+                pts.push(TracePoint::new(
+                    Timestamp::from_secs(t),
+                    LatLon::new(anchor.0 + jlat, anchor.1 + jlon).unwrap(),
+                ));
+            }
+            Step::Move { dt, dlat, dlon } | Step::Jump { dt, dlat, dlon } => {
+                t += dt;
+                lat = (lat + dlat).clamp(39.5, 40.3);
+                lon = (lon + dlon).clamp(116.0, 116.9);
+                anchor = (lat, lon);
+                pts.push(TracePoint::new(Timestamp::from_secs(t), LatLon::new(lat, lon).unwrap()));
+            }
+        }
+    }
+    Trace::from_points(pts)
+}
+
+fn stream_plain(params: ExtractorParams, pts: &[TracePoint]) -> Vec<Stay> {
+    let mut engine = StreamingExtractor::new(params);
+    let mut stays: Vec<Stay> = pts.iter().filter_map(|p| engine.push(*p)).collect();
+    stays.extend(engine.finish());
+    stays
+}
+
+/// Streams with a serialize/deserialize/resume round-trip after `split`
+/// fixes.
+fn stream_split(params: ExtractorParams, pts: &[TracePoint], split: usize) -> Vec<Stay> {
+    let split = split.min(pts.len());
+    let mut engine = StreamingExtractor::new(params);
+    let mut stays: Vec<Stay> = pts[..split].iter().filter_map(|p| engine.push(*p)).collect();
+    let bytes = engine.checkpoint().to_bytes();
+    drop(engine);
+    let cp = Checkpoint::from_bytes(&bytes).expect("checkpoint bytes round-trip");
+    assert_eq!(cp.points_consumed(), split);
+    let mut resumed: StreamingExtractor = StreamingExtractor::resume(&cp).expect("checkpoint resumes");
+    // determinism: re-serializing the resumed engine reproduces the bytes
+    assert_eq!(resumed.checkpoint().to_bytes(), bytes);
+    stays.extend(pts[split..].iter().filter_map(|p| resumed.push(*p)));
+    stays.extend(resumed.finish());
+    stays
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plain streaming == batch for every Table III parameter set.
+    #[test]
+    fn streaming_matches_batch(steps in prop::collection::vec(arb_step(), 0..400)) {
+        let trace = build_trace(&steps);
+        for params in ExtractorParams::table3_sets() {
+            let batch = SpatioTemporalExtractor::new(params).extract(&trace);
+            prop_assert_eq!(&batch, &stream_plain(params, trace.points()), "params {:?}", params);
+        }
+    }
+
+    /// Checkpoint/resume at a random split point changes nothing, for
+    /// every Table III parameter set.
+    #[test]
+    fn checkpoint_resume_matches_batch_at_any_split(
+        steps in prop::collection::vec(arb_step(), 0..400),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let trace = build_trace(&steps);
+        let split = (split_frac * trace.len() as f64) as usize;
+        for params in ExtractorParams::table3_sets() {
+            let batch = SpatioTemporalExtractor::new(params).extract(&trace);
+            prop_assert_eq!(&batch, &stream_split(params, trace.points(), split), "split {} params {:?}", split, params);
+        }
+    }
+
+    /// Two checkpoint/resume splits compose: suspend twice, still
+    /// bit-identical.
+    #[test]
+    fn double_checkpoint_still_matches(
+        steps in prop::collection::vec(arb_step(), 0..300),
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+    ) {
+        let trace = build_trace(&steps);
+        let pts = trace.points();
+        let (a, b) = (f1.min(f2), f1.max(f2));
+        let s1 = (a * pts.len() as f64) as usize;
+        let s2 = (b * pts.len() as f64) as usize;
+        let params = ExtractorParams::paper_set1();
+        let batch = SpatioTemporalExtractor::new(params).extract(&trace);
+
+        let mut engine = StreamingExtractor::new(params);
+        let mut stays: Vec<Stay> = pts[..s1].iter().filter_map(|p| engine.push(*p)).collect();
+        let cp1 = Checkpoint::from_bytes(&engine.checkpoint().to_bytes()).unwrap();
+        let mut engine: StreamingExtractor = StreamingExtractor::resume(&cp1).unwrap();
+        stays.extend(pts[s1..s2].iter().filter_map(|p| engine.push(*p)));
+        let cp2 = Checkpoint::from_bytes(&engine.checkpoint().to_bytes()).unwrap();
+        let mut engine: StreamingExtractor = StreamingExtractor::resume(&cp2).unwrap();
+        stays.extend(pts[s2..].iter().filter_map(|p| engine.push(*p)));
+        stays.extend(engine.finish());
+        prop_assert_eq!(batch, stays, "splits {} {}", s1, s2);
+    }
+
+    /// The chunked driver (checkpoint round-trip at every window boundary)
+    /// == batch for random window sizes.
+    #[test]
+    fn chunked_driver_matches_batch(
+        steps in prop::collection::vec(arb_step(), 0..400),
+        window in 1usize..128,
+    ) {
+        let trace = build_trace(&steps);
+        let params = ExtractorParams::paper_set1();
+        let batch = SpatioTemporalExtractor::new(params).extract(&trace);
+        let window = NonZeroUsize::new(window).unwrap();
+        let mut engine = StreamingExtractor::new(params);
+        let mut stays = Vec::new();
+        let mut cursor = ChunkCursor::new(&trace, window);
+        while let Some(chunk) = cursor.next_window() {
+            for p in chunk {
+                stays.extend(engine.push(*p));
+            }
+            let bytes = engine.checkpoint().to_bytes();
+            engine = StreamingExtractor::resume(&Checkpoint::from_bytes(&bytes).unwrap()).unwrap();
+            assert_eq!(cursor.position(), Checkpoint::from_bytes(&bytes).unwrap().points_consumed());
+        }
+        stays.extend(engine.finish());
+        prop_assert_eq!(batch, stays, "window {}", window);
+    }
+
+    /// Corrupting any single byte of a checkpoint never panics the
+    /// decoder or the resumed engine: it either errors out or yields an
+    /// engine that still processes the rest of the stream.
+    #[test]
+    fn corrupt_checkpoints_never_panic(
+        steps in prop::collection::vec(arb_step(), 1..120),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let trace = build_trace(&steps);
+        let params = ExtractorParams::paper_set1();
+        let mut engine = StreamingExtractor::new(params);
+        for p in trace.points() {
+            engine.push(*p);
+        }
+        let mut bytes = engine.checkpoint().to_bytes();
+        let idx = ((byte_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= 1 << bit;
+        if let Ok(cp) = Checkpoint::from_bytes(&bytes) {
+            if let Ok(mut resumed) = StreamingExtractor::<TracePoint>::resume(&cp) {
+                // A flipped sum/count bit is undetectable by design (the
+                // format trusts captured sums); the engine must still run.
+                for p in trace.points().iter().take(50) {
+                    let _ = resumed.push(*p);
+                }
+                let _ = resumed.finish();
+            }
+        }
+    }
+}
+
+/// A stay that straddles every chunk boundary of a tiny window still comes
+/// out once, with the exact batch geometry.
+#[test]
+fn chunk_boundaries_inside_a_stay_are_invisible() {
+    let pts: Vec<TracePoint> = (0..1800)
+        .map(|t| {
+            TracePoint::new(
+                Timestamp::from_secs(t),
+                LatLon::new(39.9 + ((t % 5) as f64 - 2.0) * 1e-6, 116.4).unwrap(),
+            )
+        })
+        .collect();
+    let trace = Trace::from_points(pts);
+    let params = ExtractorParams::paper_set1();
+    let batch = SpatioTemporalExtractor::new(params).extract(&trace);
+    assert_eq!(batch.len(), 1);
+    for window in [1usize, 7, 90, 1799] {
+        let mut engine = StreamingExtractor::new(params);
+        let mut stays = Vec::new();
+        for chunk in ChunkCursor::new(&trace, NonZeroUsize::new(window).unwrap()) {
+            for p in chunk {
+                stays.extend(engine.push(*p));
+            }
+            let bytes = engine.checkpoint().to_bytes();
+            engine = StreamingExtractor::resume(&Checkpoint::from_bytes(&bytes).unwrap()).unwrap();
+        }
+        stays.extend(engine.finish());
+        assert_eq!(batch, stays, "window {window}");
+    }
+}
