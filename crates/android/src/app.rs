@@ -5,13 +5,93 @@ use crate::provider::ProviderKind;
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// The intent action a receiver must filter on to run at boot.
+pub const ACTION_BOOT_COMPLETED: &str = "android.intent.action.BOOT_COMPLETED";
+
+/// The launcher entry action of a main activity.
+pub const ACTION_MAIN: &str = "android.intent.action.MAIN";
+
+/// The kind of an application component declared in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ComponentKind {
+    /// `<activity>` — a foreground UI entry point.
+    Activity,
+    /// `<service>` — a long-running background entry point.
+    Service,
+    /// `<receiver>` — a broadcast entry point (e.g. `BOOT_COMPLETED`).
+    Receiver,
+}
+
+impl ComponentKind {
+    /// The manifest element name (`activity` / `service` / `receiver`).
+    #[must_use]
+    pub fn element(&self) -> &'static str {
+        match self {
+            ComponentKind::Activity => "activity",
+            ComponentKind::Service => "service",
+            ComponentKind::Receiver => "receiver",
+        }
+    }
+}
+
+/// One `<activity>`/`<service>`/`<receiver>` declaration, with the intent
+/// actions its `<intent-filter>` registers for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Component {
+    /// The element kind.
+    pub kind: ComponentKind,
+    /// The `android:name` value — `.Relative` or fully qualified.
+    pub name: String,
+    /// Actions declared in the component's intent filter, in order.
+    pub intent_actions: Vec<String>,
+}
+
+impl Component {
+    /// A component with no intent filter.
+    #[must_use]
+    pub fn new(kind: ComponentKind, name: impl Into<String>) -> Self {
+        Self {
+            kind,
+            name: name.into(),
+            intent_actions: Vec::new(),
+        }
+    }
+
+    /// Adds an intent-filter action.
+    #[must_use]
+    pub fn with_action(mut self, action: impl Into<String>) -> Self {
+        self.intent_actions.push(action.into());
+        self
+    }
+
+    /// Whether the component's filter includes `BOOT_COMPLETED`.
+    #[must_use]
+    pub fn is_boot_receiver(&self) -> bool {
+        self.kind == ComponentKind::Receiver && self.intent_actions.iter().any(|a| a == ACTION_BOOT_COMPLETED)
+    }
+
+    /// Resolves the `android:name` to an IR class path: `.Relative` names
+    /// are prefixed with the package, dots become slashes
+    /// (`.MainActivity` under `com.x` → `com/x/MainActivity`).
+    #[must_use]
+    pub fn class_path(&self, package: &str) -> String {
+        if let Some(rel) = self.name.strip_prefix('.') {
+            format!("{}/{}", package.replace('.', "/"), rel.replace('.', "/"))
+        } else {
+            self.name.replace('.', "/")
+        }
+    }
+}
+
 /// The static view of an app — what Apktool extracts from the APK.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Manifest {
     package: String,
     permissions: BTreeSet<Permission>,
-    has_location_service: bool,
+    components: Vec<Component>,
 }
 
 impl Manifest {
@@ -33,12 +113,27 @@ impl Manifest {
         LocationClaim::from_permissions(&self.permissions)
     }
 
+    /// The declared components, in declaration order.
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
     /// Whether the manifest declares a long-running service component
     /// (needed to keep updating location after being killed from recents;
     /// background listeners alone survive ordinary backgrounding).
     #[must_use]
     pub fn has_location_service(&self) -> bool {
-        self.has_location_service
+        self.components
+            .iter()
+            .any(|c| c.kind == ComponentKind::Service && c.name.contains("LocationService"))
+    }
+
+    /// Whether the manifest declares a `BOOT_COMPLETED` receiver (and the
+    /// matching permission, which real Android also requires).
+    #[must_use]
+    pub fn has_boot_receiver(&self) -> bool {
+        self.permissions.contains(&Permission::ReceiveBootCompleted) && self.components.iter().any(Component::is_boot_receiver)
     }
 }
 
@@ -60,7 +155,7 @@ impl Manifest {
 pub struct ManifestBuilder {
     package: String,
     permissions: BTreeSet<Permission>,
-    has_location_service: bool,
+    components: Vec<Component>,
 }
 
 impl ManifestBuilder {
@@ -79,7 +174,7 @@ impl ManifestBuilder {
         Self {
             package,
             permissions: BTreeSet::new(),
-            has_location_service: false,
+            components: Vec::new(),
         }
     }
 
@@ -88,9 +183,23 @@ impl ManifestBuilder {
         self.permissions.insert(p);
     }
 
-    /// Marks the manifest as declaring a location service component.
+    /// Declares a component.
+    pub fn add_component(&mut self, c: Component) {
+        self.components.push(c);
+    }
+
+    /// Marks the manifest as declaring a location service component
+    /// (adds or removes the conventional `.LocationService` declaration).
     pub fn set_location_service(&mut self, yes: bool) {
-        self.has_location_service = yes;
+        let is_loc = |c: &Component| c.kind == ComponentKind::Service && c.name.contains("LocationService");
+        if yes {
+            if !self.components.iter().any(is_loc) {
+                self.components
+                    .push(Component::new(ComponentKind::Service, ".LocationService"));
+            }
+        } else {
+            self.components.retain(|c| !is_loc(c));
+        }
     }
 
     /// Finishes the manifest.
@@ -99,7 +208,7 @@ impl ManifestBuilder {
         Manifest {
             package: self.package,
             permissions: self.permissions,
-            has_location_service: self.has_location_service,
+            components: self.components,
         }
     }
 }
@@ -265,9 +374,7 @@ impl fmt::Display for App {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AppBuilder {
-    package: String,
-    permissions: BTreeSet<Permission>,
-    has_location_service: bool,
+    manifest: ManifestBuilder,
     behavior: LocationBehavior,
 }
 
@@ -279,15 +386,8 @@ impl AppBuilder {
     /// Panics if `package` is empty or contains whitespace.
     #[must_use]
     pub fn new(package: impl Into<String>) -> Self {
-        let package = package.into();
-        assert!(
-            !package.is_empty() && !package.contains(char::is_whitespace),
-            "package name must be non-empty and free of whitespace: {package:?}"
-        );
         Self {
-            package,
-            permissions: BTreeSet::new(),
-            has_location_service: false,
+            manifest: ManifestBuilder::new(package),
             behavior: LocationBehavior::inert(),
         }
     }
@@ -295,21 +395,30 @@ impl AppBuilder {
     /// Declares a permission.
     #[must_use]
     pub fn permission(mut self, p: Permission) -> Self {
-        self.permissions.insert(p);
+        self.manifest.add_permission(p);
         self
     }
 
     /// Declares the permissions of a [`LocationClaim`] wholesale.
     #[must_use]
     pub fn location_claim(mut self, claim: LocationClaim) -> Self {
-        self.permissions.extend(claim.to_permissions());
+        for p in claim.to_permissions() {
+            self.manifest.add_permission(p);
+        }
+        self
+    }
+
+    /// Declares a component.
+    #[must_use]
+    pub fn component(mut self, c: Component) -> Self {
+        self.manifest.add_component(c);
         self
     }
 
     /// Declares a long-running location service component.
     #[must_use]
     pub fn location_service(mut self, yes: bool) -> Self {
-        self.has_location_service = yes;
+        self.manifest.set_location_service(yes);
         self
     }
 
@@ -324,11 +433,7 @@ impl AppBuilder {
     #[must_use]
     pub fn build(self) -> App {
         App {
-            manifest: Manifest {
-                package: self.package,
-                permissions: self.permissions,
-                has_location_service: self.has_location_service,
-            },
+            manifest: self.manifest.build(),
             behavior: self.behavior,
         }
     }
@@ -383,6 +488,50 @@ mod tests {
     #[should_panic(expected = "package name")]
     fn empty_package_panics() {
         let _ = AppBuilder::new("");
+    }
+
+    #[test]
+    fn components_round_trip_through_builders() {
+        let app = AppBuilder::new("com.x.y")
+            .component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN))
+            .component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(ACTION_BOOT_COMPLETED))
+            .permission(Permission::ReceiveBootCompleted)
+            .location_service(true)
+            .build();
+        assert_eq!(app.manifest().components().len(), 3);
+        assert!(app.manifest().has_location_service());
+        assert!(app.manifest().has_boot_receiver());
+    }
+
+    #[test]
+    fn boot_receiver_requires_both_filter_and_permission() {
+        let only_component = AppBuilder::new("a.b")
+            .component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(ACTION_BOOT_COMPLETED))
+            .build();
+        assert!(!only_component.manifest().has_boot_receiver());
+        let only_permission = AppBuilder::new("a.b").permission(Permission::ReceiveBootCompleted).build();
+        assert!(!only_permission.manifest().has_boot_receiver());
+    }
+
+    #[test]
+    fn location_service_toggle_is_idempotent() {
+        let mut b = ManifestBuilder::new("a.b");
+        b.set_location_service(true);
+        b.set_location_service(true);
+        let m = b.build();
+        assert_eq!(m.components().len(), 1);
+        let mut b = ManifestBuilder::new("a.b");
+        b.set_location_service(true);
+        b.set_location_service(false);
+        assert!(!b.build().has_location_service());
+    }
+
+    #[test]
+    fn class_path_resolves_relative_and_qualified_names() {
+        let rel = Component::new(ComponentKind::Activity, ".ui.MainActivity");
+        assert_eq!(rel.class_path("com.example.nav"), "com/example/nav/ui/MainActivity");
+        let full = Component::new(ComponentKind::Service, "com.vendor.sdk.TrackService");
+        assert_eq!(full.class_path("com.example.nav"), "com/vendor/sdk/TrackService");
     }
 
     #[test]

@@ -1,0 +1,609 @@
+//! A smali-like app IR: classes, methods, and the two instruction kinds
+//! the static analyzer reads (string constants and invokes).
+//!
+//! The paper's §III static stage decompiles APKs with Apktool and walks
+//! the smali output for location-API call sites. We reproduce that
+//! channel with a deliberately tiny IR: enough structure to carry call
+//! edges and provider string constants, with a deterministic text format
+//! so fixture apps can be checked in as corpora (like the dumpsys corpus)
+//! and so `parse ∘ render` is the identity.
+//!
+//! The text format, one directive or instruction per line:
+//!
+//! ```text
+//! .class com/example/nav/MainActivity
+//!     .method onCreate
+//!         const-string "gps"
+//!         invoke com/example/nav/AppController start
+//!     .end method
+//! .end class
+//! ```
+//!
+//! Blank lines and `#`-prefixed lines are ignored, so corpus fixtures can
+//! carry `#expect:` directives in-band. Anything else is a parse error:
+//! the format is a serialization, not a tolerant scraper, and silent
+//! acceptance of junk would let a truncated fixture pass as a smaller
+//! program.
+
+use crate::app::{App, ComponentKind};
+use crate::provider::ProviderKind;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// The framework class hosting the classic location sinks.
+pub const LOCATION_MANAGER_CLASS: &str = "android/location/LocationManager";
+
+/// The Play-services fused provider client class.
+pub const FUSED_CLIENT_CLASS: &str = "com/google/android/gms/location/FusedLocationProviderClient";
+
+/// The location-API sink signatures the reachability pass looks for,
+/// as `(class, method)` pairs — the paper's §III call-site targets.
+pub const SINKS: [(&str, &str); 4] = [
+    (LOCATION_MANAGER_CLASS, "requestLocationUpdates"),
+    (LOCATION_MANAGER_CLASS, "getLastKnownLocation"),
+    (FUSED_CLIENT_CLASS, "requestLocationUpdates"),
+    (FUSED_CLIENT_CLASS, "getLastLocation"),
+];
+
+/// Whether `(class, method)` is one of the tracked location sinks.
+///
+/// A sink is a *signature*, not a name: an app-defined method that merely
+/// shares a sink's name (`requestLocationUpdates` on an app class) is not
+/// a sink, and the adversarial fixture corpus pins that distinction.
+#[must_use]
+pub fn is_sink(class: &str, method: &str) -> bool {
+    SINKS.iter().any(|&(c, m)| c == class && m == method)
+}
+
+/// One IR instruction — only the two kinds the analyzer consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum IrInstr {
+    /// `const-string "..."` — a string constant (provider names end up
+    /// here, exactly where smali puts them).
+    ConstString(String),
+    /// `invoke <class> <method>` — a call edge. Virtual dispatch,
+    /// reflection, and ICC are all collapsed into this one edge kind;
+    /// DESIGN.md §10 records the soundness caveats.
+    Invoke {
+        /// Target class path (slash-separated).
+        class: String,
+        /// Target method name.
+        method: String,
+    },
+}
+
+/// A method: a name and a straight-line body (control flow inside a
+/// method is irrelevant to reachability, so the IR has none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IrMethod {
+    /// Method name, unique within its class.
+    pub name: String,
+    /// Body instructions, in order.
+    pub instrs: Vec<IrInstr>,
+}
+
+impl IrMethod {
+    /// A method with the given body.
+    #[must_use]
+    pub fn new(name: impl Into<String>, instrs: Vec<IrInstr>) -> Self {
+        Self {
+            name: name.into(),
+            instrs,
+        }
+    }
+}
+
+/// A class: a slash-separated path and its methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IrClass {
+    /// Class path, unique within its program (e.g. `com/x/MainActivity`).
+    pub name: String,
+    /// Methods, in declaration order.
+    pub methods: Vec<IrMethod>,
+}
+
+impl IrClass {
+    /// A class with the given methods.
+    #[must_use]
+    pub fn new(name: impl Into<String>, methods: Vec<IrMethod>) -> Self {
+        Self {
+            name: name.into(),
+            methods,
+        }
+    }
+
+    /// Looks up a method by name.
+    #[must_use]
+    pub fn method(&self, name: &str) -> Option<&IrMethod> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// A whole app's IR — what "decompiling" one APK yields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IrProgram {
+    /// Classes, in declaration order.
+    pub classes: Vec<IrClass>,
+}
+
+impl IrProgram {
+    /// Looks up a class by path.
+    #[must_use]
+    pub fn class(&self, name: &str) -> Option<&IrClass> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Total method count across all classes.
+    #[must_use]
+    pub fn method_count(&self) -> usize {
+        self.classes.iter().map(|c| c.methods.len()).sum()
+    }
+}
+
+/// Renders a program in the deterministic text format.
+#[must_use]
+pub fn render(program: &IrProgram) -> String {
+    crate::obs::IR_RENDERS.inc();
+    let mut out = String::new();
+    for class in &program.classes {
+        out.push_str(&format!(".class {}\n", class.name));
+        for method in &class.methods {
+            out.push_str(&format!("    .method {}\n", method.name));
+            for instr in &method.instrs {
+                match instr {
+                    IrInstr::ConstString(s) => out.push_str(&format!("        const-string \"{s}\"\n")),
+                    IrInstr::Invoke { class, method } => out.push_str(&format!("        invoke {class} {method}\n")),
+                }
+            }
+            out.push_str("    .end method\n");
+        }
+        out.push_str(".end class\n");
+    }
+    out
+}
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIrError {
+    line: usize,
+    reason: String,
+}
+
+impl ParseIrError {
+    /// The 1-based line the error was detected on (0 for end-of-input).
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseIrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed IR at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseIrError {}
+
+/// Checks a class path / method name token: non-empty, no whitespace.
+fn valid_token(tok: &str) -> bool {
+    !tok.is_empty() && !tok.contains(char::is_whitespace)
+}
+
+/// Parses IR text produced by [`render`] (or hand-written fixtures in the
+/// same format) back into an [`IrProgram`].
+///
+/// # Errors
+///
+/// Returns [`ParseIrError`] on any grammar violation: unmatched
+/// `.class`/`.method` blocks, instructions outside a method, malformed
+/// operands, duplicate class or method names, or an unrecognized line.
+/// Every rejection also bumps the `android.ir.parse_errors_total` counter
+/// so corpus sweeps can count failures instead of panicking.
+pub fn parse(text: &str) -> Result<IrProgram, ParseIrError> {
+    let result = parse_inner(text);
+    match &result {
+        Ok(_) => crate::obs::IR_PROGRAMS_PARSED.inc(),
+        Err(_) => crate::obs::IR_PARSE_ERRORS.inc(),
+    }
+    result
+}
+
+fn parse_inner(text: &str) -> Result<IrProgram, ParseIrError> {
+    let mut program = IrProgram::default();
+    let mut class: Option<IrClass> = None;
+    let mut method: Option<IrMethod> = None;
+    let mut seen_classes: BTreeSet<String> = BTreeSet::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |reason: String| ParseIrError { line: i + 1, reason };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".class ") {
+            let name = rest.trim();
+            if class.is_some() {
+                return Err(err("nested .class (missing .end class?)".to_owned()));
+            }
+            if !valid_token(name) {
+                return Err(err(format!("invalid class name {name:?}")));
+            }
+            if !seen_classes.insert(name.to_owned()) {
+                return Err(err(format!("duplicate class {name}")));
+            }
+            class = Some(IrClass::new(name, Vec::new()));
+        } else if let Some(rest) = line.strip_prefix(".method ") {
+            let name = rest.trim();
+            let Some(ref c) = class else {
+                return Err(err(".method outside a class".to_owned()));
+            };
+            if method.is_some() {
+                return Err(err("nested .method (missing .end method?)".to_owned()));
+            }
+            if !valid_token(name) {
+                return Err(err(format!("invalid method name {name:?}")));
+            }
+            if c.method(name).is_some() {
+                return Err(err(format!("duplicate method {name} in class {}", c.name)));
+            }
+            method = Some(IrMethod::new(name, Vec::new()));
+        } else if line == ".end method" {
+            let m = method.take().ok_or_else(|| err(".end method without .method".to_owned()))?;
+            match class.as_mut() {
+                Some(c) => c.methods.push(m),
+                None => return Err(err(".end method outside a class".to_owned())),
+            }
+        } else if line == ".end class" {
+            if method.is_some() {
+                return Err(err(".end class inside a method".to_owned()));
+            }
+            let c = class.take().ok_or_else(|| err(".end class without .class".to_owned()))?;
+            program.classes.push(c);
+        } else if let Some(rest) = line.strip_prefix("const-string ") {
+            let m = method
+                .as_mut()
+                .ok_or_else(|| err("const-string outside a method".to_owned()))?;
+            let operand = rest.trim();
+            let inner = operand
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err(format!("const-string operand must be double-quoted, got {operand:?}")))?;
+            if inner.contains('"') || inner.contains('\n') {
+                return Err(err("const-string operand contains a quote".to_owned()));
+            }
+            m.instrs.push(IrInstr::ConstString(inner.to_owned()));
+        } else if let Some(rest) = line.strip_prefix("invoke ") {
+            let m = method.as_mut().ok_or_else(|| err("invoke outside a method".to_owned()))?;
+            let mut parts = rest.split_whitespace();
+            let (target_class, target_method) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(c), Some(mm), None) => (c, mm),
+                _ => return Err(err(format!("invoke expects <class> <method>, got {rest:?}"))),
+            };
+            m.instrs.push(IrInstr::Invoke {
+                class: target_class.to_owned(),
+                method: target_method.to_owned(),
+            });
+        } else {
+            return Err(err(format!("unrecognized line {line:?}")));
+        }
+    }
+    if method.is_some() {
+        return Err(ParseIrError {
+            line: 0,
+            reason: "unterminated .method at end of input".to_owned(),
+        });
+    }
+    if class.is_some() {
+        return Err(ParseIrError {
+            line: 0,
+            reason: "unterminated .class at end of input".to_owned(),
+        });
+    }
+    Ok(program)
+}
+
+/// Entry methods the Android framework calls on each component kind —
+/// the roots of the reachability pass.
+#[must_use]
+pub fn entry_methods(kind: ComponentKind) -> &'static [&'static str] {
+    match kind {
+        ComponentKind::Activity => &["onCreate", "onStart", "onResume", "onClick"],
+        ComponentKind::Service => &["onCreate", "onStartCommand"],
+        ComponentKind::Receiver => &["onReceive"],
+    }
+}
+
+/// Lowers an [`App`] to its IR — the simulation's stand-in for
+/// Apktool decompilation.
+///
+/// The lowering is deterministic and behavior-faithful: the emitted code
+/// actually *does* (reaches) exactly what [`crate::app::LocationBehavior`]
+/// says the app does at run time, so a correct reachability analysis must
+/// agree with dynamic observation on every lowered app. Crucially it also
+/// plants hazards for unsound shortcuts:
+///
+/// - inert apps carry a *dead* sink call (`DeadCode.unusedFetch`) that a
+///   naive "does the APK mention the API" scan would flag;
+/// - functional apps carry a `fetch ↔ retry` call cycle that a worklist
+///   without a visited set would spin on;
+/// - background reachability flows only through the declared service
+///   component, and boot reachability only through the declared
+///   `BOOT_COMPLETED` receiver, mirroring the manifest-gated paths real
+///   apps use.
+#[must_use]
+pub fn lower(app: &App) -> IrProgram {
+    crate::obs::IR_APPS_LOWERED.inc();
+    let manifest = app.manifest();
+    let behavior = app.behavior();
+    let pkg_path = manifest.package().replace('.', "/");
+    let controller = format!("{pkg_path}/AppController");
+    let helper = format!("{pkg_path}/LocationHelper");
+    let functional = behavior.requests_location();
+    let background = functional && behavior.accesses_in_background();
+    let service_class = manifest
+        .components()
+        .iter()
+        .find(|c| c.kind == ComponentKind::Service && c.name.contains("LocationService"))
+        .map(|c| c.class_path(manifest.package()));
+
+    let mut classes: Vec<IrClass> = Vec::new();
+    for component in manifest.components() {
+        let mut methods: Vec<IrMethod> = Vec::new();
+        match component.kind {
+            ComponentKind::Activity => {
+                // auto-start apps register in onCreate; the rest wait for a tap
+                let hook = if behavior.is_auto_start() { "onCreate" } else { "onClick" };
+                for entry in entry_methods(ComponentKind::Activity) {
+                    let instrs = if functional && *entry == hook {
+                        vec![IrInstr::Invoke {
+                            class: controller.clone(),
+                            method: "start".to_owned(),
+                        }]
+                    } else {
+                        Vec::new()
+                    };
+                    methods.push(IrMethod::new(*entry, instrs));
+                }
+            }
+            ComponentKind::Service => {
+                methods.push(IrMethod::new("onCreate", Vec::new()));
+                let instrs = if background && component.name.contains("LocationService") {
+                    vec![IrInstr::Invoke {
+                        class: controller.clone(),
+                        method: "start".to_owned(),
+                    }]
+                } else {
+                    Vec::new()
+                };
+                methods.push(IrMethod::new("onStartCommand", instrs));
+            }
+            ComponentKind::Receiver => {
+                let mut instrs = Vec::new();
+                if component.is_boot_receiver() && background && behavior.is_auto_start() {
+                    if let Some(svc) = &service_class {
+                        instrs.push(IrInstr::Invoke {
+                            class: svc.clone(),
+                            method: "onStartCommand".to_owned(),
+                        });
+                    }
+                }
+                methods.push(IrMethod::new("onReceive", instrs));
+            }
+        }
+        classes.push(IrClass::new(component.class_path(manifest.package()), methods));
+    }
+
+    if functional {
+        classes.push(IrClass::new(
+            controller,
+            vec![IrMethod::new(
+                "start",
+                vec![IrInstr::Invoke {
+                    class: helper.clone(),
+                    method: "fetch".to_owned(),
+                }],
+            )],
+        ));
+        let mut fetch: Vec<IrInstr> = Vec::new();
+        let manager_providers: Vec<ProviderKind> = behavior
+            .providers()
+            .iter()
+            .copied()
+            .filter(|p| *p != ProviderKind::Fused)
+            .collect();
+        for p in &manager_providers {
+            fetch.push(IrInstr::ConstString(p.name().to_owned()));
+        }
+        if !manager_providers.is_empty() {
+            fetch.push(IrInstr::Invoke {
+                class: LOCATION_MANAGER_CLASS.to_owned(),
+                method: "requestLocationUpdates".to_owned(),
+            });
+            fetch.push(IrInstr::Invoke {
+                class: LOCATION_MANAGER_CLASS.to_owned(),
+                method: "getLastKnownLocation".to_owned(),
+            });
+        }
+        if behavior.providers().contains(&ProviderKind::Fused) {
+            fetch.push(IrInstr::Invoke {
+                class: FUSED_CLIENT_CLASS.to_owned(),
+                method: "requestLocationUpdates".to_owned(),
+            });
+            fetch.push(IrInstr::Invoke {
+                class: FUSED_CLIENT_CLASS.to_owned(),
+                method: "getLastLocation".to_owned(),
+            });
+        }
+        // retry loop: fetch ↔ retry is a deliberate call-graph cycle
+        fetch.push(IrInstr::Invoke {
+            class: helper.clone(),
+            method: "retry".to_owned(),
+        });
+        let retry = vec![IrInstr::Invoke {
+            class: helper.clone(),
+            method: "fetch".to_owned(),
+        }];
+        classes.push(IrClass::new(
+            helper,
+            vec![IrMethod::new("fetch", fetch), IrMethod::new("retry", retry)],
+        ));
+    } else {
+        // decoy: the sink is *present* but unreachable from any entry point
+        classes.push(IrClass::new(
+            format!("{pkg_path}/DeadCode"),
+            vec![IrMethod::new(
+                "unusedFetch",
+                vec![
+                    IrInstr::ConstString("gps".to_owned()),
+                    IrInstr::Invoke {
+                        class: LOCATION_MANAGER_CLASS.to_owned(),
+                        method: "requestLocationUpdates".to_owned(),
+                    },
+                ],
+            )],
+        ));
+    }
+    IrProgram { classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppBuilder, Component, LocationBehavior, ACTION_BOOT_COMPLETED, ACTION_MAIN};
+    use crate::permission::{LocationClaim, Permission};
+
+    fn sample_program() -> IrProgram {
+        IrProgram {
+            classes: vec![
+                IrClass::new(
+                    "com/x/Main",
+                    vec![
+                        IrMethod::new(
+                            "onCreate",
+                            vec![
+                                IrInstr::ConstString("gps".to_owned()),
+                                IrInstr::Invoke {
+                                    class: "com/x/Helper".to_owned(),
+                                    method: "go".to_owned(),
+                                },
+                            ],
+                        ),
+                        IrMethod::new("onStop", Vec::new()),
+                    ],
+                ),
+                IrClass::new("com/x/Helper", vec![IrMethod::new("go", Vec::new())]),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let p = sample_program();
+        let text = render(&p);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, p);
+        // and render is stable
+        assert_eq!(render(&back), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "#expect: ok 1\n\n.class a/B\n\n    # inline note\n    .method m\n    .end method\n.end class\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.method_count(), 1);
+    }
+
+    #[test]
+    fn grammar_violations_error() {
+        for bad in [
+            "const-string \"x\"\n",                             // instr outside method
+            ".method m\n.end method\n",                         // method outside class
+            ".class a/B\n.class a/C\n",                         // nested class
+            ".class a/B\n.end class\n.class a/B\n.end class\n", // duplicate class
+            ".class a/B\n.method m\n.method n\n",               // nested method
+            ".class a/B\n.method m\n.end method\n.method m\n",  // duplicate method
+            ".class a/B\n.method m\nconst-string gps\n",        // unquoted operand
+            ".class a/B\n.method m\ninvoke onlyone\n",          // invoke arity
+            ".class a/B\n.method m\ninvoke a b c\n",            // invoke arity (too many)
+            ".class a/B\n.method m\nmov r0 r1\n",               // unknown instruction
+            ".class a/B\n",                                     // unterminated class
+            ".class a/B\n.method m\n",                          // unterminated method
+            ".end class\n",                                     // close without open
+            ".class  \n",                                       // blank class name
+        ] {
+            assert!(parse(bad).is_err(), "expected parse error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn sink_table_matches_signatures_not_names() {
+        assert!(is_sink(LOCATION_MANAGER_CLASS, "requestLocationUpdates"));
+        assert!(is_sink(FUSED_CLIENT_CLASS, "getLastLocation"));
+        assert!(!is_sink("com/x/MyManager", "requestLocationUpdates"));
+        assert!(!is_sink(LOCATION_MANAGER_CLASS, "addGpsStatusListener"));
+    }
+
+    fn bg_app() -> App {
+        AppBuilder::new("com.x.nav")
+            .location_claim(LocationClaim::FineAndCoarse)
+            .permission(Permission::ReceiveBootCompleted)
+            .component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN))
+            .component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(ACTION_BOOT_COMPLETED))
+            .location_service(true)
+            .behavior(
+                LocationBehavior::requester([ProviderKind::Gps, ProviderKind::Fused], 5)
+                    .auto_start(true)
+                    .background_interval(60),
+            )
+            .build()
+    }
+
+    #[test]
+    fn lowered_background_app_wires_boot_chain() {
+        let p = lower(&bg_app());
+        let receiver = p.class("com/x/nav/BootReceiver").unwrap();
+        let on_receive = receiver.method("onReceive").unwrap();
+        assert_eq!(
+            on_receive.instrs,
+            vec![IrInstr::Invoke {
+                class: "com/x/nav/LocationService".to_owned(),
+                method: "onStartCommand".to_owned(),
+            }]
+        );
+        let helper = p.class("com/x/nav/LocationHelper").unwrap();
+        let fetch = helper.method("fetch").unwrap();
+        assert!(fetch.instrs.contains(&IrInstr::ConstString("gps".to_owned())));
+        assert!(fetch.instrs.iter().any(|i| matches!(
+            i,
+            IrInstr::Invoke { class, method } if class == FUSED_CLIENT_CLASS && method == "requestLocationUpdates"
+        )));
+        // the planted cycle
+        assert!(helper.method("retry").is_some());
+    }
+
+    #[test]
+    fn lowered_inert_app_has_only_dead_sinks() {
+        let app = AppBuilder::new("com.x.flash")
+            .location_claim(LocationClaim::FineOnly)
+            .component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN))
+            .build();
+        let p = lower(&app);
+        let dead = p.class("com/x/flash/DeadCode").unwrap();
+        assert!(dead.method("unusedFetch").is_some());
+        // no entry method carries any invoke
+        let main = p.class("com/x/flash/MainActivity").unwrap();
+        assert!(main.methods.iter().all(|m| m.instrs.is_empty()));
+    }
+
+    #[test]
+    fn lowered_ir_round_trips_through_text() {
+        let p = lower(&bg_app());
+        assert_eq!(parse(&render(&p)).unwrap(), p);
+    }
+}

@@ -49,6 +49,7 @@
 pub mod app;
 pub mod dumpsys;
 pub mod energy;
+pub mod ir;
 pub mod lifecycle;
 pub mod manifest_xml;
 pub mod obs;

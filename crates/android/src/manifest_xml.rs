@@ -7,10 +7,13 @@
 //! authors' scripts did (and inherits the same parsing failure modes).
 //!
 //! Only the elements the measurement reads are modelled:
-//! `<manifest package>`, `<uses-permission android:name>`, and a
-//! `<service>` with the study's location-service marker.
+//! `<manifest package>`, `<uses-permission android:name>`, and the
+//! `<application>` component declarations (`<activity>` / `<service>` /
+//! `<receiver>`, each with an optional `<intent-filter>` listing
+//! `<action>` elements) that drive the static analyzer's entry-point
+//! discovery.
 
-use crate::app::{Manifest, ManifestBuilder};
+use crate::app::{Component, ComponentKind, Manifest, ManifestBuilder};
 use crate::permission::Permission;
 use std::error::Error;
 use std::fmt;
@@ -25,8 +28,19 @@ pub fn render(manifest: &Manifest) -> String {
         out.push_str(&format!("    <uses-permission android:name=\"{}\"/>\n", p.qualified_name()));
     }
     out.push_str("    <application>\n");
-    if manifest.has_location_service() {
-        out.push_str("        <service android:name=\".LocationService\" android:exported=\"false\"/>\n");
+    for c in manifest.components() {
+        let el = c.kind.element();
+        if c.intent_actions.is_empty() {
+            out.push_str(&format!("        <{el} android:name=\"{}\"/>\n", c.name));
+        } else {
+            out.push_str(&format!("        <{el} android:name=\"{}\">\n", c.name));
+            out.push_str("            <intent-filter>\n");
+            for a in &c.intent_actions {
+                out.push_str(&format!("                <action android:name=\"{a}\"/>\n"));
+            }
+            out.push_str("            </intent-filter>\n");
+            out.push_str(&format!("        </{el}>\n"));
+        }
     }
     out.push_str("    </application>\n");
     out.push_str("</manifest>\n");
@@ -71,6 +85,7 @@ fn attr_value<'a>(line: &'a str, attr: &str) -> Option<&'a str> {
 pub fn parse(text: &str) -> Result<Manifest, ParseManifestError> {
     let mut package: Option<String> = None;
     let mut builder: Option<ManifestBuilder> = None;
+    let mut open: Option<Component> = None;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let err = |reason: &str| ParseManifestError {
@@ -90,18 +105,59 @@ pub fn parse(text: &str) -> Result<Manifest, ParseManifestError> {
             if let Some(p) = permission_from_name(name) {
                 b.add_permission(p);
             }
-        } else if line.starts_with("<service") {
-            let b = builder.as_mut().ok_or_else(|| err("<service> before <manifest>"))?;
-            if attr_value(line, "android:name").is_some_and(|n| n.contains("LocationService")) {
-                b.set_location_service(true);
+        } else if let Some(kind) = component_kind_of(line) {
+            let b = builder.as_mut().ok_or_else(|| err("component declared before <manifest>"))?;
+            if open.is_some() {
+                return Err(err("nested component declaration"));
             }
+            let name = attr_value(line, "android:name")
+                .ok_or_else(|| err("component lacks android:name"))?
+                .to_owned();
+            if name.is_empty() {
+                return Err(err("component android:name is empty"));
+            }
+            let c = Component::new(kind, name);
+            if line.ends_with("/>") {
+                b.add_component(c);
+            } else {
+                open = Some(c);
+            }
+        } else if line.starts_with("<action") {
+            let c = open.as_mut().ok_or_else(|| err("<action> outside a component"))?;
+            let action = attr_value(line, "android:name").ok_or_else(|| err("<action> lacks android:name"))?;
+            c.intent_actions.push(action.to_owned());
+        } else if line.starts_with("</activity") || line.starts_with("</service") || line.starts_with("</receiver") {
+            let b = builder.as_mut().ok_or_else(|| err("component close before <manifest>"))?;
+            let c = open
+                .take()
+                .ok_or_else(|| err("component close without a matching open tag"))?;
+            b.add_component(c);
         }
+    }
+    if open.is_some() {
+        return Err(ParseManifestError {
+            line: text.lines().count(),
+            reason: "unclosed component declaration".to_owned(),
+        });
     }
     let _ = package;
     builder.map(ManifestBuilder::build).ok_or(ParseManifestError {
         line: 0,
         reason: "no <manifest> element found".to_owned(),
     })
+}
+
+/// Maps a component opening tag to its kind; `None` for any other line.
+fn component_kind_of(line: &str) -> Option<ComponentKind> {
+    if line.starts_with("<activity") {
+        Some(ComponentKind::Activity)
+    } else if line.starts_with("<service") {
+        Some(ComponentKind::Service)
+    } else if line.starts_with("<receiver") {
+        Some(ComponentKind::Receiver)
+    } else {
+        None
+    }
 }
 
 fn permission_from_name(name: &str) -> Option<Permission> {
@@ -173,5 +229,38 @@ mod tests {
         let xml = "<manifest package=\"a.b\">\n<service android:name=\".SyncService\"/>\n</manifest>";
         let m = parse(xml).unwrap();
         assert!(!m.has_location_service());
+        assert_eq!(m.components().len(), 1);
+    }
+
+    #[test]
+    fn components_with_intent_filters_round_trip() {
+        let mut b = ManifestBuilder::new("com.example.track");
+        b.add_permission(Permission::AccessFineLocation);
+        b.add_permission(Permission::ReceiveBootCompleted);
+        b.add_component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(crate::app::ACTION_MAIN));
+        b.add_component(Component::new(ComponentKind::Service, ".LocationService"));
+        b.add_component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(crate::app::ACTION_BOOT_COMPLETED));
+        let m = b.build();
+        let xml = render(&m);
+        assert!(xml.contains("<receiver android:name=\".BootReceiver\">"));
+        assert!(xml.contains("<action android:name=\"android.intent.action.BOOT_COMPLETED\"/>"));
+        let back = parse(&xml).unwrap();
+        assert_eq!(back, m);
+        assert!(back.has_boot_receiver());
+        assert!(back.has_location_service());
+    }
+
+    #[test]
+    fn malformed_components_error() {
+        // a component tag without android:name
+        assert!(parse("<manifest package=\"a.b\">\n<receiver/>\n</manifest>").is_err());
+        // an action outside any component
+        assert!(parse("<manifest package=\"a.b\">\n<action android:name=\"x\"/>\n</manifest>").is_err());
+        // an unclosed component
+        assert!(parse("<manifest package=\"a.b\">\n<activity android:name=\".A\">\n</manifest>").is_err());
+        // a close without an open
+        assert!(parse("<manifest package=\"a.b\">\n</activity>\n</manifest>").is_err());
+        // a component before the root
+        assert!(parse("<service android:name=\".S\"/>\n<manifest package=\"a.b\">\n</manifest>").is_err());
     }
 }

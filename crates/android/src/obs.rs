@@ -19,6 +19,14 @@ pub static DUMPSYS_PARSE_ERRORS: Counter = Counter::new();
 /// Listener lines whose app-state tag was not one of the three known
 /// states — the silent-foreground bug this counter was added to expose.
 pub static DUMPSYS_BAD_STATE: Counter = Counter::new();
+/// IR programs rendered to text.
+pub static IR_RENDERS: Counter = Counter::new();
+/// IR programs successfully parsed from text.
+pub static IR_PROGRAMS_PARSED: Counter = Counter::new();
+/// IR texts rejected by the parser (any grammar violation).
+pub static IR_PARSE_ERRORS: Counter = Counter::new();
+/// Apps lowered to IR (the simulated Apktool decompilations).
+pub static IR_APPS_LOWERED: Counter = Counter::new();
 
 static REGISTER: Once = Once::new();
 
@@ -46,6 +54,18 @@ pub fn register() {
             "listener lines with an unrecognized app-state tag",
             &DUMPSYS_BAD_STATE,
         );
+        backwatch_obs::register_counter("android.ir.renders_total", "IR programs rendered to text", &IR_RENDERS);
+        backwatch_obs::register_counter(
+            "android.ir.programs_parsed_total",
+            "IR programs parsed from text",
+            &IR_PROGRAMS_PARSED,
+        );
+        backwatch_obs::register_counter(
+            "android.ir.parse_errors_total",
+            "IR texts rejected by the parser",
+            &IR_PARSE_ERRORS,
+        );
+        backwatch_obs::register_counter("android.ir.apps_lowered_total", "apps lowered to IR", &IR_APPS_LOWERED);
     });
 }
 

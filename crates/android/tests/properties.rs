@@ -3,12 +3,12 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
 
-use backwatch_android::app::{AppBuilder, LocationBehavior};
-use backwatch_android::dumpsys;
+use backwatch_android::app::{AppBuilder, Component, ComponentKind, LocationBehavior, ManifestBuilder};
 use backwatch_android::lifecycle::AppState;
-use backwatch_android::permission::LocationClaim;
+use backwatch_android::permission::{LocationClaim, Permission};
 use backwatch_android::provider::ProviderKind;
 use backwatch_android::system::Device;
+use backwatch_android::{dumpsys, ir, manifest_xml};
 use proptest::prelude::*;
 
 /// Random device operations.
@@ -42,6 +42,32 @@ fn test_app(i: u8, bg: bool) -> backwatch_android::App {
         .location_claim(LocationClaim::FineAndCoarse)
         .behavior(behavior)
         .build()
+}
+
+/// All permission values, indexable by a random byte.
+const ALL_PERMISSIONS: [Permission; 6] = [
+    Permission::AccessFineLocation,
+    Permission::AccessCoarseLocation,
+    Permission::Internet,
+    Permission::AccessNetworkState,
+    Permission::WakeLock,
+    Permission::ReceiveBootCompleted,
+];
+
+/// Random manifest components: relative or qualified names, 0–2 actions.
+fn arb_component() -> impl Strategy<Value = Component> {
+    let kind = prop_oneof![
+        Just(ComponentKind::Activity),
+        Just(ComponentKind::Service),
+        Just(ComponentKind::Receiver),
+    ];
+    let name = prop_oneof!["\\.[A-Z][a-zA-Z0-9]{0,12}", "[a-z]{1,6}\\.[A-Z][a-zA-Z0-9]{0,10}"];
+    let actions = prop::collection::vec("[a-z]{1,8}\\.[A-Z_]{1,16}", 0..3);
+    (kind, name, actions).prop_map(|(kind, name, actions)| {
+        let mut c = Component::new(kind, name);
+        c.intent_actions = actions;
+        c
+    })
 }
 
 proptest! {
@@ -124,6 +150,34 @@ proptest! {
     ) {
         let line = format!("    Receiver[{pkg} Request[{provider} interval={interval}s]] {tail}");
         let _ = dumpsys::parse(&line);
+    }
+
+    #[test]
+    fn manifest_render_parse_is_the_identity(
+        pkg in prop_oneof!["[a-z]{1,8}", "[a-z]{1,6}\\.[a-z]{1,6}", "[a-z]{1,4}\\.[a-z]{1,4}\\.[a-z]{1,4}"],
+        perm_indexes in prop::collection::vec(0usize..ALL_PERMISSIONS.len(), 0..8),
+        comps in prop::collection::vec(arb_component(), 0..5),
+    ) {
+        let mut b = ManifestBuilder::new(pkg);
+        for i in perm_indexes {
+            b.add_permission(ALL_PERMISSIONS[i]);
+        }
+        for c in comps {
+            b.add_component(c);
+        }
+        let m = b.build();
+        let back = manifest_xml::parse(&manifest_xml::render(&m)).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_parser_never_panics_on_arbitrary_text(text in "\\PC*") {
+        let _ = manifest_xml::parse(&text);
+    }
+
+    #[test]
+    fn ir_parser_never_panics_on_arbitrary_text(text in "\\PC*") {
+        let _ = ir::parse(&text);
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Regenerates the static-reachability cross-validation (extension X7):
+//! manifest triage + IR worklist reachability over the app corpus,
+//! scored class-by-class against the dynamic pipeline.
+
+use backwatch_experiments::{ext_static_reach, obs};
+use backwatch_market::corpus::CorpusConfig;
+
+fn main() {
+    obs::register_all();
+    let cfg = match std::env::args().nth(1).as_deref() {
+        Some("--small") => CorpusConfig::scaled(10),
+        _ => CorpusConfig::paper_scale(),
+    };
+    let result = ext_static_reach::run(&cfg);
+    print!("{}", ext_static_reach::render(&result));
+    print!("\n{}", obs::snapshot_text());
+    assert_eq!(result.disagreements, 0, "static pass diverged from dynamic pipeline");
+    assert_eq!(result.report.parse_failures, 0, "lowered IR failed the text round-trip");
+}

@@ -2,9 +2,10 @@
 //! content recorded in `EXPERIMENTS.md`.
 
 use backwatch_experiments::{
-    ext_ablation, ext_defense, ext_fgbg, ext_reident, ext_ttc, fig2, fig3, fig4, fig5, obs, prepare, ExperimentConfig,
+    ext_ablation, ext_defense, ext_fgbg, ext_reident, ext_static_reach, ext_ttc, fig2, fig3, fig4, fig5, obs, prepare,
+    ExperimentConfig,
 };
-use backwatch_market::{breakdown, corpus::CorpusConfig, report, run_study};
+use backwatch_market::{breakdown, corpus::CorpusConfig, reach, report, run_study};
 use std::time::Instant;
 
 fn main() {
@@ -58,6 +59,11 @@ fn main() {
         over.fraction() * 100.0
     );
     eprintln!("[market study: {:?}]", t0.elapsed());
+
+    let ts = Instant::now();
+    let static_reach = ext_static_reach::compare(&study.corpus, reach::analyze(&study.corpus), &study.observations);
+    println!("{}", ext_static_reach::render(&static_reach));
+    eprintln!("[ext_static_reach: {:?}]", ts.elapsed());
 
     let t1 = Instant::now();
     let f2 = fig2::run(&exp_cfg);

@@ -1,0 +1,247 @@
+//! Extension experiment: static location-reachability analysis
+//! cross-validated against the dynamic pipeline (X7).
+//!
+//! The paper's triage is dynamic — install, drive, watch `dumpsys` — but
+//! its funnel (2,800 → 1,137 declaring → 528 functional → 102 background
+//! → 85 auto-start) is a *static* claim about what apps can reach. This
+//! experiment rebuilds the funnel without executing anything: every app
+//! is lowered to the text IR, parsed back, and pushed through the
+//! manifest-driven worklist reachability pass, then the per-app class is
+//! compared against the dynamic observation of the same app. On the
+//! synthetic corpus the ground truth is planted, so the confusion matrix
+//! must be diagonal: precision = recall = 1.0 for all four classes.
+
+use backwatch_market::corpus::{self, CorpusConfig, MarketApp};
+use backwatch_market::dynamic_analysis::{self, DynamicObservation};
+use backwatch_market::reach::{self, ReachClass, ReachReport, ALL_CLASSES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-class agreement between the static and dynamic pipelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassRow {
+    /// The reachability class this row scores.
+    pub class: ReachClass,
+    /// Apps the static pass assigned to the class.
+    pub static_count: usize,
+    /// Apps the dynamic pass assigned to the class.
+    pub dynamic_count: usize,
+    /// Apps both pipelines assigned to the class (true positives).
+    pub agree: usize,
+    /// `agree / static_count` — how often a static call is right
+    /// (1.0 when the static pass made no calls for this class).
+    pub precision: f64,
+    /// `agree / dynamic_count` — how much dynamic behavior the static
+    /// pass finds (1.0 when the class never occurred dynamically).
+    pub recall: f64,
+}
+
+/// The cross-validation bundle.
+#[derive(Debug, Clone)]
+pub struct StaticReachResult {
+    /// The static funnel, findings, and statically rebuilt Table I.
+    pub report: ReachReport,
+    /// One scored row per class, in [`ALL_CLASSES`] order.
+    pub rows: Vec<ClassRow>,
+    /// Full confusion matrix, `confusion[static][dynamic]` in
+    /// [`ALL_CLASSES`] order.
+    pub confusion: [[usize; 4]; 4],
+    /// Apps where the pipelines disagree (off-diagonal mass).
+    pub disagreements: usize,
+    /// Apps compared.
+    pub apps: usize,
+}
+
+/// The class the dynamic pipeline's observation implies; apps the dynamic
+/// protocol never observed registering a listener are non-accessors.
+#[must_use]
+pub fn dynamic_class(obs: &DynamicObservation) -> ReachClass {
+    match (obs.functional, obs.background, obs.auto_start) {
+        (false, _, _) => ReachClass::NonAccessor,
+        (true, false, _) => ReachClass::ForegroundOnly,
+        (true, true, false) => ReachClass::BackgroundCapable,
+        (true, true, true) => ReachClass::AutoStart,
+    }
+}
+
+fn class_index(class: ReachClass) -> usize {
+    ALL_CLASSES.iter().position(|c| *c == class).unwrap_or(0)
+}
+
+/// Runs both pipelines over one generated corpus and scores the
+/// agreement.
+#[must_use]
+pub fn run(cfg: &CorpusConfig) -> StaticReachResult {
+    let apps: Vec<MarketApp> = corpus::generate(cfg);
+    let report = reach::analyze(&apps);
+    let observations = dynamic_analysis::analyze_corpus(&apps);
+    compare(&apps, report, &observations)
+}
+
+/// Scores a static report against dynamic observations of the same
+/// corpus.
+#[must_use]
+pub fn compare(apps: &[MarketApp], report: ReachReport, observations: &[DynamicObservation]) -> StaticReachResult {
+    let dynamic_by_package: BTreeMap<&str, ReachClass> =
+        observations.iter().map(|o| (o.package.as_str(), dynamic_class(o))).collect();
+
+    let mut confusion = [[0usize; 4]; 4];
+    for finding in &report.findings {
+        let dynamic = dynamic_by_package
+            .get(finding.package.as_str())
+            .copied()
+            .unwrap_or(ReachClass::NonAccessor);
+        confusion[class_index(finding.class)][class_index(dynamic)] += 1;
+    }
+
+    let rows: Vec<ClassRow> = ALL_CLASSES
+        .iter()
+        .map(|&class| {
+            let i = class_index(class);
+            let static_count: usize = confusion[i].iter().sum();
+            let dynamic_count: usize = confusion.iter().map(|row| row[i]).sum();
+            let agree = confusion[i][i];
+            ClassRow {
+                class,
+                static_count,
+                dynamic_count,
+                agree,
+                precision: vacuous_ratio(agree, static_count),
+                recall: vacuous_ratio(agree, dynamic_count),
+            }
+        })
+        .collect();
+
+    let agree_total: usize = (0..4).map(|i| confusion[i][i]).sum();
+    let disagreements = apps.len() - agree_total;
+    StaticReachResult {
+        report,
+        rows,
+        confusion,
+        disagreements,
+        apps: apps.len(),
+    }
+}
+
+/// `num / den`, defined as vacuously perfect on an empty denominator (a
+/// class neither pipeline ever used has nothing to be wrong about).
+fn vacuous_ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Renders the static funnel, the confusion matrix, the per-class
+/// precision/recall table, and the verdict line the CI smoke greps for.
+#[must_use]
+pub fn render(result: &StaticReachResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXTENSION: static reachability vs dynamic pipeline (X7)");
+    out.push_str(&backwatch_market::report::render_reach(&result.report));
+    let _ = writeln!(out, "confusion matrix (rows: static, cols: dynamic):");
+    let _ = write!(out, "{:>20}", "");
+    for class in ALL_CLASSES {
+        let _ = write!(out, "  {:>18}", class.name());
+    }
+    out.push('\n');
+    for (i, class) in ALL_CLASSES.iter().enumerate() {
+        let _ = write!(out, "{:>20}", class.name());
+        for cell in result.confusion[i] {
+            let _ = write!(out, "  {cell:>18}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{:>20}  {:>7}  {:>7}  {:>6}  {:>9}  {:>6}",
+        "class", "static", "dynamic", "agree", "precision", "recall"
+    );
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:>20}  {:>7}  {:>7}  {:>6}  {:>9.3}  {:>6.3}",
+            row.class.name(),
+            row.static_count,
+            row.dynamic_count,
+            row.agree,
+            row.precision,
+            row.recall
+        );
+    }
+    let worst_precision = result.rows.iter().map(|r| r.precision).fold(1.0f64, f64::min);
+    let worst_recall = result.rows.iter().map(|r| r.recall).fold(1.0f64, f64::min);
+    let _ = writeln!(
+        out,
+        "cross-validation: apps={} disagreements={} min_precision={:.3} min_recall={:.3}",
+        result.apps, result.disagreements, worst_precision, worst_recall
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_agree_exactly_at_small_scale() {
+        let result = run(&CorpusConfig::scaled(6));
+        assert_eq!(result.disagreements, 0);
+        assert_eq!(result.report.parse_failures, 0);
+        for row in &result.rows {
+            assert_eq!(row.precision, 1.0, "{}", row.class);
+            assert_eq!(row.recall, 1.0, "{}", row.class);
+            assert_eq!(row.static_count, row.dynamic_count, "{}", row.class);
+        }
+        // every class actually occurs — the assertions above are not vacuous
+        for row in &result.rows {
+            assert!(row.static_count > 0, "{} never occurred at this scale", row.class);
+        }
+    }
+
+    #[test]
+    fn funnel_counts_are_internally_consistent() {
+        let result = run(&CorpusConfig::scaled(5));
+        let r = &result.report;
+        assert_eq!(r.total, result.apps);
+        assert!(r.declaring <= r.total);
+        assert!(r.functional <= r.declaring);
+        assert!(r.background <= r.functional);
+        assert!(r.auto_start <= r.background);
+        let by_class: usize = ALL_CLASSES.iter().map(|&c| r.class_count(c)).sum();
+        assert_eq!(by_class, r.total, "every app is classified exactly once");
+    }
+
+    #[test]
+    fn render_reports_the_verdict_line() {
+        let result = run(&CorpusConfig::scaled(4));
+        let text = render(&result);
+        assert!(text.contains("EXTENSION: static reachability vs dynamic pipeline"));
+        assert!(text.contains("confusion matrix"));
+        assert!(text.contains("disagreements=0"));
+        assert!(text.contains("min_precision=1.000 min_recall=1.000"));
+    }
+
+    #[test]
+    fn dynamic_class_mapping_covers_the_lattice() {
+        let mut obs = DynamicObservation {
+            package: "p".into(),
+            category: backwatch_market::category::Category::Weather,
+            claim: backwatch_android::permission::LocationClaim::FineOnly,
+            functional: false,
+            auto_start: false,
+            background: false,
+            providers: std::collections::BTreeSet::new(),
+            bg_interval_s: None,
+            delivered: std::collections::BTreeSet::new(),
+        };
+        assert_eq!(dynamic_class(&obs), ReachClass::NonAccessor);
+        obs.functional = true;
+        assert_eq!(dynamic_class(&obs), ReachClass::ForegroundOnly);
+        obs.background = true;
+        assert_eq!(dynamic_class(&obs), ReachClass::BackgroundCapable);
+        obs.auto_start = true;
+        assert_eq!(dynamic_class(&obs), ReachClass::AutoStart);
+    }
+}

@@ -1,0 +1,92 @@
+//! Paper-scale pin for the static-reachability cross-validation (X7).
+//!
+//! The static analyzer must rebuild the paper's §III funnel — 2,800 →
+//! 1,137 declaring → 528 sink-reachable → 102 background → 85 auto-start
+//! — without executing an app, and must agree with the dynamic pipeline
+//! on every single classification (the corpus plants the ground truth, so
+//! anything below precision = recall = 1.0 is an analyzer bug, not noise).
+//! The full sweep is also held to a wall-clock budget: static triage is
+//! only useful if it is much cheaper than driving apps.
+//!
+//! The paper-scale pins run in release builds only (`--release`); debug
+//! builds still exercise the same invariants at a reduced scale.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_experiments::ext_static_reach;
+use backwatch_market::corpus::CorpusConfig;
+use backwatch_market::reach::{ReachClass, ALL_CLASSES};
+
+#[cfg(not(debug_assertions))]
+use std::time::{Duration, Instant};
+
+#[test]
+fn small_scale_funnel_is_exact_and_diagonal() {
+    let result = ext_static_reach::run(&CorpusConfig::scaled(7));
+    assert_eq!(result.disagreements, 0);
+    assert_eq!(result.report.parse_failures, 0);
+    for row in &result.rows {
+        assert_eq!(row.precision, 1.0, "{} precision", row.class);
+        assert_eq!(row.recall, 1.0, "{} recall", row.class);
+    }
+    // off-diagonal mass is zero cell by cell, not just in aggregate
+    for (i, row) in result.confusion.iter().enumerate() {
+        for (j, &cell) in row.iter().enumerate() {
+            if i != j {
+                assert_eq!(cell, 0, "confusion[{i}][{j}] is off-diagonal");
+            }
+        }
+    }
+}
+
+#[test]
+fn reach_telemetry_counts_the_sweep() {
+    let before = backwatch_market::obs::REACH_APPS_CLASSIFIED.get();
+    let bg_before = backwatch_market::obs::REACH_BACKGROUND_APPS.get();
+    let result = ext_static_reach::run(&CorpusConfig::scaled(4));
+    if !backwatch_obs::enabled() {
+        return;
+    }
+    // counters are process-global and other tests run in parallel, so the
+    // deltas are lower bounds
+    assert!(
+        backwatch_market::obs::REACH_APPS_CLASSIFIED.get() >= before + result.apps as u64,
+        "classification sweep was not counted"
+    );
+    assert!(
+        backwatch_market::obs::REACH_BACKGROUND_APPS.get() >= bg_before + result.report.background as u64,
+        "background findings were not counted"
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn paper_scale_funnel_matches_the_paper() {
+    let start = Instant::now();
+    let result = ext_static_reach::run(&CorpusConfig::paper_scale());
+    let elapsed = start.elapsed();
+
+    let r = &result.report;
+    assert_eq!(r.total, 2800, "corpus size");
+    assert_eq!(r.declaring, 1137, "declaring apps (paper: 1,137)");
+    assert_eq!(r.functional, 528, "sink-reachable apps (paper: 528)");
+    assert_eq!(r.background, 102, "background apps (paper: 102)");
+    assert_eq!(r.auto_start, 85, "auto-start apps (paper: 85)");
+    assert_eq!(r.parse_failures, 0);
+
+    assert_eq!(result.disagreements, 0, "static pass diverged from dynamic pipeline");
+    for row in &result.rows {
+        assert_eq!(row.precision, 1.0, "{} precision", row.class);
+        assert_eq!(row.recall, 1.0, "{} recall", row.class);
+        assert!(row.static_count > 0, "{} never occurs at paper scale", row.class);
+    }
+    assert_eq!(r.class_count(ReachClass::AutoStart), 85);
+    assert_eq!(ALL_CLASSES.iter().map(|&c| r.class_count(c)).sum::<usize>(), 2800);
+
+    // static triage must stay far cheaper than the dynamic protocol:
+    // the full 2,800-app sweep (both pipelines) fits in two seconds
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "paper-scale cross-validation took {elapsed:?}, breaching the 2s budget"
+    );
+}

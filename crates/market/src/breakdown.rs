@@ -5,6 +5,7 @@
 use crate::category::{Category, ALL_CATEGORIES};
 use crate::corpus::MarketApp;
 use crate::dynamic_analysis::DynamicObservation;
+use crate::reach::ReachFinding;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -89,6 +90,64 @@ pub fn overprivilege(observations: &[DynamicObservation]) -> OverprivilegeReport
     OverprivilegeReport { declaring, inert }
 }
 
+/// Per-category agreement between the static reachability analyzer and
+/// the dynamic run on the paper's core signal (background access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachAgreementRow {
+    /// The category.
+    pub category: Category,
+    /// Apps sampled in the category.
+    pub apps: usize,
+    /// Apps the static analyzer classified as background-capable or
+    /// auto-start.
+    pub static_background: usize,
+    /// Apps the dynamic run observed polling in the background.
+    pub dynamic_background: usize,
+    /// Apps on which the two pipelines disagree about background access.
+    pub disagreements: usize,
+}
+
+/// Computes the per-category static-vs-dynamic agreement table. Apps the
+/// dynamic stage skipped (non-declaring) count as dynamically
+/// non-background.
+#[must_use]
+pub fn reach_agreement(
+    corpus: &[MarketApp],
+    findings: &[ReachFinding],
+    observations: &[DynamicObservation],
+) -> Vec<ReachAgreementRow> {
+    let static_bg: HashMap<&str, bool> = findings
+        .iter()
+        .map(|f| (f.package.as_str(), f.class.accesses_in_background()))
+        .collect();
+    let dynamic_bg: HashMap<&str, bool> = observations.iter().map(|o| (o.package.as_str(), o.background)).collect();
+    ALL_CATEGORIES
+        .iter()
+        .map(|&category| {
+            let mut apps = 0usize;
+            let mut s_bg = 0usize;
+            let mut d_bg = 0usize;
+            let mut disagreements = 0usize;
+            for entry in corpus.iter().filter(|a| a.category == category) {
+                apps += 1;
+                let pkg = entry.app.manifest().package();
+                let s = static_bg.get(pkg).copied().unwrap_or(false);
+                let d = dynamic_bg.get(pkg).copied().unwrap_or(false);
+                s_bg += usize::from(s);
+                d_bg += usize::from(d);
+                disagreements += usize::from(s != d);
+            }
+            ReachAgreementRow {
+                category,
+                apps,
+                static_background: s_bg,
+                dynamic_background: d_bg,
+                disagreements,
+            }
+        })
+        .collect()
+}
+
 /// Renders the category table, most background-hungry categories first.
 #[must_use]
 pub fn render_breakdown(rows: &[CategoryRow]) -> String {
@@ -155,6 +214,18 @@ mod tests {
         let rows = category_breakdown(&corpus, &obs);
         let declaring_of = |c: Category| rows.iter().find(|r| r.category == c).unwrap().declaring;
         assert!(declaring_of(Category::TravelAndLocal) > declaring_of(Category::Comics));
+    }
+
+    #[test]
+    fn reach_agreement_is_perfect_on_generated_corpus() {
+        let (corpus, obs) = study();
+        let findings = crate::reach::analyze(&corpus).findings;
+        let rows = reach_agreement(&corpus, &findings, &obs);
+        assert_eq!(rows.len(), 28);
+        let q = Quotas::scaled(corpus.len());
+        assert_eq!(rows.iter().map(|r| r.static_background).sum::<usize>(), q.background);
+        assert_eq!(rows.iter().map(|r| r.dynamic_background).sum::<usize>(), q.background);
+        assert_eq!(rows.iter().map(|r| r.disagreements).sum::<usize>(), 0);
     }
 
     #[test]

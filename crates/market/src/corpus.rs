@@ -13,7 +13,7 @@
 //! pipeline's output can be verified against what was planted.
 
 use crate::category::{Category, ALL_CATEGORIES};
-use backwatch_android::app::{App, AppBuilder, LocationBehavior};
+use backwatch_android::app::{App, AppBuilder, Component, ComponentKind, LocationBehavior, ACTION_BOOT_COMPLETED, ACTION_MAIN};
 use backwatch_android::permission::{LocationClaim, Permission};
 use backwatch_android::provider::ProviderKind;
 use backwatch_stats::sampling::weighted_index;
@@ -493,6 +493,7 @@ pub fn generate(cfg: &CorpusConfig) -> Vec<MarketApp> {
             let mut builder = AppBuilder::new(package)
                 .location_claim(plan.claim)
                 .permission(Permission::Internet)
+                .component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN))
                 .location_service(plan.service)
                 .behavior(plan.behavior);
             if rng.gen::<f64>() < 0.5 {
@@ -500,6 +501,13 @@ pub fn generate(cfg: &CorpusConfig) -> Vec<MarketApp> {
             }
             if plan.service {
                 builder = builder.permission(Permission::WakeLock);
+            }
+            // background auto-start apps register at boot, so they declare
+            // the receiver + permission pair real Android requires
+            if plan.service && plan.auto_start {
+                builder = builder
+                    .component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(ACTION_BOOT_COMPLETED))
+                    .permission(Permission::ReceiveBootCompleted);
             }
             MarketApp {
                 app: builder.build(),
@@ -620,6 +628,22 @@ mod tests {
             for &p in entry.app.behavior().providers() {
                 assert!(p.permitted_for(claim), "{}: {p} not permitted under {claim}", entry.app);
             }
+        }
+    }
+
+    #[test]
+    fn generated_apps_declare_components() {
+        let corpus = generate(&CorpusConfig::scaled(8));
+        for entry in &corpus {
+            let m = entry.app.manifest();
+            assert!(
+                m.components().iter().any(|c| c.kind == ComponentKind::Activity),
+                "{}: every app has a launcher activity",
+                entry.app
+            );
+            let is_bg = entry.truth.bg_interval_s.is_some();
+            assert_eq!(m.has_location_service(), is_bg, "{}", entry.app);
+            assert_eq!(m.has_boot_receiver(), is_bg && entry.truth.auto_start, "{}", entry.app);
         }
     }
 

@@ -15,6 +15,9 @@
 //!   other scales shrink them proportionally.
 //! - [`static_analysis`] — the Apktool step: read manifests, classify
 //!   permission claims.
+//! - [`reach`] — the interprocedural static stage: lower each app to the
+//!   smali-like IR, discover entry points from its manifest components,
+//!   and classify by which entry points reach a location-API sink.
 //! - [`dynamic_analysis`] — the device step: install, launch, trigger,
 //!   background, read `dumpsys`, parse what it says.
 //! - [`stats`] — aggregation into the paper's headline numbers, Table I,
@@ -40,6 +43,7 @@ pub mod category;
 pub mod corpus;
 pub mod dynamic_analysis;
 pub mod obs;
+pub mod reach;
 pub mod report;
 pub mod static_analysis;
 pub mod stats;

@@ -7,6 +7,20 @@ use std::sync::Once;
 pub static DYNAMIC_APPS: Counter = Counter::new();
 /// Apps observed to keep listeners alive in the background.
 pub static DYNAMIC_BACKGROUND_APPS: Counter = Counter::new();
+/// Apps classified by the static reachability analyzer.
+pub static REACH_APPS_CLASSIFIED: Counter = Counter::new();
+/// Apps the analyzer classified background-capable or auto-start.
+pub static REACH_BACKGROUND_APPS: Counter = Counter::new();
+/// Declared components whose class was absent from the lowered IR.
+pub static REACH_MISSING_COMPONENTS: Counter = Counter::new();
+/// Lowered programs that failed the IR text round-trip.
+pub static REACH_PARSE_FAILURES: Counter = Counter::new();
+/// Functional apps whose inferred provider set matches no Table I combo.
+pub static REACH_UNKNOWN_COMBO: Counter = Counter::new();
+/// Rendered manifests that failed to parse back during static triage.
+pub static STATIC_PARSE_FAILURES: Counter = Counter::new();
+/// Ratio computations that hit a zero denominator and returned 0.0.
+pub static STATIC_ZERO_DENOMINATOR: Counter = Counter::new();
 
 static REGISTER: Once = Once::new();
 
@@ -22,6 +36,41 @@ pub fn register() {
             "market.dynamic.background_apps_total",
             "apps whose listeners survived backgrounding",
             &DYNAMIC_BACKGROUND_APPS,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.apps_classified_total",
+            "apps classified by the static reachability analyzer",
+            &REACH_APPS_CLASSIFIED,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.background_apps_total",
+            "apps the analyzer classified background-capable or auto-start",
+            &REACH_BACKGROUND_APPS,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.missing_components_total",
+            "declared components whose class was absent from the IR",
+            &REACH_MISSING_COMPONENTS,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.parse_failures_total",
+            "lowered programs that failed the IR text round-trip",
+            &REACH_PARSE_FAILURES,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.unknown_combo_total",
+            "functional apps whose provider set matches no Table I combo",
+            &REACH_UNKNOWN_COMBO,
+        );
+        backwatch_obs::register_counter(
+            "market.static.parse_failures_total",
+            "rendered manifests that failed to parse back during triage",
+            &STATIC_PARSE_FAILURES,
+        );
+        backwatch_obs::register_counter(
+            "market.static.zero_denominator_total",
+            "ratio computations that hit a zero denominator",
+            &STATIC_ZERO_DENOMINATOR,
         );
     });
 }

@@ -1,0 +1,626 @@
+//! Interprocedural location-reachability analysis — the static half of
+//! the pipeline, upgraded from manifest triage to sink analysis.
+//!
+//! The paper stops its static stage at permission claims and relies on
+//! the device runs for everything past 1,137/2,800. This module closes
+//! that gap the way follow-up work does: lower each app to the smali-like
+//! IR, discover entry points from its manifest components, and run a
+//! worklist reachability pass to the location-API sinks. An app is then
+//! classified by *which kind of entry point* reaches a sink:
+//!
+//! - no location permission, or no sink reachable → **non-accessor**
+//! - reachable only from activity entries → **foreground-only**
+//! - reachable from a service entry → **background-capable**
+//! - reachable from a `BOOT_COMPLETED` receiver (with the matching
+//!   permission) → **auto-start**
+//!
+//! Provider sets are inferred from string constants in reachable methods
+//! that invoke `LocationManager` sinks, plus the fused client's own sink
+//! signatures, which lets the analysis rebuild Table I without running a
+//! single app. Soundness caveats (reflection, ICC) are in DESIGN.md §10.
+//!
+//! Like the other two measurement channels (manifest XML, dumpsys text),
+//! the analysis consumes the *serialized* IR: each lowered program is
+//! rendered to text and parsed back before being analyzed, and programs
+//! that fail to parse are counted and classified as non-accessors rather
+//! than aborting the sweep.
+
+use crate::corpus::{MarketApp, ProviderCombo};
+use crate::stats::ProviderTable;
+use backwatch_android::app::{App, ComponentKind, Manifest};
+use backwatch_android::ir::{self, IrInstr, IrProgram};
+use backwatch_android::permission::{LocationClaim, Permission};
+use backwatch_android::provider::ProviderKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The four classes the static analyzer assigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ReachClass {
+    /// Cannot access location: no permission, or no reachable sink.
+    NonAccessor,
+    /// Sinks reachable only from activity entry points.
+    ForegroundOnly,
+    /// Sinks reachable from a service entry point.
+    BackgroundCapable,
+    /// Sinks reachable from a boot receiver — background at boot, no user
+    /// action needed (the paper's 85 apps).
+    AutoStart,
+}
+
+/// All classes, in funnel order.
+pub const ALL_CLASSES: [ReachClass; 4] = [
+    ReachClass::NonAccessor,
+    ReachClass::ForegroundOnly,
+    ReachClass::BackgroundCapable,
+    ReachClass::AutoStart,
+];
+
+impl ReachClass {
+    /// Short stable label for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReachClass::NonAccessor => "non-accessor",
+            ReachClass::ForegroundOnly => "foreground-only",
+            ReachClass::BackgroundCapable => "background-capable",
+            ReachClass::AutoStart => "auto-start",
+        }
+    }
+
+    /// Whether the class implies background access (the paper's 102).
+    #[must_use]
+    pub fn accesses_in_background(&self) -> bool {
+        matches!(self, ReachClass::BackgroundCapable | ReachClass::AutoStart)
+    }
+}
+
+impl std::fmt::Display for ReachClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of analyzing one program against one manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramAnalysis {
+    /// The assigned class.
+    pub class: ReachClass,
+    /// Providers inferred from reachable sink call sites.
+    pub providers: BTreeSet<ProviderKind>,
+    /// Methods reached by the worklist pass, over all entry points.
+    pub reachable_methods: usize,
+    /// Declared components whose class is absent from the program.
+    pub missing_components: usize,
+}
+
+/// Per-app finding of the corpus sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachFinding {
+    /// Package name.
+    pub package: String,
+    /// The assigned class.
+    pub class: ReachClass,
+    /// Declared permission posture (from the manifest).
+    pub claim: LocationClaim,
+    /// Inferred provider set.
+    pub providers: BTreeSet<ProviderKind>,
+    /// The Table I combination, when the provider set matches one.
+    pub combo: Option<ProviderCombo>,
+}
+
+/// Aggregated output of the static sweep: the paper's §III funnel,
+/// computed without running any app.
+#[derive(Debug, Clone)]
+pub struct ReachReport {
+    /// Per-app findings, in corpus order.
+    pub findings: Vec<ReachFinding>,
+    /// Total apps analyzed.
+    pub total: usize,
+    /// Apps declaring a location permission (paper: 1,137).
+    pub declaring: usize,
+    /// Apps with a reachable sink (paper's 528 functional apps).
+    pub functional: usize,
+    /// Apps classified background-capable or auto-start (paper: 102).
+    pub background: usize,
+    /// Apps classified auto-start (paper: 85).
+    pub auto_start: usize,
+    /// Table I rebuilt statically over the background apps.
+    pub table1: ProviderTable,
+    /// Lowered programs that failed the text round-trip (counted, not
+    /// fatal; also in `market.reach.parse_failures_total`).
+    pub parse_failures: usize,
+}
+
+impl ReachReport {
+    /// Count of apps assigned `class`.
+    #[must_use]
+    pub fn class_count(&self, class: ReachClass) -> usize {
+        self.findings.iter().filter(|f| f.class == class).count()
+    }
+}
+
+/// Worklist BFS from `entries` over the program's call edges. Returns the
+/// set of reached `(class, method)` pairs. Cycles are handled by the
+/// visited set; edges into classes the program does not define (framework
+/// calls, including the sinks themselves) are not traversed.
+fn reachable_from(program: &IrProgram, entries: &[(String, String)]) -> BTreeSet<(String, String)> {
+    let mut bodies: BTreeMap<(&str, &str), &[IrInstr]> = BTreeMap::new();
+    for class in &program.classes {
+        for method in &class.methods {
+            bodies.insert((class.name.as_str(), method.name.as_str()), &method.instrs);
+        }
+    }
+    let mut visited: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut queue: VecDeque<(String, String)> = VecDeque::new();
+    for (c, m) in entries {
+        if bodies.contains_key(&(c.as_str(), m.as_str())) && visited.insert((c.clone(), m.clone())) {
+            queue.push_back((c.clone(), m.clone()));
+        }
+    }
+    while let Some((c, m)) = queue.pop_front() {
+        let Some(instrs) = bodies.get(&(c.as_str(), m.as_str())) else {
+            continue;
+        };
+        for instr in *instrs {
+            if let IrInstr::Invoke { class, method } = instr {
+                if bodies.contains_key(&(class.as_str(), method.as_str())) && visited.insert((class.clone(), method.clone())) {
+                    queue.push_back((class.clone(), method.clone()));
+                }
+            }
+        }
+    }
+    visited
+}
+
+/// Whether any reached method invokes a location sink.
+fn reaches_sink(program: &IrProgram, reached: &BTreeSet<(String, String)>) -> bool {
+    program.classes.iter().any(|c| {
+        c.methods.iter().any(|m| {
+            reached.contains(&(c.name.clone(), m.name.clone()))
+                && m.instrs
+                    .iter()
+                    .any(|i| matches!(i, IrInstr::Invoke { class, method } if ir::is_sink(class, method)))
+        })
+    })
+}
+
+/// Infers the provider set from the reached methods: provider-named
+/// string constants in methods that invoke a `LocationManager` sink, plus
+/// the fused provider whenever a fused-client sink is invoked.
+fn infer_providers(program: &IrProgram, reached: &BTreeSet<(String, String)>) -> BTreeSet<ProviderKind> {
+    let mut providers = BTreeSet::new();
+    for class in &program.classes {
+        for method in &class.methods {
+            if !reached.contains(&(class.name.clone(), method.name.clone())) {
+                continue;
+            }
+            let mut manager_sink = false;
+            let mut fused_sink = false;
+            for instr in &method.instrs {
+                if let IrInstr::Invoke { class: c, method: m } = instr {
+                    if ir::is_sink(c, m) {
+                        manager_sink |= c == ir::LOCATION_MANAGER_CLASS;
+                        fused_sink |= c == ir::FUSED_CLIENT_CLASS;
+                    }
+                }
+            }
+            if manager_sink {
+                for instr in &method.instrs {
+                    if let IrInstr::ConstString(s) = instr {
+                        if let Ok(p) = s.parse::<ProviderKind>() {
+                            providers.insert(p);
+                        }
+                    }
+                }
+            }
+            if fused_sink {
+                providers.insert(ProviderKind::Fused);
+            }
+        }
+    }
+    providers
+}
+
+/// Analyzes one program against its manifest: entry-point discovery,
+/// reachability, classification, provider inference.
+#[must_use]
+pub fn analyze_program(manifest: &Manifest, program: &IrProgram) -> ProgramAnalysis {
+    crate::obs::register();
+    let mut missing_components = 0usize;
+
+    // Entry points, bucketed by the lifecycle that invokes them.
+    let mut activity_entries: Vec<(String, String)> = Vec::new();
+    let mut service_entries: Vec<(String, String)> = Vec::new();
+    let mut boot_entries: Vec<(String, String)> = Vec::new();
+    let boot_permitted = manifest.permissions().contains(&Permission::ReceiveBootCompleted);
+    for component in manifest.components() {
+        let class = component.class_path(manifest.package());
+        if program.class(&class).is_none() {
+            missing_components += 1;
+            crate::obs::REACH_MISSING_COMPONENTS.inc();
+            continue;
+        }
+        let bucket: &mut Vec<(String, String)> = match component.kind {
+            ComponentKind::Activity => &mut activity_entries,
+            ComponentKind::Service => &mut service_entries,
+            ComponentKind::Receiver if component.is_boot_receiver() && boot_permitted => &mut boot_entries,
+            // non-boot receivers fire only while the app is interacting
+            // with the user, so they gate nothing beyond foreground
+            ComponentKind::Receiver => &mut activity_entries,
+        };
+        for m in ir::entry_methods(component.kind) {
+            bucket.push((class.clone(), (*m).to_owned()));
+        }
+    }
+
+    let class = if !manifest.location_claim().declares_location() {
+        // the permission gate: reachable or not, registration would throw
+        ReachClass::NonAccessor
+    } else {
+        let boot = reachable_from(program, &boot_entries);
+        let service = reachable_from(program, &service_entries);
+        let activity = reachable_from(program, &activity_entries);
+        if reaches_sink(program, &boot) {
+            ReachClass::AutoStart
+        } else if reaches_sink(program, &service) {
+            ReachClass::BackgroundCapable
+        } else if reaches_sink(program, &activity) {
+            ReachClass::ForegroundOnly
+        } else {
+            ReachClass::NonAccessor
+        }
+    };
+
+    let all_entries: Vec<(String, String)> = activity_entries
+        .iter()
+        .chain(&service_entries)
+        .chain(&boot_entries)
+        .cloned()
+        .collect();
+    let reached = reachable_from(program, &all_entries);
+    let providers = if class == ReachClass::NonAccessor {
+        BTreeSet::new()
+    } else {
+        infer_providers(program, &reached)
+    };
+    crate::obs::REACH_APPS_CLASSIFIED.inc();
+    if class.accesses_in_background() {
+        crate::obs::REACH_BACKGROUND_APPS.inc();
+    }
+    ProgramAnalysis {
+        class,
+        providers,
+        reachable_methods: reached.len(),
+        missing_components,
+    }
+}
+
+/// Analyzes one app end to end: lower to IR, round-trip through the text
+/// format, analyze. A program that fails the round-trip is counted and
+/// classified as a non-accessor (the sweep equivalent of a decompilation
+/// failure).
+#[must_use]
+pub fn analyze_app(app: &App) -> ReachFinding {
+    analyze_app_inner(app).0
+}
+
+/// [`analyze_app`] plus whether the IR text round-trip failed.
+fn analyze_app_inner(app: &App) -> (ReachFinding, bool) {
+    crate::obs::register();
+    let manifest = app.manifest();
+    let text = ir::render(&ir::lower(app));
+    let (analysis, parse_failed) = match ir::parse(&text) {
+        Ok(program) => (analyze_program(manifest, &program), false),
+        Err(_) => {
+            crate::obs::REACH_PARSE_FAILURES.inc();
+            (
+                ProgramAnalysis {
+                    class: ReachClass::NonAccessor,
+                    providers: BTreeSet::new(),
+                    reachable_methods: 0,
+                    missing_components: 0,
+                },
+                true,
+            )
+        }
+    };
+    let provider_vec: Vec<ProviderKind> = analysis.providers.iter().copied().collect();
+    let combo = ProviderCombo::from_providers(&provider_vec);
+    if analysis.class != ReachClass::NonAccessor && combo.is_none() {
+        crate::obs::REACH_UNKNOWN_COMBO.inc();
+    }
+    (
+        ReachFinding {
+            package: manifest.package().to_owned(),
+            class: analysis.class,
+            claim: manifest.location_claim(),
+            providers: analysis.providers,
+            combo,
+        },
+        parse_failed,
+    )
+}
+
+/// Sweeps the whole corpus and aggregates the static funnel + Table I.
+#[must_use]
+pub fn analyze(corpus: &[MarketApp]) -> ReachReport {
+    crate::obs::register();
+    let mut parse_failures = 0usize;
+    let findings: Vec<ReachFinding> = corpus
+        .iter()
+        .map(|e| {
+            let (f, failed) = analyze_app_inner(&e.app);
+            parse_failures += usize::from(failed);
+            f
+        })
+        .collect();
+    let declaring = findings.iter().filter(|f| f.claim.declares_location()).count();
+    let functional = findings.iter().filter(|f| f.class != ReachClass::NonAccessor).count();
+    let background = findings.iter().filter(|f| f.class.accesses_in_background()).count();
+    let auto_start = findings.iter().filter(|f| f.class == ReachClass::AutoStart).count();
+
+    let mut cells: BTreeMap<(LocationClaim, ProviderCombo), usize> = BTreeMap::new();
+    let mut unclassified = 0usize;
+    for f in findings.iter().filter(|f| f.class.accesses_in_background()) {
+        match f.combo {
+            Some(combo) => *cells.entry((f.claim, combo)).or_insert(0) += 1,
+            None => unclassified += 1,
+        }
+    }
+    ReachReport {
+        total: findings.len(),
+        declaring,
+        functional,
+        background,
+        auto_start,
+        table1: ProviderTable::from_cells(cells, unclassified),
+        parse_failures,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig, Quotas};
+    use backwatch_android::app::{AppBuilder, Component, LocationBehavior, ACTION_BOOT_COMPLETED, ACTION_MAIN};
+    use backwatch_android::ir::{IrClass, IrMethod};
+
+    fn manifest_with(components: Vec<Component>, perms: &[Permission]) -> Manifest {
+        let mut b = backwatch_android::app::ManifestBuilder::new("com.t.app");
+        for p in perms {
+            b.add_permission(*p);
+        }
+        for c in components {
+            b.add_component(c);
+        }
+        b.build()
+    }
+
+    fn activity_main() -> Component {
+        Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN)
+    }
+
+    #[test]
+    fn unreachable_sink_is_non_accessor() {
+        let manifest = manifest_with(vec![activity_main()], &[Permission::AccessFineLocation]);
+        let program = IrProgram {
+            classes: vec![
+                IrClass::new("com/t/app/MainActivity", vec![IrMethod::new("onCreate", vec![])]),
+                IrClass::new(
+                    "com/t/app/Dead",
+                    vec![IrMethod::new(
+                        "helper",
+                        vec![IrInstr::Invoke {
+                            class: ir::LOCATION_MANAGER_CLASS.to_owned(),
+                            method: "requestLocationUpdates".to_owned(),
+                        }],
+                    )],
+                ),
+            ],
+        };
+        let a = analyze_program(&manifest, &program);
+        assert_eq!(a.class, ReachClass::NonAccessor);
+        assert!(a.providers.is_empty());
+    }
+
+    #[test]
+    fn permission_gate_blocks_reachable_sink() {
+        let manifest = manifest_with(vec![activity_main()], &[Permission::Internet]);
+        let program = IrProgram {
+            classes: vec![IrClass::new(
+                "com/t/app/MainActivity",
+                vec![IrMethod::new(
+                    "onCreate",
+                    vec![IrInstr::Invoke {
+                        class: ir::LOCATION_MANAGER_CLASS.to_owned(),
+                        method: "getLastKnownLocation".to_owned(),
+                    }],
+                )],
+            )],
+        };
+        assert_eq!(analyze_program(&manifest, &program).class, ReachClass::NonAccessor);
+    }
+
+    #[test]
+    fn sink_named_app_method_is_not_a_sink() {
+        let manifest = manifest_with(vec![activity_main()], &[Permission::AccessFineLocation]);
+        let program = IrProgram {
+            classes: vec![IrClass::new(
+                "com/t/app/MainActivity",
+                vec![
+                    IrMethod::new(
+                        "onCreate",
+                        vec![IrInstr::Invoke {
+                            class: "com/t/app/MainActivity".to_owned(),
+                            method: "requestLocationUpdates".to_owned(),
+                        }],
+                    ),
+                    IrMethod::new("requestLocationUpdates", vec![IrInstr::ConstString("gps".to_owned())]),
+                ],
+            )],
+        };
+        assert_eq!(analyze_program(&manifest, &program).class, ReachClass::NonAccessor);
+    }
+
+    #[test]
+    fn missing_component_class_is_counted_and_skipped() {
+        let manifest = manifest_with(
+            vec![activity_main(), Component::new(ComponentKind::Service, ".GhostService")],
+            &[Permission::AccessFineLocation],
+        );
+        let program = IrProgram {
+            classes: vec![IrClass::new(
+                "com/t/app/MainActivity",
+                vec![IrMethod::new("onCreate", vec![])],
+            )],
+        };
+        let a = analyze_program(&manifest, &program);
+        assert_eq!(a.missing_components, 1);
+        assert_eq!(a.class, ReachClass::NonAccessor);
+    }
+
+    #[test]
+    fn worklist_survives_call_cycles() {
+        let manifest = manifest_with(vec![activity_main()], &[Permission::AccessFineLocation]);
+        let program = IrProgram {
+            classes: vec![IrClass::new(
+                "com/t/app/MainActivity",
+                vec![
+                    IrMethod::new(
+                        "onCreate",
+                        vec![IrInstr::Invoke {
+                            class: "com/t/app/MainActivity".to_owned(),
+                            method: "ping".to_owned(),
+                        }],
+                    ),
+                    IrMethod::new(
+                        "ping",
+                        vec![IrInstr::Invoke {
+                            class: "com/t/app/MainActivity".to_owned(),
+                            method: "pong".to_owned(),
+                        }],
+                    ),
+                    IrMethod::new(
+                        "pong",
+                        vec![
+                            IrInstr::Invoke {
+                                class: "com/t/app/MainActivity".to_owned(),
+                                method: "ping".to_owned(),
+                            },
+                            IrInstr::ConstString("network".to_owned()),
+                            IrInstr::Invoke {
+                                class: ir::LOCATION_MANAGER_CLASS.to_owned(),
+                                method: "requestLocationUpdates".to_owned(),
+                            },
+                        ],
+                    ),
+                ],
+            )],
+        };
+        let a = analyze_program(&manifest, &program);
+        assert_eq!(a.class, ReachClass::ForegroundOnly);
+        assert_eq!(a.providers, BTreeSet::from([ProviderKind::Network]));
+    }
+
+    fn app_with(behavior: LocationBehavior, claim: LocationClaim, service: bool, boot: bool) -> App {
+        let mut b = AppBuilder::new("com.t.app").location_claim(claim).component(activity_main());
+        b = b.location_service(service);
+        if boot {
+            b = b
+                .component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(ACTION_BOOT_COMPLETED))
+                .permission(Permission::ReceiveBootCompleted);
+        }
+        b.behavior(behavior).build()
+    }
+
+    #[test]
+    fn lowered_apps_classify_by_behavior() {
+        use ProviderKind::{Gps, Network};
+        let fine = LocationClaim::FineAndCoarse;
+        let cases = [
+            (
+                app_with(LocationBehavior::inert(), fine, false, false),
+                ReachClass::NonAccessor,
+            ),
+            (
+                app_with(LocationBehavior::requester([Gps], 5), fine, false, false),
+                ReachClass::ForegroundOnly,
+            ),
+            (
+                app_with(
+                    LocationBehavior::requester([Gps, Network], 5).background_interval(60),
+                    fine,
+                    true,
+                    false,
+                ),
+                ReachClass::BackgroundCapable,
+            ),
+            (
+                app_with(
+                    LocationBehavior::requester([Network], 5)
+                        .auto_start(true)
+                        .background_interval(60),
+                    fine,
+                    true,
+                    true,
+                ),
+                ReachClass::AutoStart,
+            ),
+        ];
+        for (app, expected) in cases {
+            let f = analyze_app(&app);
+            assert_eq!(f.class, expected, "behavior {:?}", app.behavior());
+        }
+    }
+
+    #[test]
+    fn corpus_sweep_matches_planted_quotas() {
+        let cfg = CorpusConfig::scaled(8);
+        let corpus = generate(&cfg);
+        let q = Quotas::scaled(cfg.total());
+        let r = analyze(&corpus);
+        assert_eq!(r.total, q.total);
+        assert_eq!(r.declaring, q.declaring);
+        assert_eq!(r.functional, q.functional);
+        assert_eq!(r.background, q.background);
+        assert_eq!(r.auto_start, q.bg_auto_start);
+        assert_eq!(r.parse_failures, 0);
+        assert_eq!(r.table1.unclassified, 0);
+        assert_eq!(r.table1.total(), q.background);
+    }
+
+    #[test]
+    fn static_table1_matches_planted_cells() {
+        let cfg = CorpusConfig::scaled(8);
+        let corpus = generate(&cfg);
+        let q = Quotas::scaled(cfg.total());
+        let r = analyze(&corpus);
+        for (claim, combo, count) in &q.table1 {
+            assert_eq!(r.table1.cell(*claim, *combo), *count, "cell {claim:?}/{combo}");
+        }
+    }
+
+    #[test]
+    fn findings_agree_with_ground_truth_per_app() {
+        let corpus = generate(&CorpusConfig::scaled(6));
+        let r = analyze(&corpus);
+        for (entry, f) in corpus.iter().zip(&r.findings) {
+            let expected = match (
+                entry.truth.functional,
+                entry.truth.bg_interval_s.is_some(),
+                entry.truth.auto_start,
+            ) {
+                (false, _, _) => ReachClass::NonAccessor,
+                (true, false, _) => ReachClass::ForegroundOnly,
+                (true, true, false) => ReachClass::BackgroundCapable,
+                (true, true, true) => ReachClass::AutoStart,
+            };
+            assert_eq!(f.class, expected, "{}", f.package);
+            if entry.truth.functional {
+                assert_eq!(f.combo, entry.truth.combo, "{}", f.package);
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Plain-text renderings of the study's tables and figures.
 
 use crate::corpus::TABLE1_COLUMNS;
+use crate::reach::{ReachReport, ALL_CLASSES};
 use crate::stats::{HeadlineStats, IntervalCdf, ProviderTable};
 use backwatch_android::permission::LocationClaim;
 use std::fmt::Write as _;
@@ -94,6 +95,25 @@ pub fn render_table1(t: &ProviderTable) -> String {
     s
 }
 
+/// Renders the static reachability funnel and per-class counts.
+#[must_use]
+pub fn render_reach(r: &ReachReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Static location-reachability analysis");
+    let _ = writeln!(
+        s,
+        "  funnel: {} apps -> {} declaring -> {} sink-reachable -> {} background -> {} auto-start",
+        r.total, r.declaring, r.functional, r.background, r.auto_start
+    );
+    for class in ALL_CLASSES {
+        let _ = writeln!(s, "  {:<20} {}", class.name(), r.class_count(class));
+    }
+    if r.parse_failures > 0 {
+        let _ = writeln!(s, "  (IR round-trip failures: {})", r.parse_failures);
+    }
+    s
+}
+
 /// Renders Figure 1 (interval CDF) as an `interval  fraction` series.
 #[must_use]
 pub fn render_fig1(cdf: &IntervalCdf) -> String {
@@ -167,6 +187,18 @@ mod tests {
         let fig = render_fig1(&study.interval_cdf);
         assert!(fig.contains("FIGURE 1"));
         assert!(fig.contains("7200"));
+    }
+
+    #[test]
+    fn reach_report_renders_funnel_and_classes() {
+        let study = run_study(&CorpusConfig::scaled(8));
+        let r = crate::reach::analyze(&study.corpus);
+        let text = render_reach(&r);
+        assert!(text.contains("funnel:"));
+        assert!(text.contains(&format!("{} background", r.background)));
+        for class in ALL_CLASSES {
+            assert!(text.contains(class.name()), "missing {class}");
+        }
     }
 
     #[test]

@@ -66,6 +66,10 @@ impl StaticReport {
 
 fn share(n: usize, d: usize) -> f64 {
     if d == 0 {
+        // defined as 0.0 rather than NaN, and counted so an empty-corpus
+        // run is visible in telemetry
+        crate::obs::register();
+        crate::obs::STATIC_ZERO_DENOMINATOR.inc();
         0.0
     } else {
         n as f64 / d as f64
@@ -73,15 +77,27 @@ fn share(n: usize, d: usize) -> f64 {
 }
 
 /// Triage every manifest in the corpus, via the XML channel.
+///
+/// Manifests that fail the render-and-parse round-trip are counted
+/// (`market.static.parse_failures_total`) and fall back to the in-memory
+/// manifest — the sweep equivalent of an Apktool decode failure, which
+/// must not abort a 2,800-app run.
 #[must_use]
 pub fn analyze(corpus: &[MarketApp]) -> StaticReport {
+    crate::obs::register();
     let findings: Vec<ManifestFinding> = corpus
         .iter()
         .map(|entry| {
             // Round-trip through the decoded-manifest text, as Apktool
             // pipelines do; our own renderings always parse.
             let xml = manifest_xml::render(entry.app.manifest());
-            let manifest = manifest_xml::parse(&xml).expect("rendered manifests parse");
+            let manifest = match manifest_xml::parse(&xml) {
+                Ok(m) => m,
+                Err(_) => {
+                    crate::obs::STATIC_PARSE_FAILURES.inc();
+                    entry.app.manifest().clone()
+                }
+            };
             ManifestFinding {
                 package: manifest.package().to_owned(),
                 claim: manifest.location_claim(),
@@ -151,9 +167,19 @@ mod tests {
 
     #[test]
     fn empty_corpus_is_all_zero() {
+        let before = crate::obs::STATIC_ZERO_DENOMINATOR.get();
         let r = analyze(&[]);
         assert_eq!(r.total, 0);
         assert_eq!(r.declaring, 0);
-        assert_eq!(r.fine_only_share(), 0.0);
+        // shares over a zero denominator are 0.0, never NaN…
+        for s in [r.fine_only_share(), r.coarse_only_share(), r.both_share()] {
+            assert_eq!(s, 0.0);
+            assert!(s.is_finite());
+        }
+        // …and each hit is counted rather than silently absorbed
+        if backwatch_obs::enabled() {
+            // >= rather than ==: parallel tests share the process-wide counter
+            assert!(crate::obs::STATIC_ZERO_DENOMINATOR.get() >= before + 3);
+        }
     }
 }

@@ -53,6 +53,10 @@ impl HeadlineStats {
 
 fn ratio(n: usize, d: usize) -> f64 {
     if d == 0 {
+        // defined as 0.0 rather than NaN, and counted so an all-zero
+        // denominator sweep is visible in telemetry
+        crate::obs::register();
+        crate::obs::STATIC_ZERO_DENOMINATOR.inc();
         0.0
     } else {
         n as f64 / d as f64
@@ -100,6 +104,13 @@ pub struct ProviderTable {
 }
 
 impl ProviderTable {
+    /// Builds a table directly from cell counts — used by the static
+    /// reachability analyzer to rebuild Table I without observations.
+    #[must_use]
+    pub fn from_cells(cells: BTreeMap<(LocationClaim, ProviderCombo), usize>, unclassified: usize) -> Self {
+        Self { cells, unclassified }
+    }
+
     /// The count in one cell.
     #[must_use]
     pub fn cell(&self, claim: LocationClaim, combo: ProviderCombo) -> usize {
