@@ -1,0 +1,38 @@
+//! Worker-pool benchmarks: `map_users` fan-out cost at different thread
+//! counts over a CPU-bound per-user closure. BENCH_experiments.json's
+//! `prepare_users` section records the end-to-end numbers; this group
+//! isolates the pool's own overhead so a scheduling regression (the
+//! 1-thread-faster-than-4 pathology the batched-claim rewrite removed)
+//! shows up without the extraction pipeline in the way.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_experiments::pool::map_users;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const USERS: u32 = 256;
+
+/// Deterministic CPU-bound work, heavy enough that the pool's claim and
+/// scatter costs are visible only if they regress.
+fn busy_work(seed: u32) -> u64 {
+    let mut x = u64::from(seed) ^ 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..20_000 {
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31) ^ 0x94D0_49BB_1331_11EB;
+    }
+    x
+}
+
+fn fan_out(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool/map_users");
+    g.throughput(Throughput::Elements(u64::from(USERS)));
+    for threads in [1_usize, 4] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| map_users(USERS, threads, |i| black_box(busy_work(i))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fan_out);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! SoA hot-path benchmarks: the chunked column-layout spread kernel vs the
+//! scalar AoS planar path it must match bit-for-bit. Throughput is in
+//! fixes/s over the same 10-day trace the streaming benches use, so the
+//! numbers are directly comparable with `BENCH_poi.json`'s streaming
+//! section; the `soa` section records this group's results.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_bench::bench_user_long;
+use backwatch_core::poi::{ExtractorParams, PlanarCtx, SoaStreamingExtractor, SpatioTemporalExtractor};
+use backwatch_geo::Seconds;
+use backwatch_trace::{sampling, ProjectedTrace, SoaProjectedTrace};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Full-rate batch extraction, scalar AoS vs chunked SoA.
+fn batch(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+    let projected = ProjectedTrace::project(&user.trace);
+    let soa = SoaProjectedTrace::project(&user.trace);
+    let mut g = c.benchmark_group("soa/batch");
+    g.throughput(Throughput::Elements(user.trace.len() as u64));
+    g.bench_function("scalar", |b| b.iter(|| extractor.extract_projected(black_box(&projected))));
+    g.bench_function("chunked", |b| b.iter(|| extractor.extract_soa(black_box(&soa))));
+    g.finish();
+}
+
+/// Downsampled extraction at the paper's coarser access intervals, where
+/// windows stay long and the kernel does proportionally more lane work.
+fn sampled(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let extractor = SpatioTemporalExtractor::new(params);
+    let projected = ProjectedTrace::project(&user.trace);
+    let soa = SoaProjectedTrace::project(&user.trace);
+    for interval_s in [10_i64, 60] {
+        let indices = sampling::downsample_indices(&user.trace, Seconds::new(interval_s));
+        let mut g = c.benchmark_group(format!("soa/sampled_{interval_s}s"));
+        g.throughput(Throughput::Elements(indices.len() as u64));
+        g.bench_function("scalar", |b| {
+            b.iter(|| extractor.extract_sampled(black_box(&projected), black_box(&indices)));
+        });
+        g.bench_function("chunked", |b| {
+            b.iter(|| extractor.extract_sampled_soa(black_box(&soa), black_box(&indices)));
+        });
+        g.finish();
+    }
+}
+
+/// Push-at-a-time streaming engines over both window layouts; the SoA
+/// engine is the deployment shape behind the `>3x` throughput target.
+fn stream(c: &mut Criterion) {
+    let user = bench_user_long();
+    let params = ExtractorParams::paper_set1();
+    let projected = ProjectedTrace::project(&user.trace);
+    let soa = SoaProjectedTrace::project(&user.trace);
+    let mut g = c.benchmark_group("soa/stream");
+    g.throughput(Throughput::Elements(user.trace.len() as u64));
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let ctx = PlanarCtx::new(&projected, params.metric);
+            let mut engine: backwatch_core::poi::StreamingExtractor<backwatch_trace::ProjectedPoint> =
+                backwatch_core::poi::StreamingExtractor::new(params);
+            let mut stays = Vec::new();
+            for p in black_box(&projected).points() {
+                stays.extend(engine.push_with(*p, &ctx));
+            }
+            stays.extend(engine.finish());
+            stays
+        });
+    });
+    g.bench_function("chunked", |b| {
+        b.iter(|| {
+            let ctx = PlanarCtx::for_soa(&soa, params.metric);
+            let mut engine = SoaStreamingExtractor::new(params);
+            let mut stays = Vec::new();
+            for p in black_box(&soa).iter() {
+                stays.extend(engine.push_with(p, &ctx));
+            }
+            stays.extend(engine.finish());
+            stays
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, batch, sampled, stream);
+criterion_main!(benches);

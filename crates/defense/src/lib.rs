@@ -15,13 +15,13 @@
 //!
 //! ```
 //! use backwatch_defense::{truncation::GridTruncation, Lppm};
-//! use backwatch_geo::{Grid, LatLon};
+//! use backwatch_geo::{Grid, LatLon, Meters};
 //! use backwatch_trace::synth::{generate_user, SynthConfig};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let user = generate_user(&SynthConfig::small(), 0);
-//! let grid = Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), 1000.0);
+//! let grid = Grid::new(LatLon::new(39.9042, 116.4074).unwrap(), Meters::new(1000.0));
 //! let defense = GridTruncation::new(grid);
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let released = defense.apply(&user.trace, &mut rng);

@@ -14,7 +14,7 @@ use backwatch_core::poi::{SpatioTemporalExtractor, Stay};
 use backwatch_geo::Seconds;
 use backwatch_trace::sampling;
 use backwatch_trace::synth::generate_user;
-use backwatch_trace::ProjectedTrace;
+use backwatch_trace::SoaProjectedTrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,11 +58,13 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
     let extractor = SpatioTemporalExtractor::new(cfg.params);
     let user = generate_user(&cfg.synth, user_idx);
 
-    // Project the trace into the local tangent plane once; every extraction
-    // below — full rate, each interval, the rotated variant — reuses it.
-    let projected = ProjectedTrace::project(&user.trace);
+    // Project the trace into the local tangent plane once, in the
+    // column-major (SoA) layout the chunked spread kernel wants; every
+    // extraction below — full rate, each interval, the rotated variant —
+    // reuses it.
+    let projected = SoaProjectedTrace::project(&user.trace);
 
-    let full_stays = extractor.extract_projected(&projected);
+    let full_stays = extractor.extract_soa(&projected);
     let profile1 = Profile::from_stays(PatternKind::RegionVisits, &full_stays, &grid);
     let profile2 = Profile::from_stays(PatternKind::MovementPattern, &full_stays, &grid);
 
@@ -74,7 +76,7 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
             IntervalData {
                 interval_s,
                 collected_points: indices.len(),
-                stays: extractor.extract_sampled(&projected, &indices),
+                stays: extractor.extract_sampled_soa(&projected, &indices),
             }
         })
         .collect();
@@ -86,7 +88,7 @@ fn prepare_one(cfg: &ExperimentConfig, user_idx: u32) -> UserData {
     let rotated = IntervalData {
         interval_s: 1,
         collected_points: user.trace.len(),
-        stays: extractor.extract_rotated(&projected, start),
+        stays: extractor.extract_rotated_soa(&projected, start),
     };
 
     let impacts = per_interval
@@ -143,6 +145,20 @@ mod tests {
             assert_eq!(a.full_stays, b.full_stays);
             assert_eq!(a.profile2, b.profile2);
             assert_eq!(a.rotated.stays, b.rotated.stays);
+        }
+    }
+
+    #[test]
+    fn soa_pipeline_matches_scalar_pipeline() {
+        // The preparation pipeline runs on the SoA layout; pin it to the
+        // scalar AoS oracle bit-for-bit on every synthetic user.
+        let cfg = ExperimentConfig::small();
+        let extractor = SpatioTemporalExtractor::new(cfg.params);
+        for i in 0..cfg.synth.n_users {
+            let user = generate_user(&cfg.synth, i);
+            let scalar = extractor.extract_projected(&backwatch_trace::ProjectedTrace::project(&user.trace));
+            let soa = extractor.extract_soa(&SoaProjectedTrace::project(&user.trace));
+            assert_eq!(scalar, soa, "user {i}: SoA stays diverge from scalar oracle");
         }
     }
 

@@ -1,0 +1,57 @@
+//! Guard: `map_users` must not get slower when handed more threads.
+//!
+//! BENCH_experiments.json once recorded `prepare_users` *regressing* from
+//! 4.78 s at one thread to 6.18 s at four — per-slot mutexes and two clock
+//! reads per user cost more than the parallelism bought. The batched-claim
+//! pool removed that overhead; this test pins the property so it cannot
+//! silently come back. On hosts with a single core the pool clamps its
+//! worker count, so the two configurations must be near-identical; on
+//! multi-core hosts four threads should win outright. Either way,
+//! `threads = 4` finishing meaningfully slower than `threads = 1` is the
+//! regression this guards against.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_experiments::pool::map_users;
+use std::time::{Duration, Instant};
+
+const USERS: u32 = 64;
+
+/// A deterministic CPU-bound stand-in for `prepare_one`: long enough that
+/// a pass is dominated by work, not thread spawn.
+fn busy_work(seed: u32) -> u64 {
+    let mut x = u64::from(seed) ^ 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..200_000 {
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31) ^ 0x94D0_49BB_1331_11EB;
+    }
+    x
+}
+
+fn best_of(passes: u32, threads: usize) -> Duration {
+    (0..passes)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = map_users(USERS, threads, |i| std::hint::black_box(busy_work(i)));
+            assert_eq!(out.len(), USERS as usize);
+            t0.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn four_threads_never_slower_than_one() {
+    // Warm-up pass absorbs one-time costs (telemetry registration, page
+    // faults) so neither timed configuration pays them.
+    let _ = best_of(1, 1);
+    let t1 = best_of(3, 1);
+    let t4 = best_of(3, 4);
+    // Best-of-3 on a CPU-bound workload is stable; 1.35x headroom absorbs
+    // scheduler noise while still catching a 4.78s -> 6.18s (1.29x) class
+    // regression.
+    let limit = t1.mul_f64(1.35);
+    assert!(
+        t4 <= limit,
+        "pool got slower with more threads: 1 thread took {t1:?}, 4 threads took {t4:?} (limit {limit:?})"
+    );
+}

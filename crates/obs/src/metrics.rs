@@ -287,6 +287,25 @@ impl Histogram {
         let _ = v;
     }
 
+    /// Records `n` observations of the same value in one shot.
+    ///
+    /// Batch consumers time a whole batch once and attribute the mean to
+    /// every item; this keeps the histogram's sample count equal to the
+    /// item count without paying one clock read and three atomic RMWs per
+    /// item.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        #[cfg(not(feature = "disabled"))]
+        {
+            let idx = self.bounds.partition_point(|&b| b < v);
+            self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            self.count.fetch_add(n, Ordering::Relaxed);
+            self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        }
+        #[cfg(feature = "disabled")]
+        let _ = (v, n);
+    }
+
     /// Starts a scoped timer that records elapsed microseconds into this
     /// histogram when dropped. Returns an inert span when telemetry is
     /// disabled (at runtime or by feature), so the `Instant` is not even

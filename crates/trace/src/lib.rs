@@ -44,6 +44,7 @@ pub mod point;
 pub mod projected;
 pub mod sampling;
 pub mod simplify;
+pub mod soa;
 pub mod stats;
 pub mod synth;
 pub mod trajectory;
@@ -51,4 +52,5 @@ pub mod trajectory;
 pub use dataset::Dataset;
 pub use point::{Timestamp, TracePoint};
 pub use projected::{ProjectedPoint, ProjectedTrace};
+pub use soa::SoaProjectedTrace;
 pub use trajectory::{Trace, TraceError};

@@ -58,69 +58,101 @@ pub struct ProjectedTrace {
     slack_per_east_meter: f64,
 }
 
+/// The one-shot envelope analysis shared by [`ProjectedTrace::project`] and
+/// [`crate::soa::SoaProjectedTrace::project`]: both layouts must make the
+/// same degenerate-vs-planar call and carry bit-identical slack, so the
+/// decision lives in one place.
+pub(crate) enum Envelope {
+    /// Inside the fast path's envelope: project on `projection` and certify
+    /// with `slack_per_east_meter`.
+    Planar {
+        /// Tangent projection anchored at the trace's first fix.
+        projection: LocalProjection,
+        /// Certified |planar − equirectangular| error slope.
+        slack_per_east_meter: f64,
+    },
+    /// Outside the envelope (polar anchor or antimeridian span): planar
+    /// coordinates are all-zero and every decision must refine.
+    Degenerate {
+        /// Placeholder projection (polar anchors are clamped to the equator
+        /// so the frame stays well-defined).
+        projection: LocalProjection,
+    },
+}
+
+/// Classifies `pts` against the fast path's envelope (see the module docs).
+pub(crate) fn envelope(pts: &[TracePoint]) -> Envelope {
+    let anchor = pts.first().map_or_else(|| LatLon::clamped(0.0, 0.0), |p| p.pos);
+
+    // Near a pole the tangent frame degenerates; past 90° of longitude
+    // from the anchor the unwrapped planar x no longer agrees with the
+    // wrapped equirectangular distance. Both are far outside the
+    // city-scale envelope this fast path serves, so mark the whole
+    // trace ambiguous and let consumers take the exact spherical path.
+    if anchor.lat().abs() >= 89.0 {
+        return Envelope::Degenerate {
+            projection: LocalProjection::new(LatLon::clamped(0.0, anchor.lon())),
+        };
+    }
+    let mut lat_band_deg = 0.0f64;
+    let mut lon_span_deg = 0.0f64;
+    for p in pts {
+        lat_band_deg = lat_band_deg.max((p.pos.lat() - anchor.lat()).abs());
+        lon_span_deg = lon_span_deg.max((p.pos.lon() - anchor.lon()).abs());
+    }
+    if lon_span_deg > 90.0 {
+        return Envelope::Degenerate {
+            projection: LocalProjection::new(anchor),
+        };
+    }
+    let projection = LocalProjection::new(anchor);
+    Envelope::Planar {
+        slack_per_east_meter: projection.error_per_east_meter(Degrees::new(lat_band_deg)),
+        projection,
+    }
+}
+
 impl ProjectedTrace {
     /// Projects `trace` onto a tangent plane anchored at its first fix.
     #[must_use]
     pub fn project(trace: &Trace) -> Self {
         let pts = trace.points();
-        let anchor = pts.first().map_or_else(|| LatLon::clamped(0.0, 0.0), |p| p.pos);
-
-        // Near a pole the tangent frame degenerates; past 90° of longitude
-        // from the anchor the unwrapped planar x no longer agrees with the
-        // wrapped equirectangular distance. Both are far outside the
-        // city-scale envelope this fast path serves, so mark the whole
-        // trace ambiguous and let consumers take the exact spherical path.
-        if anchor.lat().abs() >= 89.0 {
-            return Self::degenerate(trace, anchor);
-        }
-        let mut lat_band_deg = 0.0f64;
-        let mut lon_span_deg = 0.0f64;
-        for p in pts {
-            lat_band_deg = lat_band_deg.max((p.pos.lat() - anchor.lat()).abs());
-            lon_span_deg = lon_span_deg.max((p.pos.lon() - anchor.lon()).abs());
-        }
-        if lon_span_deg > 90.0 {
-            return Self::degenerate(trace, anchor);
-        }
-
-        let projection = LocalProjection::new(anchor);
-        let points = pts
-            .iter()
-            .map(|p| {
-                let (x, y) = projection.project(p.pos);
-                ProjectedPoint {
-                    time: p.time,
-                    pos: p.pos,
-                    x,
-                    y,
+        match envelope(pts) {
+            Envelope::Planar {
+                projection,
+                slack_per_east_meter,
+            } => {
+                let points = pts
+                    .iter()
+                    .map(|p| {
+                        let (x, y) = projection.project(p.pos);
+                        ProjectedPoint {
+                            time: p.time,
+                            pos: p.pos,
+                            x,
+                            y,
+                        }
+                    })
+                    .collect();
+                Self {
+                    projection,
+                    slack_per_east_meter,
+                    points,
                 }
-            })
-            .collect();
-        Self {
-            projection,
-            slack_per_east_meter: projection.error_per_east_meter(Degrees::new(lat_band_deg)),
-            points,
-        }
-    }
-
-    fn degenerate(trace: &Trace, anchor: LatLon) -> Self {
-        let anchor = if anchor.lat().abs() >= 89.0 {
-            LatLon::clamped(0.0, anchor.lon())
-        } else {
-            anchor
-        };
-        Self {
-            projection: LocalProjection::new(anchor),
-            points: trace
-                .iter()
-                .map(|p| ProjectedPoint {
-                    time: p.time,
-                    pos: p.pos,
-                    x: 0.0,
-                    y: 0.0,
-                })
-                .collect(),
-            slack_per_east_meter: f64::INFINITY,
+            }
+            Envelope::Degenerate { projection } => Self {
+                projection,
+                points: pts
+                    .iter()
+                    .map(|p| ProjectedPoint {
+                        time: p.time,
+                        pos: p.pos,
+                        x: 0.0,
+                        y: 0.0,
+                    })
+                    .collect(),
+                slack_per_east_meter: f64::INFINITY,
+            },
         }
     }
 
