@@ -1,0 +1,70 @@
+//! Ingestion-service benchmarks: sharded multi-tenant ingest throughput
+//! and the whole-service snapshot/restore codec. Sustained fixes/s and
+//! the p99 per-fix latency recorded in `BENCH_serve.json` come from
+//! `ext_serve` (which times every push); these groups isolate the
+//! service overhead (routing + map lookup) over the bare engine and the
+//! cost of the snapshot path an operator pays per checkpoint.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_core::poi::ExtractorParams;
+use backwatch_geo::Seconds;
+use backwatch_serve::{loadgen, IngestService};
+use backwatch_trace::synth::SynthConfig;
+use backwatch_trace::TracePoint;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn small_load() -> Vec<(u64, TracePoint)> {
+    let cfg = SynthConfig {
+        n_users: 8,
+        days: 2,
+        ..SynthConfig::small()
+    };
+    loadgen::interleaved_fixes(&cfg, Seconds::new(30)).collect()
+}
+
+/// Interleaved multi-tenant ingest at 1 vs 4 shards: the service's cost
+/// per fix, routing and per-user lookup included.
+fn ingest(c: &mut Criterion) {
+    let fixes = small_load();
+    let params = ExtractorParams::paper_set1();
+    let mut g = c.benchmark_group("serve/ingest");
+    g.throughput(Throughput::Elements(fixes.len() as u64));
+    for n_shards in [1usize, 4] {
+        g.bench_function(format!("shards_{n_shards}"), |b| {
+            b.iter(|| {
+                let mut svc = IngestService::new(n_shards, params);
+                let mut stays = Vec::new();
+                for &(uid, fix) in black_box(&fixes) {
+                    stays.extend(svc.ingest(uid, fix).map(|s| (uid, s)));
+                }
+                stays.extend(svc.finish());
+                stays
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Snapshot and restore of a warm service: the per-checkpoint price of
+/// the crash-recovery guarantee.
+fn snapshot(c: &mut Criterion) {
+    let fixes = small_load();
+    let params = ExtractorParams::paper_set1();
+    let mut warm = IngestService::new(4, params);
+    for &(uid, fix) in &fixes {
+        warm.ingest(uid, fix);
+    }
+    let bytes = warm.snapshot_bytes();
+    let mut g = c.benchmark_group("serve/snapshot");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("snapshot", |b| b.iter(|| black_box(&mut warm).snapshot_bytes()));
+    g.bench_function("restore", |b| {
+        b.iter(|| IngestService::restore(params, black_box(&bytes)).expect("warm snapshot restores"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ingest, snapshot);
+criterion_main!(benches);

@@ -39,6 +39,10 @@ pub static STREAM_STAYS: Counter = Counter::new();
 pub static STREAM_CHECKPOINTS: Counter = Counter::new();
 /// Engines reconstructed from checkpoints.
 pub static STREAM_RESUMES: Counter = Counter::new();
+/// Checkpoint byte streams rejected by decode or resume (truncation, bad
+/// magic, malformed layout, invalid points). A serving layer alerts on
+/// this: a non-zero rate means stored shard state is corrupt.
+pub static STREAM_DECODE_FAILURES: Counter = Counter::new();
 /// Advisory high-water mark of fixes buffered by any single streaming
 /// engine (entry/exit windows; the PoI accumulator is constant-size).
 pub static STREAM_PEAK_BUFFER: Gauge = Gauge::new();
@@ -96,6 +100,11 @@ pub fn register() {
             "core.stream.resumes_total",
             "engines reconstructed from checkpoints",
             &STREAM_RESUMES,
+        );
+        register_counter(
+            "core.stream.decode_failures_total",
+            "checkpoint byte streams rejected by decode or resume",
+            &STREAM_DECODE_FAILURES,
         );
         register_gauge(
             "core.stream.peak_buffer_current",

@@ -468,6 +468,13 @@ impl<P: StreamPoint, W: Window<Point = P>> StreamingExtractor<P, W> {
     /// from a different point representation, or a structural error if the
     /// checkpoint bytes were corrupted. Never panics.
     pub fn resume(cp: &Checkpoint) -> Result<Self, CheckpointError> {
+        Self::resume_inner(cp).map_err(note_decode_failure)
+    }
+
+    /// [`resume`](Self::resume) minus the failure accounting, so every
+    /// early `?` return still lands on the decode-failure counter exactly
+    /// once.
+    fn resume_inner(cp: &Checkpoint) -> Result<Self, CheckpointError> {
         let mut r = Reader { words: &cp.words };
         if r.next()? != CHECKPOINT_MAGIC {
             return Err(CheckpointError::BadMagic);
@@ -628,6 +635,11 @@ impl Checkpoint {
     /// magic/version, or do not describe a well-formed engine state.
     /// Corrupt input is rejected, never panicked on.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        Self::from_bytes_inner(bytes).map_err(note_decode_failure)
+    }
+
+    /// [`from_bytes`](Self::from_bytes) minus the failure accounting.
+    fn from_bytes_inner(bytes: &[u8]) -> Result<Self, CheckpointError> {
         if !bytes.len().is_multiple_of(8) {
             return Err(CheckpointError::Truncated);
         }
@@ -687,6 +699,18 @@ impl fmt::Display for CheckpointError {
 }
 
 impl Error for CheckpointError {}
+
+/// Accounts one rejected checkpoint byte stream on the
+/// `core.stream.decode_failures_total` counter and passes the error
+/// through — the single funnel for every decode/resume failure, so a
+/// serving layer can alert on corrupt stored state.
+fn note_decode_failure(e: CheckpointError) -> CheckpointError {
+    crate::obs::register();
+    if backwatch_obs::enabled() {
+        crate::obs::STREAM_DECODE_FAILURES.inc();
+    }
+    e
+}
 
 /// Sequential word reader over a checkpoint body.
 struct Reader<'a> {
@@ -1167,6 +1191,124 @@ mod tests {
         // length (word 19) sizes the remaining words. Inflate it.
         bytes[19 * 8..20 * 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+
+    /// An engine mid-visit (Inside state) — the layout with the most
+    /// structure for corruption sweeps to hit.
+    fn inside_engine() -> StreamingExtractor {
+        let mut engine = StreamingExtractor::new(ExtractorParams::paper_set1());
+        for p in dwell(0, 300, 39.9, 116.4) {
+            engine.push(p);
+        }
+        assert!(engine.is_inside());
+        engine
+    }
+
+    #[test]
+    fn checkpoint_rejects_non_multiple_of_8_lengths() {
+        let bytes = inside_engine().checkpoint().to_bytes();
+        let before = crate::obs::STREAM_DECODE_FAILURES.get();
+        let mut rejected = 0;
+        for extra in 1..8 {
+            // trailing garbage that breaks 8-byte alignment
+            let mut padded = bytes.clone();
+            padded.extend(std::iter::repeat_n(0xAB_u8, extra));
+            assert_eq!(Checkpoint::from_bytes(&padded), Err(CheckpointError::Truncated));
+            // mid-word truncation
+            let cut = bytes.len() - extra;
+            assert_eq!(Checkpoint::from_bytes(&bytes[..cut]), Err(CheckpointError::Truncated));
+            rejected += 2;
+        }
+        if backwatch_obs::enabled() {
+            // >= because parallel tests may reject checkpoints of their own
+            assert!(
+                crate::obs::STREAM_DECODE_FAILURES.get() >= before + rejected,
+                "every rejection must land on core.stream.decode_failures_total"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_truncation_at_every_word_boundary() {
+        let bytes = inside_engine().checkpoint().to_bytes();
+        let words = bytes.len() / 8;
+        let before = crate::obs::STREAM_DECODE_FAILURES.get();
+        for w in 0..words {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..w * 8]).is_err(),
+                "truncation to {w} whole words must not validate"
+            );
+        }
+        if backwatch_obs::enabled() {
+            assert!(crate::obs::STREAM_DECODE_FAILURES.get() >= before + words as u64);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage_wire_tags() {
+        let bytes = inside_engine().checkpoint().to_bytes();
+        let patch = |word: usize, v: u64| {
+            let mut b = bytes.clone();
+            b[word * 8..(word + 1) * 8].copy_from_slice(&v.to_le_bytes());
+            b
+        };
+        // word 1 is the point-kind tag: unknown kinds are rejected outright
+        for garbage in [0, 3, 7, u64::MAX] {
+            assert_eq!(
+                Checkpoint::from_bytes(&patch(1, garbage)),
+                Err(CheckpointError::BadLayout("unknown point kind"))
+            );
+        }
+        // a *duplicate* kind tag (planar on a lat/lon body) must fail at
+        // decode (layout no longer accounts for the words) or at resume
+        // (kind mismatch) — never continue with misread points
+        let flipped = patch(1, KIND_PLANAR);
+        let survived =
+            Checkpoint::from_bytes(&flipped).and_then(|cp| StreamingExtractor::resume(&cp).map(|_: StreamingExtractor| ()));
+        assert!(survived.is_err(), "duplicate wire tag must not round-trip");
+        // word 9 is the machine state tag: only 0 (Outside) and 1 (Inside)
+        for garbage in [2, 9, u64::MAX] {
+            assert_eq!(
+                Checkpoint::from_bytes(&patch(9, garbage)),
+                Err(CheckpointError::BadLayout("unknown state tag"))
+            );
+        }
+    }
+
+    /// Exhaustive single-word tag-value sweep: overwriting *any* word with
+    /// any tag-like value (magic, kinds, zero, all-ones) must decode to
+    /// `Ok` or `CheckpointError` — never panic — and a decode that
+    /// validates must also resume without panicking.
+    #[test]
+    fn tag_value_sweep_never_panics() {
+        let bytes = inside_engine().checkpoint().to_bytes();
+        let words = bytes.len() / 8;
+        for word in 0..words {
+            for v in [CHECKPOINT_MAGIC, KIND_LATLON, KIND_PLANAR, 0, u64::MAX] {
+                let mut b = bytes.clone();
+                b[word * 8..(word + 1) * 8].copy_from_slice(&v.to_le_bytes());
+                if let Ok(cp) = Checkpoint::from_bytes(&b) {
+                    let _resumed: Result<StreamingExtractor, _> = StreamingExtractor::resume(&cp);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_failures_land_on_the_counter() {
+        // A structurally valid checkpoint whose front point is NaN decodes
+        // but fails resume — that failure must also be counted.
+        let cp = inside_engine().checkpoint();
+        let mut bytes = cp.to_bytes();
+        let lat_word = (10 + 3 + 1) * 8;
+        bytes[lat_word..lat_word + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let corrupt = Checkpoint::from_bytes(&bytes).expect("layout still validates");
+        let before = crate::obs::STREAM_DECODE_FAILURES.get();
+        let res: Result<StreamingExtractor, _> = StreamingExtractor::resume(&corrupt);
+        assert_eq!(res.err(), Some(CheckpointError::InvalidPoint));
+        if backwatch_obs::enabled() {
+            assert!(crate::obs::STREAM_DECODE_FAILURES.get() >= before + 1);
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub static POOL_BUSY_US: Counter = Counter::new();
 pub static POOL_IDLE_US: Counter = Counter::new();
 /// Workers currently running a map pass.
 pub static POOL_WORKERS_ACTIVE: Gauge = Gauge::new();
+/// Worker count the most recent map pass actually ran after clamping the
+/// request to the population size and the host's available parallelism.
+pub static POOL_EFFECTIVE_WORKERS: Gauge = Gauge::new();
 /// Per-user task latency across all map passes.
 pub static POOL_TASK_US: Histogram = Histogram::new(&backwatch_obs::LATENCY_BOUNDS_US);
 
@@ -38,6 +41,11 @@ pub fn register() {
             "experiments.pool.workers_current",
             "workers currently running a map pass",
             &POOL_WORKERS_ACTIVE,
+        );
+        backwatch_obs::register_gauge(
+            "experiments.pool.effective_workers_current",
+            "workers the most recent map pass ran after clamping",
+            &POOL_EFFECTIVE_WORKERS,
         );
         backwatch_obs::register_histogram("experiments.pool.task_us", "per-user task latency", &POOL_TASK_US);
     });

@@ -51,8 +51,10 @@ where
     crate::obs::POOL_MAPS.inc();
     let timed = backwatch_obs::enabled();
     let n = n_users as usize;
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let threads = threads.clamp(1, n.max(1)).min(cores.max(1));
+    let threads = effective_workers(threads, n_users);
+    // Surface the clamp: on a small host a "4-thread" request silently
+    // runs narrower, and scaling guards must be able to see that.
+    crate::obs::POOL_EFFECTIVE_WORKERS.set(threads as i64);
     let batch = (n / (threads * BATCHES_PER_WORKER)).max(1) as u64;
     let next = AtomicU64::new(0);
     let mut outs: Vec<Vec<(u32, T)>> = Vec::new();
@@ -105,6 +107,19 @@ where
     let ordered: Vec<T> = results.into_iter().flatten().collect();
     assert_eq!(ordered.len(), n, "every user index must be claimed exactly once");
     ordered
+}
+
+/// The worker count a `map_users(n_users, threads, …)` pass actually
+/// runs: `threads` clamped to `1..=n_users` and to the host's available
+/// parallelism (oversubscribing a machine buys nothing but scheduler
+/// churn). Exposed so scaling guards can tell a genuine multi-core
+/// comparison from one the clamp has collapsed; every pass also publishes
+/// this value on the `experiments.pool.effective_workers_current` gauge.
+#[must_use]
+pub fn effective_workers(threads: usize, n_users: u32) -> usize {
+    let n = n_users as usize;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    threads.clamp(1, n.max(1)).min(cores.max(1))
 }
 
 #[cfg(test)]

@@ -1,0 +1,132 @@
+//! Crash-kill-resume: a service killed at an arbitrary fix boundary and
+//! restored from its snapshot bytes must produce *bit-identical* stays —
+//! same values, same order, same tallies — as one that never died.
+//!
+//! The oracle is an uninterrupted [`IngestService`] over the
+//! deterministic interleaved load; the subject runs the same fixes with
+//! a full snapshot → drop → restore cycle injected at the kill point
+//! (and, in the harshest case, at *every* point of a coarse grid). A
+//! golden FNV digest pins the whole output against silent drift of the
+//! load generator, the router, the engines, or the snapshot framing.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_core::poi::{ExtractorParams, Stay};
+use backwatch_geo::Seconds;
+use backwatch_serve::{loadgen, stays_digest, IngestService};
+use backwatch_trace::synth::SynthConfig;
+use backwatch_trace::TracePoint;
+
+const N_SHARDS: usize = 3;
+
+fn cfg() -> SynthConfig {
+    SynthConfig {
+        n_users: 6,
+        days: 2,
+        ..SynthConfig::small()
+    }
+}
+
+fn load() -> Vec<(u64, TracePoint)> {
+    loadgen::interleaved_fixes(&cfg(), Seconds::new(60)).collect()
+}
+
+fn params() -> ExtractorParams {
+    ExtractorParams::paper_set1()
+}
+
+/// Ingests every fix without interruption; returns stays and the final
+/// (fixes, stays) tallies.
+fn run_uninterrupted(fixes: &[(u64, TracePoint)]) -> (Vec<(u64, Stay)>, u64, u64) {
+    let mut svc = IngestService::new(N_SHARDS, params());
+    let mut stays = Vec::new();
+    for &(uid, fix) in fixes {
+        stays.extend(svc.ingest(uid, fix).map(|s| (uid, s)));
+    }
+    stays.extend(svc.finish());
+    let stats = svc.stats();
+    (stays, stats.fixes, stats.stays)
+}
+
+/// Ingests with a kill at `kill_at`: snapshot, drop the service, restore
+/// from the bytes, replay the tail. Returns stays plus tallies summed
+/// across both service incarnations.
+fn run_killed(fixes: &[(u64, TracePoint)], kill_at: usize) -> (Vec<(u64, Stay)>, u64, u64) {
+    let mut svc = IngestService::new(N_SHARDS, params());
+    let mut stays = Vec::new();
+    for &(uid, fix) in &fixes[..kill_at] {
+        stays.extend(svc.ingest(uid, fix).map(|s| (uid, s)));
+    }
+    let bytes = svc.snapshot_bytes();
+    let before = svc.stats();
+    drop(svc);
+    let mut svc = IngestService::restore(params(), &bytes).expect("snapshot restores");
+    for &(uid, fix) in &fixes[kill_at..] {
+        stays.extend(svc.ingest(uid, fix).map(|s| (uid, s)));
+    }
+    stays.extend(svc.finish());
+    let after = svc.stats();
+    (stays, before.fixes + after.fixes, before.stays + after.stays)
+}
+
+#[test]
+fn killed_run_is_bit_identical_to_uninterrupted() {
+    let fixes = load();
+    let n = fixes.len();
+    assert!(n > 100, "load generator produced only {n} fixes");
+    let (oracle, oracle_fixes, oracle_stays) = run_uninterrupted(&fixes);
+    assert!(
+        !oracle.is_empty(),
+        "the load must produce stays for the test to mean anything"
+    );
+    let oracle_digest = stays_digest(&oracle);
+
+    // An arbitrary seed-derived kill point plus the edges and thirds.
+    let arbitrary = (cfg().seed as usize) % n;
+    for kill_at in [0, 1, n / 3, n / 2, 2 * n / 3, arbitrary, n - 1, n] {
+        let (stays, fixes_seen, stays_seen) = run_killed(&fixes, kill_at);
+        assert_eq!(stays, oracle, "stays diverged with kill at fix {kill_at}/{n}");
+        assert_eq!(stays_digest(&stays), oracle_digest, "digest diverged at {kill_at}");
+        assert_eq!(fixes_seen, oracle_fixes, "fix tallies diverged at {kill_at}");
+        assert_eq!(stays_seen, oracle_stays, "stay tallies diverged at {kill_at}");
+    }
+}
+
+#[test]
+fn repeated_kills_change_nothing() {
+    // The harshest schedule: kill and restore every ~500 fixes.
+    let fixes = load();
+    let (oracle, ..) = run_uninterrupted(&fixes);
+    let mut svc = IngestService::new(N_SHARDS, params());
+    let mut stays = Vec::new();
+    for (i, &(uid, fix)) in fixes.iter().enumerate() {
+        if i > 0 && i % 500 == 0 {
+            let bytes = svc.snapshot_bytes();
+            drop(svc);
+            svc = IngestService::restore(params(), &bytes).expect("snapshot restores");
+        }
+        stays.extend(svc.ingest(uid, fix).map(|s| (uid, s)));
+    }
+    stays.extend(svc.finish());
+    assert_eq!(stays, oracle, "a restore every 500 fixes must not change the output");
+}
+
+/// Golden pin: the full crash-resume pipeline (synthetic load → router →
+/// sharded engines → snapshot/restore at the seed-derived kill point)
+/// hashes to this constant. A change means *something* in the chain no
+/// longer reproduces its output bit-for-bit — find out what before
+/// updating the constant.
+#[test]
+fn golden_digest_is_pinned() {
+    let fixes = load();
+    let kill_at = (cfg().seed as usize) % fixes.len();
+    let (stays, ..) = run_killed(&fixes, kill_at);
+    assert_eq!(
+        stays_digest(&stays),
+        GOLDEN_STAYS_DIGEST,
+        "crash-resume output drifted from the pinned golden digest"
+    );
+}
+
+/// See [`golden_digest_is_pinned`].
+const GOLDEN_STAYS_DIGEST: u64 = 0xDB45_2C25_8B9F_ACE7;

@@ -1,0 +1,110 @@
+//! Property tests for shard routing and snapshot/restore stability.
+//!
+//! Three invariants, each over randomized inputs:
+//! 1. every user id maps to exactly one shard, deterministically;
+//! 2. placement survives a snapshot/restore cycle — the restored
+//!    service finds every user on the shard the router names;
+//! 3. snapshot → kill → resume → replay is indistinguishable from an
+//!    uninterrupted run: same stays, same digest, same tallies.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_core::poi::ExtractorParams;
+use backwatch_geo::{LatLon, Seconds};
+use backwatch_serve::{loadgen, stays_digest, IngestService, ShardRouter};
+use backwatch_trace::synth::SynthConfig;
+use backwatch_trace::{Timestamp, TracePoint};
+use proptest::prelude::*;
+
+fn params() -> ExtractorParams {
+    ExtractorParams::paper_set1()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routing is a total, deterministic function into `0..n_shards`.
+    #[test]
+    fn every_user_maps_to_exactly_one_shard(user_id in any::<u64>(), n_shards in 1usize..=64) {
+        let router = ShardRouter::new(n_shards);
+        let shard = router.shard_of(user_id);
+        prop_assert!(shard < n_shards, "shard {shard} out of range for {n_shards}");
+        // Exactly one: a second evaluation (and a second router) agree.
+        prop_assert_eq!(shard, router.shard_of(user_id));
+        prop_assert_eq!(shard, ShardRouter::new(n_shards).shard_of(user_id));
+    }
+
+    /// A restored service holds every user on the shard the router names
+    /// — placement never migrates across a snapshot/restore cycle.
+    #[test]
+    fn routing_is_stable_across_checkpoint_restore(
+        raw_ids in prop::collection::vec(any::<u64>(), 1..24),
+        n_shards in 1usize..=8,
+    ) {
+        let user_ids: std::collections::BTreeSet<u64> = raw_ids.into_iter().collect();
+        let mut svc = IngestService::new(n_shards, params());
+        let pos = LatLon::new(39.9, 116.4).unwrap();
+        for (i, &uid) in user_ids.iter().enumerate() {
+            svc.ingest(uid, TracePoint::new(Timestamp::from_secs(i as i64), pos));
+        }
+        let router = svc.router();
+        for &uid in &user_ids {
+            prop_assert_eq!(svc.shard_holding(uid), Some(router.shard_of(uid)));
+        }
+        let bytes = svc.snapshot_bytes();
+        let restored = IngestService::restore(params(), &bytes).expect("snapshot restores");
+        prop_assert_eq!(restored.stats().users(), user_ids.len());
+        for &uid in &user_ids {
+            prop_assert_eq!(restored.shard_holding(uid), Some(router.shard_of(uid)));
+        }
+    }
+}
+
+proptest! {
+    // Each case generates a small synthetic population, so keep the count
+    // modest — the fixed-grid crash_resume suite covers kill-point depth.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full shard snapshot → kill → resume → replay equals the
+    /// uninterrupted run: stays, digest, and tallies.
+    #[test]
+    fn kill_resume_replay_matches_uninterrupted(
+        seed in any::<u64>(),
+        n_users in 1u32..=3,
+        n_shards in 1usize..=4,
+        kill_permille in 0u32..=1000,
+    ) {
+        let cfg = SynthConfig { n_users, days: 1, seed, ..SynthConfig::small() };
+        let fixes: Vec<_> = loadgen::interleaved_fixes(&cfg, Seconds::new(60)).collect();
+        prop_assert!(!fixes.is_empty(), "a 1-day population always records fixes");
+        let kill_at = (fixes.len() * kill_permille as usize) / 1000;
+
+        let mut oracle_svc = IngestService::new(n_shards, params());
+        let mut oracle = Vec::new();
+        for &(uid, fix) in &fixes {
+            oracle.extend(oracle_svc.ingest(uid, fix).map(|s| (uid, s)));
+        }
+        oracle.extend(oracle_svc.finish());
+        let oracle_stats = oracle_svc.stats();
+
+        let mut svc = IngestService::new(n_shards, params());
+        let mut stays = Vec::new();
+        for &(uid, fix) in &fixes[..kill_at] {
+            stays.extend(svc.ingest(uid, fix).map(|s| (uid, s)));
+        }
+        let bytes = svc.snapshot_bytes();
+        let before = svc.stats();
+        drop(svc);
+        let mut svc = IngestService::restore(params(), &bytes).expect("snapshot restores");
+        for &(uid, fix) in &fixes[kill_at..] {
+            stays.extend(svc.ingest(uid, fix).map(|s| (uid, s)));
+        }
+        stays.extend(svc.finish());
+        let after = svc.stats();
+
+        prop_assert_eq!(&stays, &oracle, "stays diverged (kill at {}/{})", kill_at, fixes.len());
+        prop_assert_eq!(stays_digest(&stays), stays_digest(&oracle));
+        prop_assert_eq!(before.fixes + after.fixes, oracle_stats.fixes);
+        prop_assert_eq!(before.stays + after.stays, oracle_stats.stays);
+    }
+}

@@ -57,10 +57,13 @@ pub fn snap_to_grid(trace: &Trace, grid: &Grid) -> Trace {
 pub fn jitter<R: Rng + ?Sized>(trace: &Trace, sigma: Meters, rng: &mut R) -> Trace {
     let sigma_m = sigma.get();
     assert!(sigma_m.is_finite() && sigma_m >= 0.0, "sigma must be >= 0, got {sigma_m}");
-    if trace.is_empty() || sigma_m == 0.0 {
+    let Some(first) = trace.first() else {
+        return trace.clone(); // nothing to jitter
+    };
+    if sigma_m == 0.0 {
         return trace.clone();
     }
-    let frame = Frame::new(trace.first().expect("non-empty").pos);
+    let frame = Frame::new(first.pos);
     let pts = trace
         .iter()
         .map(|p| {

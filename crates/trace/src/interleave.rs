@@ -1,0 +1,213 @@
+//! Interleaving per-user traces into one global ingest stream.
+//!
+//! An ingestion service does not see one user's trace at a time: fixes
+//! from the whole population arrive interleaved in wall-clock order, and
+//! the service must route each one to its user's engine. [`Interleaver`]
+//! is the feeding side of that workload — a deterministic k-way merge of
+//! per-user traces into a single `(user_id, fix)` stream ordered by
+//! timestamp, with ties broken by user id so the stream is reproducible
+//! whatever the input order.
+//!
+//! Each trace is already strictly increasing in time, so the merge is a
+//! binary heap over the current head of every stream: `O(log k)` per fix
+//! for `k` concurrent users, independent of trace lengths.
+
+use crate::point::TracePoint;
+use crate::trajectory::Trace;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One source stream's cursor inside the merge heap.
+///
+/// Ordered so the `BinaryHeap` (a max-heap) surfaces the *earliest*
+/// `(time, user_id)` pair first — the comparison is reversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Head {
+    time_secs: i64,
+    user_id: u64,
+    stream: usize,
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: the heap pops the smallest (time, user, stream) triple.
+        (other.time_secs, other.user_id, other.stream).cmp(&(self.time_secs, self.user_id, self.stream))
+    }
+}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic k-way merge of per-user traces into one global
+/// `(user_id, fix)` stream in `(time, user_id)` order.
+///
+/// # Examples
+///
+/// ```
+/// use backwatch_trace::interleave::Interleaver;
+/// use backwatch_trace::{Trace, TracePoint, Timestamp};
+/// use backwatch_geo::LatLon;
+///
+/// let user = |t0: i64| {
+///     Trace::from_points(
+///         (0..3)
+///             .map(|i| TracePoint::new(Timestamp::from_secs(t0 + 2 * i), LatLon::new(39.9, 116.4).unwrap()))
+///             .collect(),
+///     )
+/// };
+/// let merged: Vec<(u64, i64)> = Interleaver::new(vec![(7, user(0)), (3, user(1))])
+///     .map(|(id, p)| (id, p.time.as_secs()))
+///     .collect();
+/// assert_eq!(merged, [(7, 0), (3, 1), (7, 2), (3, 3), (7, 4), (3, 5)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    streams: Vec<(u64, Trace)>,
+    /// Per-stream index of the next fix to yield.
+    cursors: Vec<usize>,
+    heap: BinaryHeap<Head>,
+    remaining: usize,
+}
+
+impl Interleaver {
+    /// Builds the merge over `streams` of `(user_id, trace)`. Empty traces
+    /// are fine (they simply contribute nothing); duplicate user ids are
+    /// merged like any other pair of streams, with the stream index as the
+    /// final tie-break.
+    #[must_use]
+    pub fn new(streams: Vec<(u64, Trace)>) -> Self {
+        crate::obs::register();
+        crate::obs::INTERLEAVE_STREAMS.add(streams.len() as u64);
+        let mut heap = BinaryHeap::with_capacity(streams.len());
+        let mut remaining = 0;
+        for (stream, (user_id, trace)) in streams.iter().enumerate() {
+            remaining += trace.len();
+            if let Some(first) = trace.points().first() {
+                heap.push(Head {
+                    time_secs: first.time.as_secs(),
+                    user_id: *user_id,
+                    stream,
+                });
+            }
+        }
+        // Pass-level accounting (one add per merge, never per fix).
+        crate::obs::INTERLEAVE_FIXES.add(remaining as u64);
+        let cursors = vec![0; streams.len()];
+        Self {
+            streams,
+            cursors,
+            heap,
+            remaining,
+        }
+    }
+
+    /// Total fixes left to yield.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for Interleaver {
+    type Item = (u64, TracePoint);
+
+    fn next(&mut self) -> Option<(u64, TracePoint)> {
+        let head = self.heap.pop()?;
+        let (user_id, trace) = self.streams.get(head.stream)?;
+        let idx = *self.cursors.get(head.stream)?;
+        let point = *trace.points().get(idx)?;
+        if let Some(cursor) = self.cursors.get_mut(head.stream) {
+            *cursor = idx + 1;
+            if let Some(next) = trace.points().get(idx + 1) {
+                self.heap.push(Head {
+                    time_secs: next.time.as_secs(),
+                    user_id: *user_id,
+                    stream: head.stream,
+                });
+            }
+        }
+        self.remaining = self.remaining.saturating_sub(1);
+        Some((*user_id, point))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Timestamp;
+    use backwatch_geo::LatLon;
+
+    fn trace_at(times: &[i64]) -> Trace {
+        Trace::from_points(
+            times
+                .iter()
+                .map(|&t| TracePoint::new(Timestamp::from_secs(t), LatLon::new(39.9, 116.4).unwrap()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn merges_in_time_order() {
+        let merged: Vec<(u64, i64)> = Interleaver::new(vec![(1, trace_at(&[0, 10, 20])), (2, trace_at(&[5, 15, 25]))])
+            .map(|(id, p)| (id, p.time.as_secs()))
+            .collect();
+        assert_eq!(merged, [(1, 0), (2, 5), (1, 10), (2, 15), (1, 20), (2, 25)]);
+    }
+
+    #[test]
+    fn ties_break_by_user_id_not_input_order() {
+        let a = Interleaver::new(vec![(9, trace_at(&[0])), (4, trace_at(&[0]))]);
+        let b = Interleaver::new(vec![(4, trace_at(&[0])), (9, trace_at(&[0]))]);
+        let ids = |it: Interleaver| it.map(|(id, _)| id).collect::<Vec<_>>();
+        assert_eq!(ids(a), [4, 9]);
+        assert_eq!(ids(b), [4, 9]);
+    }
+
+    #[test]
+    fn empty_streams_contribute_nothing() {
+        let merged: Vec<(u64, TracePoint)> =
+            Interleaver::new(vec![(1, Trace::new()), (2, trace_at(&[3])), (3, Trace::new())]).collect();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0, 2);
+    }
+
+    #[test]
+    fn no_streams_is_an_empty_merge() {
+        assert_eq!(Interleaver::new(Vec::new()).count(), 0);
+    }
+
+    #[test]
+    fn yields_every_fix_exactly_once() {
+        let streams = vec![
+            (0, trace_at(&(0..50).map(|i| i * 3).collect::<Vec<_>>())),
+            (1, trace_at(&(0..80).map(|i| 1 + i * 2).collect::<Vec<_>>())),
+            (2, trace_at(&(0..10).map(|i| 2 + i * 17).collect::<Vec<_>>())),
+        ];
+        let total: usize = streams.iter().map(|(_, t)| t.len()).sum();
+        let it = Interleaver::new(streams);
+        assert_eq!(it.remaining(), total);
+        let merged: Vec<(u64, TracePoint)> = it.collect();
+        assert_eq!(merged.len(), total);
+        // non-decreasing in time, with user-id tie-break
+        for w in merged.windows(2) {
+            let (a_id, a) = (w[0].0, w[0].1.time.as_secs());
+            let (b_id, b) = (w[1].0, w[1].1.time.as_secs());
+            assert!(a < b || (a == b && a_id <= b_id), "disorder: ({a_id},{a}) then ({b_id},{b})");
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = Interleaver::new(vec![(1, trace_at(&[0, 1, 2]))]);
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        let _ = it.next();
+        assert_eq!(it.size_hint(), (2, Some(2)));
+    }
+}

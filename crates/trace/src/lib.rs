@@ -38,6 +38,7 @@
 pub mod chunks;
 pub mod coarsen;
 pub mod dataset;
+pub mod interleave;
 pub mod modes;
 pub mod obs;
 pub mod point;

@@ -15,6 +15,10 @@ pub static DOWNSAMPLE_KEPT: Counter = Counter::new();
 pub static CHUNK_WINDOWS: Counter = Counter::new();
 /// Fixes delivered inside chunk windows.
 pub static CHUNK_POINTS: Counter = Counter::new();
+/// Source streams handed to [`crate::interleave::Interleaver`] merges.
+pub static INTERLEAVE_STREAMS: Counter = Counter::new();
+/// Fixes entering interleaved merges (counted once at construction).
+pub static INTERLEAVE_FIXES: Counter = Counter::new();
 /// Synthetic users generated.
 pub static SYNTH_USERS: Counter = Counter::new();
 /// Fixes recorded across all synthetic users.
@@ -44,6 +48,16 @@ pub fn register() {
             "trace.chunk.points_total",
             "fixes delivered inside chunk windows",
             &CHUNK_POINTS,
+        );
+        backwatch_obs::register_counter(
+            "trace.interleave.streams_total",
+            "source streams handed to interleaved merges",
+            &INTERLEAVE_STREAMS,
+        );
+        backwatch_obs::register_counter(
+            "trace.interleave.fixes_total",
+            "fixes yielded by interleaved merges",
+            &INTERLEAVE_FIXES,
         );
         backwatch_obs::register_counter("trace.synth.users_total", "synthetic users generated", &SYNTH_USERS);
         backwatch_obs::register_counter(

@@ -150,11 +150,16 @@ pub fn rotate_to_start(trace: &Trace, start: usize) -> Trace {
     }
     assert!(start < trace.len(), "start {start} out of range for {} points", trace.len());
     let pts = trace.points();
+    // The bounds assert above makes an empty slice unreachable here
+    // (start > 0 and start < len); losing the rotation beats panicking.
+    let Some(last) = pts.last() else {
+        return trace.clone();
+    };
     let mut out = Vec::with_capacity(pts.len());
     out.extend_from_slice(&pts[start..]);
     // Shift the wrapped head to continue after the tail, preserving its
     // internal spacing and leaving a one-recording-period seam.
-    let last_t = pts.last().expect("non-empty").time.as_secs();
+    let last_t = last.time.as_secs();
     let head_base = pts[0].time.as_secs();
     let seam = 1;
     for p in &pts[..start] {
@@ -187,12 +192,15 @@ pub fn growing_prefixes(trace: &Trace, step: usize) -> impl Iterator<Item = Trac
 ///
 /// Returns at most `n` fixes (interactions in the same second collapse).
 pub fn foreground_sessions<R: Rng + ?Sized>(trace: &Trace, n: usize, rng: &mut R) -> Trace {
-    if trace.is_empty() || n == 0 {
+    if n == 0 {
         return Trace::new();
     }
     let pts = trace.points();
-    let t0 = pts.first().expect("non-empty").time.as_secs();
-    let t1 = pts.last().expect("non-empty").time.as_secs();
+    let (Some(first), Some(last)) = (pts.first(), pts.last()) else {
+        return Trace::new(); // empty trace: no positions to deliver
+    };
+    let t0 = first.time.as_secs();
+    let t1 = last.time.as_secs();
     let picked: Vec<TracePoint> = (0..n)
         .map(|_| {
             let t = if t1 > t0 { rng.gen_range(t0..=t1) } else { t0 };

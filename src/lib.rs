@@ -16,6 +16,7 @@
 //! | [`android`] | `backwatch-android` | the simulated Android location stack |
 //! | [`market`] | `backwatch-market` | the §III app-market measurement study |
 //! | [`model`] | `backwatch-core` | the §IV privacy model (PoIs, patterns, His_bin, anonymity) |
+//! | [`serve`] | `backwatch-serve` | sharded multi-tenant ingestion over streaming extraction |
 //! | [`defense`] | `backwatch-defense` | LPPMs (truncation, cloaking, decoys, …) and their evaluation |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use backwatch_core as model;
 pub use backwatch_defense as defense;
 pub use backwatch_geo as geo;
 pub use backwatch_market as market;
+pub use backwatch_serve as serve;
 pub use backwatch_stats as stats;
 pub use backwatch_trace as trace;
 
