@@ -307,6 +307,89 @@ fn parse_inner(text: &str) -> Result<IrProgram, ParseIrError> {
     Ok(program)
 }
 
+// FNV-1a, the workspace's standard content hash (same constants as the
+// serve crate's shard router). Good dispersion on short structured byte
+// streams, trivially stable across platforms, and cheap enough to run on
+// every class of a million-app sweep. It is *not* cryptographic: DESIGN.md
+// §13 records the collision caveat for digest-keyed caches.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_step(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+// Domain-separation tags for the digest byte stream. Every token is
+// followed by a 0x00 terminator (class/method names and string operands
+// cannot contain NUL — `valid_token` bans whitespace and the text format
+// bans raw control characters in practice), so `("ab","c")` and
+// `("a","bc")` hash differently.
+const TAG_CLASS: u8 = 0x01;
+const TAG_METHOD: u8 = 0x02;
+const TAG_CONST_STRING: u8 = 0x03;
+const TAG_INVOKE: u8 = 0x04;
+
+fn digest_token(hash: u64, tag: u8, parts: &[&str]) -> u64 {
+    let mut h = fnv1a_step(hash, &[tag]);
+    for p in parts {
+        h = fnv1a_step(h, p.as_bytes());
+        h = fnv1a_step(h, &[0x00]);
+    }
+    h
+}
+
+fn digest_class_into(mut hash: u64, class: &IrClass) -> u64 {
+    hash = digest_token(hash, TAG_CLASS, &[&class.name]);
+    for method in &class.methods {
+        hash = digest_token(hash, TAG_METHOD, &[&method.name]);
+        for instr in &method.instrs {
+            hash = match instr {
+                IrInstr::ConstString(s) => digest_token(hash, TAG_CONST_STRING, &[s]),
+                IrInstr::Invoke { class, method } => digest_token(hash, TAG_INVOKE, &[class, method]),
+            };
+        }
+    }
+    hash
+}
+
+/// Stable FNV-1a content digest of one class: its name, its methods in
+/// declaration order, and every instruction operand. Two classes digest
+/// equal iff they are structurally equal, so the digest can key per-class
+/// analysis summaries across apps (modulo the FNV collision caveat in
+/// DESIGN.md §13). Because [`parse`] ∘ [`render`] is the identity, the
+/// digest is invariant under the text round-trip — and under anything the
+/// text format drops (comments, blank lines, indentation).
+#[must_use]
+pub fn digest_class(class: &IrClass) -> u64 {
+    digest_class_into(FNV_OFFSET, class)
+}
+
+/// Stable FNV-1a content digest of a whole program: its classes in
+/// declaration order, chained through the same byte stream as
+/// [`digest_class`]. Order-sensitive by design — the IR treats class
+/// order as part of the serialized artifact.
+#[must_use]
+pub fn digest_program(program: &IrProgram) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for class in &program.classes {
+        hash = digest_class_into(hash, class);
+    }
+    hash
+}
+
+/// FNV-1a over an arbitrary byte string, starting from the standard
+/// offset basis. Exposed so sibling crates digest non-IR artifacts
+/// (manifests, churn keys) with the same constants instead of re-deriving
+/// them.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_step(FNV_OFFSET, bytes)
+}
+
 /// Entry methods the Android framework calls on each component kind —
 /// the roots of the reachability pass.
 #[must_use]
@@ -605,5 +688,86 @@ mod tests {
     fn lowered_ir_round_trips_through_text() {
         let p = lower(&bg_app());
         assert_eq!(parse(&render(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn digest_is_invariant_under_the_text_round_trip() {
+        for p in [sample_program(), lower(&bg_app())] {
+            let back = parse(&render(&p)).unwrap();
+            assert_eq!(digest_program(&back), digest_program(&p));
+            for (a, b) in p.classes.iter().zip(&back.classes) {
+                assert_eq!(digest_class(a), digest_class(b));
+            }
+        }
+        // comments, blank lines and indentation are not content
+        let noisy = "# fixture header\n\n.class a/B\n  # note\n      .method m\n  const-string \"x\"\n .end method\n.end class\n";
+        let clean = ".class a/B\n.method m\nconst-string \"x\"\n.end method\n.end class\n";
+        assert_eq!(digest_program(&parse(noisy).unwrap()), digest_program(&parse(clean).unwrap()));
+    }
+
+    #[test]
+    fn digest_changes_on_semantic_edits() {
+        let base = sample_program();
+        let d0 = digest_program(&base);
+
+        // renamed invoke target
+        let mut renamed = base.clone();
+        renamed.classes[0].methods[0].instrs[1] = IrInstr::Invoke {
+            class: "com/x/Helper".to_owned(),
+            method: "go2".to_owned(),
+        };
+        assert_ne!(digest_program(&renamed), d0);
+        assert_ne!(digest_class(&renamed.classes[0]), digest_class(&base.classes[0]));
+
+        // added const-string + sink call
+        let mut sinked = base.clone();
+        sinked.classes[1].methods[0].instrs.extend([
+            IrInstr::ConstString("gps".to_owned()),
+            IrInstr::Invoke {
+                class: LOCATION_MANAGER_CLASS.to_owned(),
+                method: "requestLocationUpdates".to_owned(),
+            },
+        ]);
+        assert_ne!(digest_program(&sinked), d0);
+
+        // reordered classes are a different artifact
+        let mut swapped = base.clone();
+        swapped.classes.swap(0, 1);
+        assert_ne!(digest_program(&swapped), d0);
+
+        // token-boundary honesty: moving a character across the
+        // class/method name boundary must not collide
+        let a = IrProgram {
+            classes: vec![IrClass::new("ab", vec![IrMethod::new("c", Vec::new())])],
+        };
+        let b = IrProgram {
+            classes: vec![IrClass::new("a", vec![IrMethod::new("bc", Vec::new())])],
+        };
+        assert_ne!(digest_program(&a), digest_program(&b));
+    }
+
+    #[test]
+    fn digest_distinguishes_instruction_kinds() {
+        // `const-string "x y"` vs `invoke x y` must not collide even
+        // though the operand bytes coincide
+        let cs = IrProgram {
+            classes: vec![IrClass::new(
+                "a/B",
+                vec![IrMethod::new("m", vec![IrInstr::ConstString("x\u{0}y".to_owned())])],
+            )],
+        };
+        let inv = IrProgram {
+            classes: vec![IrClass::new(
+                "a/B",
+                vec![IrMethod::new(
+                    "m",
+                    vec![IrInstr::Invoke {
+                        class: "x".to_owned(),
+                        method: "y".to_owned(),
+                    }],
+                )],
+            )],
+        };
+        assert_ne!(digest_program(&cs), digest_program(&inv));
     }
 }

@@ -1,0 +1,52 @@
+//! Benchmarks of the static-reachability scale path: the uncached
+//! oracle sweep, the cold and warm cached sweeps, and the incremental
+//! re-sweep — the four regimes BENCH_reach.json pins at corpus scale.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_market::corpus::{generate, CorpusConfig};
+use backwatch_market::reach;
+use backwatch_market::summary::SummaryCache;
+use backwatch_market::sweep::{sweep, sweep_incremental};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_cfg() -> CorpusConfig {
+    CorpusConfig::scaled(8).with_sdk_share(90)
+}
+
+fn sweeps(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let apps = cfg.total() as u64;
+    let mut group = c.benchmark_group("reach_sweep");
+    group.throughput(Throughput::Elements(apps));
+
+    group.bench_function("oracle_uncached", |b| {
+        let corpus = generate(&cfg);
+        b.iter(|| black_box(reach::analyze(black_box(&corpus))));
+    });
+
+    group.bench_function("cached_cold", |b| {
+        // a fresh cache per iteration: every class summary is computed
+        b.iter(|| black_box(sweep(black_box(&cfg), 1, &SummaryCache::new())));
+    });
+
+    group.bench_function("cached_warm", |b| {
+        // one shared cache: after the first iteration every lookup hits
+        let cache = SummaryCache::new();
+        let _ = sweep(&cfg, 1, &cache);
+        b.iter(|| black_box(sweep(black_box(&cfg), 1, &cache)));
+    });
+
+    group.bench_function("incremental", |b| {
+        let cache = SummaryCache::new();
+        let cold = sweep(&cfg, 1, &cache);
+        let next = cfg.at_snapshot(1);
+        b.iter(|| black_box(sweep_incremental(black_box(&next), &cold, 1, &cache)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, sweeps);
+criterion_main!(benches);

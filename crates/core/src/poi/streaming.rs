@@ -1307,7 +1307,7 @@ mod tests {
         let res: Result<StreamingExtractor, _> = StreamingExtractor::resume(&corrupt);
         assert_eq!(res.err(), Some(CheckpointError::InvalidPoint));
         if backwatch_obs::enabled() {
-            assert!(crate::obs::STREAM_DECODE_FAILURES.get() >= before + 1);
+            assert!(crate::obs::STREAM_DECODE_FAILURES.get() > before);
         }
     }
 

@@ -1,0 +1,230 @@
+//! Extension experiment X9: incremental, cache-sharing static
+//! reachability at million-app scale.
+//!
+//! The paper sweeps 2,800 apps; a real market is six hundred times
+//! larger and re-crawled continuously. This experiment runs the static
+//! funnel at that scale without giving up the oracle's semantics: a
+//! cold parallel sweep over a streamed corpus (apps addressed by index,
+//! never materialized as a whole) through the content-hash summary
+//! cache, then an incremental re-sweep of the next market snapshot that
+//! re-analyzes only apps whose app-level digest changed. A strided
+//! slice of the corpus is cross-validated two ways — against the
+//! uncached oracle (`reach::analyze_entry`, bit-identical findings) and
+//! against the dynamic pipeline (class agreement, as X7 does at paper
+//! scale) — so the scale numbers are anchored to verified output, not
+//! just throughput.
+
+use backwatch_market::corpus::{self, CorpusConfig, MarketApp};
+use backwatch_market::dynamic_analysis;
+use backwatch_market::reach;
+use backwatch_market::summary::SummaryCache;
+use backwatch_market::sweep::{sweep, sweep_incremental, Funnel, SweepResult};
+use std::fmt::Write as _;
+
+/// Scale-run configuration.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// The market snapshot to sweep.
+    pub corpus: CorpusConfig,
+    /// Worker threads for the sweeps.
+    pub threads: usize,
+    /// Every `stride`-th app is cross-validated against the oracle and
+    /// the dynamic pipeline.
+    pub stride: usize,
+}
+
+impl ScaleConfig {
+    /// CI-sized run: 840 apps, same knobs, same assertions.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            corpus: CorpusConfig::scaled(30).with_sdk_share(90).with_churn_ppm(10_000),
+            threads: 4,
+            stride: 9,
+        }
+    }
+
+    /// The headline run: 28 × 35,715 = 1,000,020 apps, 90% SDK share,
+    /// 0.5% churn per epoch.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            corpus: CorpusConfig::scaled(35_715).with_sdk_share(90).with_churn_ppm(5_000),
+            threads: 4,
+            stride: 357,
+        }
+    }
+}
+
+/// Everything the scale run measures.
+#[derive(Debug, Clone)]
+pub struct ScaleResult {
+    /// Apps in the snapshot.
+    pub total: usize,
+    /// The cold sweep of snapshot 0.
+    pub cold: SweepResult,
+    /// The incremental sweep of snapshot 1.
+    pub incremental: SweepResult,
+    /// Apps whose churn version advanced between the snapshots.
+    pub version_changed: usize,
+    /// Apps whose content digest changed (exactly the re-analyzed set).
+    pub digest_changed: usize,
+    /// Apps whose class moved between the snapshots.
+    pub reclassified: usize,
+    /// `cold.wall / incremental.wall`.
+    pub speedup: f64,
+    /// The cold sweep's funnel.
+    pub funnel: Funnel,
+    /// Apps in the cross-validated slice.
+    pub slice_apps: usize,
+    /// Slice apps whose cached finding differs from the uncached oracle
+    /// (must be 0).
+    pub slice_mismatches: usize,
+    /// Slice apps whose static class disagrees with the dynamic
+    /// pipeline (must be 0 on the planted corpus).
+    pub dynamic_disagreements: usize,
+}
+
+/// Runs the cold sweep, the incremental re-sweep, and the slice
+/// cross-validation.
+#[must_use]
+pub fn run(cfg: &ScaleConfig) -> ScaleResult {
+    let cache = SummaryCache::new();
+    let cold = sweep(&cfg.corpus, cfg.threads, &cache);
+    let next = cfg.corpus.at_snapshot(cfg.corpus.snapshot + 1);
+    let (incremental, delta) = sweep_incremental(&next, &cold, cfg.threads, &cache);
+    let speedup = cold.wall.as_secs_f64() / incremental.wall.as_secs_f64().max(f64::EPSILON);
+
+    // strided slice, validated against both independent pipelines
+    let indexes: Vec<usize> = (0..cfg.corpus.total()).step_by(cfg.stride.max(1)).collect();
+    let entries: Vec<MarketApp> = indexes.iter().map(|&i| corpus::app_at(&cfg.corpus, i)).collect();
+    let slice_mismatches = indexes
+        .iter()
+        .zip(&entries)
+        .filter(|(&i, entry)| reach::analyze_entry(entry) != cold.finding_at(i))
+        .count();
+    // observations come back keyed by package, not input order — match
+    // them the way X7 does
+    let observations = dynamic_analysis::analyze_corpus(&entries);
+    let dynamic_by_package: std::collections::BTreeMap<&str, _> = observations
+        .iter()
+        .map(|o| (o.package.as_str(), crate::ext_static_reach::dynamic_class(o)))
+        .collect();
+    // the dynamic protocol only runs declaring apps; the rest are
+    // non-accessors by definition
+    let dynamic_disagreements = indexes
+        .iter()
+        .filter(|&&i| {
+            let dynamic = dynamic_by_package
+                .get(corpus::package_at(i).as_str())
+                .copied()
+                .unwrap_or(reach::ReachClass::NonAccessor);
+            dynamic != cold.records[i].class
+        })
+        .count();
+
+    ScaleResult {
+        total: cfg.corpus.total(),
+        funnel: cold.funnel(),
+        version_changed: delta.version_changed,
+        digest_changed: delta.digest_changed,
+        reclassified: delta.reclassified.len(),
+        speedup,
+        slice_apps: entries.len(),
+        slice_mismatches,
+        dynamic_disagreements,
+        cold,
+        incremental,
+    }
+}
+
+/// Renders the scale report, one greppable `key=value` line per claim.
+#[must_use]
+pub fn render(cfg: &ScaleConfig, result: &ScaleResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXTENSION: incremental cache-sharing reachability at scale (X9)");
+    let _ = writeln!(
+        out,
+        "corpus: apps={} sdk_share={}% churn_ppm={} threads={}",
+        result.total, cfg.corpus.sdk_share_percent, cfg.corpus.churn_ppm, cfg.threads
+    );
+    let f = &result.funnel;
+    let _ = writeln!(
+        out,
+        "funnel: total={} declaring={} functional={} background={} auto_start={} parse_failures={}",
+        f.total, f.declaring, f.functional, f.background, f.auto_start, f.parse_failures
+    );
+    let _ = writeln!(
+        out,
+        "cold sweep: wall_s={:.3} analyzed={} cache_hits={} cache_misses={} hit_rate={:.4}",
+        result.cold.wall.as_secs_f64(),
+        result.cold.analyzed,
+        result.cold.tally.hits,
+        result.cold.tally.misses,
+        result.cold.tally.hit_rate()
+    );
+    let _ = writeln!(
+        out,
+        "incremental sweep: wall_s={:.3} reanalyzed={} reused={} version_changed={} digest_changed={} reclassified={} speedup={:.1}x",
+        result.incremental.wall.as_secs_f64(),
+        result.incremental.analyzed,
+        result.incremental.reused,
+        result.version_changed,
+        result.digest_changed,
+        result.reclassified,
+        result.speedup
+    );
+    let _ = writeln!(
+        out,
+        "cross-validation: apps={} mismatches={} disagreements={}",
+        result.slice_apps, result.slice_mismatches, result.dynamic_disagreements
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            corpus: CorpusConfig::scaled(8).with_sdk_share(90),
+            threads: 2,
+            stride: 3,
+        }
+    }
+
+    #[test]
+    fn scale_run_is_verified_end_to_end() {
+        let cfg = tiny();
+        let result = run(&cfg);
+        assert_eq!(result.slice_mismatches, 0, "cached sweep diverged from the oracle");
+        assert_eq!(
+            result.dynamic_disagreements, 0,
+            "static class diverged from the dynamic pipeline"
+        );
+        assert_eq!(result.funnel.parse_failures, 0);
+        assert!(result.funnel.auto_start > 0, "the slice must exercise every class");
+        assert!(result.digest_changed <= result.version_changed);
+        assert!(
+            result.incremental.analyzed < result.total,
+            "churn must leave most apps untouched"
+        );
+        assert!(
+            result.cold.tally.hit_rate() >= 0.90,
+            "90% SDK share must reach a 90% hit rate, got {:.3}",
+            result.cold.tally.hit_rate()
+        );
+    }
+
+    #[test]
+    fn render_carries_the_greppable_claims() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg));
+        assert!(text.contains("EXTENSION: incremental cache-sharing reachability at scale (X9)"));
+        assert!(text.contains("hit_rate="));
+        assert!(text.contains("mismatches=0"));
+        assert!(text.contains("disagreements=0"));
+        assert!(text.contains("parse_failures=0"));
+    }
+}

@@ -15,6 +15,7 @@
 
 use backwatch_experiments::ext_static_reach;
 use backwatch_market::corpus::CorpusConfig;
+#[cfg(not(debug_assertions))]
 use backwatch_market::reach::{ReachClass, ALL_CLASSES};
 
 #[cfg(not(debug_assertions))]

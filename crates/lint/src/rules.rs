@@ -304,11 +304,9 @@ fn signature_params(clean: &[char], start: usize) -> Vec<(String, String, usize)
         match clean.get(i) {
             None => return Vec::new(),
             Some('<') => angle += 1,
-            Some('>') => {
-                if i > 0 && clean.get(i - 1) != Some(&'-') {
-                    angle -= 1;
-                }
-            }
+            // `->` is a return arrow, not a generic close
+            Some('>') if i > 0 && clean.get(i - 1) != Some(&'-') => angle -= 1,
+            Some('>') => {}
             Some('(') if angle == 0 => break i,
             Some('{') | Some(';') => return Vec::new(), // no params found
             _ => {}
@@ -346,11 +344,8 @@ fn signature_params(clean: &[char], start: usize) -> Vec<(String, String, usize)
             ']' | '}' => pdepth -= 1,
             ')' if j < close => pdepth -= 1,
             '<' => adepth += 1,
-            '>' => {
-                if clean.get(j.wrapping_sub(1)) != Some(&'-') {
-                    adepth -= 1;
-                }
-            }
+            // `->` is a return arrow, not a generic close
+            '>' if clean.get(j.wrapping_sub(1)) != Some(&'-') => adepth -= 1,
             _ => {}
         }
         if (c == ',' && pdepth == 0 && adepth == 0) || j == close {

@@ -142,10 +142,8 @@ pub fn sanitize(raw: &[char]) -> Vec<char> {
                 if at(j) == '"' && (0..hashes).all(|h| at(j + 1 + h) == '#') {
                     out.push('"');
                     j += 1;
-                    for _ in 0..hashes {
-                        out.push('#');
-                        j += 1;
-                    }
+                    out.extend(std::iter::repeat_n('#', hashes));
+                    j += hashes;
                     break;
                 }
                 out.push(if at(j) == '\n' { '\n' } else { ' ' });
@@ -283,12 +281,8 @@ fn test_lines(clean: &[char], line_starts: &[usize]) -> Vec<bool> {
                     test_until = None;
                 }
             }
-            ';' => {
-                // `#[cfg(test)] use ...;` — attribute on a braceless item
-                if pending && test_until.is_none() {
-                    pending = false;
-                }
-            }
+            // `#[cfg(test)] use ...;` — attribute on a braceless item
+            ';' if pending && test_until.is_none() => pending = false,
             _ => {}
         }
         if (in_test || test_until.is_some()) && line < n_lines {

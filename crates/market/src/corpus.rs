@@ -6,21 +6,42 @@
 //! access location, how many keep accessing it in the background, which
 //! provider combinations they register (Table I), and the distribution of
 //! their background update intervals (Figure 1). At the default 28 × 100
-//! scale the quotas equal the paper's integers exactly; at other scales
-//! they shrink proportionally via largest-remainder apportionment.
+//! scale the quotas equal the paper's integers exactly.
+//!
+//! The corpus is *schedule-based and index-addressable*: every app is a
+//! pure function of `(config, index)`, so [`stream`] yields apps one at a
+//! time without materializing the market, [`app_at`] random-accesses any
+//! slot in O(1), and any prefix of a larger market is bit-identical to the
+//! smaller market — the properties the million-app incremental sweeps in
+//! [`crate::sweep`] are built on. Slots are rank-major (index `i` is rank
+//! `i / 28` of category `i % 28`); which slots declare location
+//! permissions follows fixed per-category quotas spread evenly over ranks
+//! (binary Bresenham), and every downstream role split (functional,
+//! background, auto-start, Table I cell, interval anchor, claim) chains on
+//! the app's *declaring ordinal* through precomputed quota-exact
+//! interleave tables, so the paper integers come out exactly at full
+//! scale and every class of app appears at small scales.
+//!
+//! Two market-realism knobs ride on top: `sdk_share_percent` links the
+//! shared ad-SDK fragment ([`crate::sdk`]) into a seeded share of apps,
+//! and `(snapshot, churn_ppm)` model market crawls over time — each epoch
+//! a small seeded share of apps ships an update that redraws its
+//! behavioral RNG, which is what the incremental analyzer diffs against.
 //!
 //! Every generated app carries its [`GroundTruth`] so that the measurement
 //! pipeline's output can be verified against what was planted.
 
 use crate::category::{Category, ALL_CATEGORIES};
+use crate::sdk::SdkLib;
 use backwatch_android::app::{App, AppBuilder, Component, ComponentKind, LocationBehavior, ACTION_BOOT_COMPLETED, ACTION_MAIN};
+use backwatch_android::ir;
 use backwatch_android::permission::{LocationClaim, Permission};
 use backwatch_android::provider::ProviderKind;
 use backwatch_stats::sampling::weighted_index;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A provider combination — one column of the paper's Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -177,41 +198,212 @@ const INTERVALS_PAPER: [(i64, usize); 12] = [
     (7200, 1),
 ];
 
+/// Number of store categories (width of one rank across the market).
+const NCATS: usize = ALL_CATEGORIES.len();
+/// Ranks per paper block: per-category declaring quotas are calibrated
+/// per 100 ranks and repeat beyond.
+const BLOCK: usize = 100;
+/// Declaring apps per full paper market (the 1,137).
+const P_DECLARING: usize = 1137;
+/// Functional apps per `P_DECLARING` declaring apps (the 528).
+const P_FUNCTIONAL: usize = 528;
+/// Background apps per `P_FUNCTIONAL` functional apps (the 102).
+const P_BACKGROUND: usize = 102;
+/// Auto-start apps per `P_BACKGROUND` background apps (the 85).
+const P_BG_AUTO: usize = 85;
+/// Foreground-only functional apps per full market (528 − 102).
+const P_FG_FUNCTIONAL: usize = 426;
+/// Auto-start apps among those (393 − 85).
+const P_FG_AUTO: usize = 308;
+/// Non-background declaring apps per full market (1,137 − 102).
+const P_NONBG: usize = 1035;
+/// Claim counts over the non-background declaring apps, in
+/// `[FineOnly, CoarseOnly, FineAndCoarse]` order: the paper's 193/182/762
+/// minus the 18/6/78 consumed by Table I's background rows.
+const NONBG_CLAIMS: [usize; 3] = [175, 176, 684];
+
+/// `floor(n · num / den)` — how many of the first `n` positions a quota of
+/// `num` per `den` selects (binary Bresenham).
+fn bres(n: usize, num: usize, den: usize) -> usize {
+    n * num / den
+}
+
+/// Whether position `n` itself is selected by the `num`-per-`den` quota.
+fn bres_hit(n: usize, num: usize, den: usize) -> bool {
+    bres(n + 1, num, den) > bres(n, num, den)
+}
+
 /// Largest-remainder apportionment of `target` among weights `counts`.
 fn apportion(counts: &[usize], target: usize) -> Vec<usize> {
     let total: usize = counts.iter().sum();
     if total == 0 {
         return vec![0; counts.len()];
     }
-    let mut floors: Vec<usize> = Vec::with_capacity(counts.len());
-    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(counts.len());
-    let mut assigned = 0usize;
-    for (i, &c) in counts.iter().enumerate() {
-        let exact = c as f64 * target as f64 / total as f64;
-        let fl = exact.floor() as usize;
-        floors.push(fl);
-        assigned += fl;
-        remainders.push((i, exact - fl as f64));
-    }
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders").then(a.0.cmp(&b.0)));
-    let mut left = target.saturating_sub(assigned);
-    for (i, _) in remainders {
+    let mut floors: Vec<usize> = counts.iter().map(|&c| c * target / total).collect();
+    let assigned: usize = floors.iter().sum();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(counts[i] * target % total), i));
+    let mut left = target - assigned;
+    for &i in &order {
         if left == 0 {
             break;
         }
         // never promote a zero-weight cell
-        if counts[i] > 0 {
+        if counts[i] > 0 && !(counts[i] * target).is_multiple_of(total) {
             floors[i] += 1;
             left -= 1;
         }
     }
+    debug_assert_eq!(left, 0, "fractional parts always cover the seats left");
     floors
 }
 
+/// A quota-exact interleave of `counts.len()` bucket labels over one
+/// period of `sum(counts)` positions: position `n` gets the unsaturated
+/// bucket with the largest proportional deficit, so every prefix tracks
+/// the target mix and a full period contains each bucket exactly
+/// `counts[k]` times. (A plain per-bucket Bresenham cannot do multi-way
+/// splits exactly: floor differences are non-monotone across buckets.)
+fn interleave(counts: &[usize]) -> Vec<u8> {
+    let period: usize = counts.iter().sum();
+    assert!(counts.len() <= u8::MAX as usize, "bucket labels are stored as u8");
+    let mut assigned = vec![0usize; counts.len()];
+    let mut out = Vec::with_capacity(period);
+    for n in 0..period {
+        let mut k_best = counts.len();
+        let mut d_best = i64::MIN;
+        for (k, (&c, &a)) in counts.iter().zip(&assigned).enumerate() {
+            if a >= c {
+                continue;
+            }
+            let deficit = ((n + 1) * c) as i64 - (period * a) as i64;
+            if deficit > d_best {
+                d_best = deficit;
+                k_best = k;
+            }
+        }
+        // sum(counts) == period keeps one bucket unsaturated at every step
+        assert!(k_best < counts.len(), "interleave ran out of buckets");
+        assigned[k_best] += 1;
+        out.push(k_best as u8);
+    }
+    out
+}
+
+/// The precomputed role tables every split chains through.
+struct PaperSchedule {
+    /// Declaring apps per `BLOCK` ranks, per category.
+    declaring_per_block: Vec<usize>,
+    /// Background ordinal → Table I cell index, one full-scale period.
+    cells: Vec<u8>,
+    /// Background ordinal → `INTERVALS_PAPER` index, one period.
+    intervals: Vec<u8>,
+    /// Non-background declaring ordinal → `NONBG_CLAIMS` index, one period.
+    claims: Vec<u8>,
+}
+
+fn schedule() -> &'static PaperSchedule {
+    static SCHEDULE: OnceLock<PaperSchedule> = OnceLock::new();
+    SCHEDULE.get_or_init(|| {
+        let weights: Vec<usize> = ALL_CATEGORIES
+            .iter()
+            .map(|c| (c.location_affinity() * 10.0).round() as usize)
+            .collect();
+        let cell_counts: Vec<usize> = TABLE1_PAPER.iter().map(|&(_, _, c)| c).collect();
+        let interval_counts: Vec<usize> = INTERVALS_PAPER.iter().map(|&(_, c)| c).collect();
+        PaperSchedule {
+            declaring_per_block: apportion(&weights, P_DECLARING),
+            cells: interleave(&cell_counts),
+            intervals: interleave(&interval_counts),
+            claims: interleave(&NONBG_CLAIMS),
+        }
+    })
+}
+
+/// Whether slot `index` declares a location permission.
+fn slot_declares(s: &PaperSchedule, index: usize) -> bool {
+    bres_hit(index / NCATS, s.declaring_per_block[index % NCATS], BLOCK)
+}
+
+/// Number of declaring slots before `index` — O(categories) random access.
+fn declaring_ordinal(s: &PaperSchedule, index: usize) -> usize {
+    let cat = index % NCATS;
+    let rank = index / NCATS;
+    s.declaring_per_block
+        .iter()
+        .enumerate()
+        .map(|(c, &q)| bres(rank + usize::from(c < cat), q, BLOCK))
+        .sum()
+}
+
+/// The scheduled role of one declaring slot.
+#[derive(Debug, Clone, Copy)]
+struct DeclaringRole {
+    claim: LocationClaim,
+    functional: bool,
+    background: bool,
+    auto_start: bool,
+    /// Index into `TABLE1_PAPER` (background slots only).
+    cell: usize,
+    /// Index into `INTERVALS_PAPER` (background slots only).
+    interval: usize,
+}
+
+/// Claim for a declaring app that is not in a Table I cell.
+fn nonbg_claim(s: &PaperSchedule, nb: usize) -> LocationClaim {
+    match s.claims[nb % P_NONBG] {
+        0 => LocationClaim::FineOnly,
+        1 => LocationClaim::CoarseOnly,
+        _ => LocationClaim::FineAndCoarse,
+    }
+}
+
+/// Resolves the role of the `d`-th declaring app. Every split is a
+/// Bresenham or interleave over the *previous* split's ordinal, so the
+/// funnel is exact at full periods and proportionally correct at any
+/// prefix.
+fn role_from_ordinal(s: &PaperSchedule, d: usize) -> DeclaringRole {
+    let phi = bres(d, P_FUNCTIONAL, P_DECLARING);
+    let functional = bres_hit(d, P_FUNCTIONAL, P_DECLARING);
+    let beta = bres(phi, P_BACKGROUND, P_FUNCTIONAL);
+    if functional && bres_hit(phi, P_BACKGROUND, P_FUNCTIONAL) {
+        let cell = s.cells[beta % P_BACKGROUND] as usize;
+        return DeclaringRole {
+            claim: TABLE1_PAPER[cell].0,
+            functional: true,
+            background: true,
+            auto_start: bres_hit(beta, P_BG_AUTO, P_BACKGROUND),
+            cell,
+            interval: s.intervals[beta % P_BACKGROUND] as usize,
+        };
+    }
+    let claim = nonbg_claim(s, d - beta);
+    if functional {
+        let gamma = phi - beta;
+        DeclaringRole {
+            claim,
+            functional: true,
+            background: false,
+            auto_start: bres_hit(gamma, P_FG_AUTO, P_FG_FUNCTIONAL),
+            cell: 0,
+            interval: 0,
+        }
+    } else {
+        DeclaringRole {
+            claim,
+            functional: false,
+            background: false,
+            auto_start: false,
+            cell: 0,
+            interval: 0,
+        }
+    }
+}
+
 impl Quotas {
-    /// Quotas for a corpus of `total` apps, scaled from the paper's
-    /// 2,800-app study. At `total == 2800` the quotas are the paper's
-    /// integers exactly.
+    /// Quotas for a corpus of `total` apps, counted off the generation
+    /// schedule itself (so generation matches them *exactly* at every
+    /// scale). At `total == 2800` the quotas are the paper's integers.
     ///
     /// # Panics
     ///
@@ -219,44 +411,50 @@ impl Quotas {
     #[must_use]
     pub fn scaled(total: usize) -> Self {
         assert!(total > 0, "corpus must have at least one app");
-        let scale = |n: usize| -> usize { (n * total + 1400) / 2800 };
-        let declaring = scale(1137).min(total);
-        // split of declaring into the three claims
-        let claim_split = apportion(&[193, 182, 762], declaring);
-        let functional = scale(528).min(declaring);
-        let background = scale(102).min(functional).max(1);
-        let auto_start = scale(393).min(functional);
-        let bg_auto_start = scale(85).min(background).min(auto_start);
-
-        let t1_counts: Vec<usize> = TABLE1_PAPER.iter().map(|&(_, _, c)| c).collect();
-        let t1_scaled = apportion(&t1_counts, background);
-        let table1: Vec<(LocationClaim, ProviderCombo, usize)> = TABLE1_PAPER
-            .iter()
-            .zip(&t1_scaled)
-            .map(|(&(claim, combo, _), &c)| (claim, combo, c))
-            .collect();
-
-        let iv_counts: Vec<usize> = INTERVALS_PAPER.iter().map(|&(_, c)| c).collect();
-        let iv_scaled = apportion(&iv_counts, background);
-        let intervals: Vec<(i64, usize)> = INTERVALS_PAPER
-            .iter()
-            .zip(&iv_scaled)
-            .map(|(&(secs, _), &c)| (secs, c))
-            .collect();
-
-        Self {
+        let s = schedule();
+        let mut q = Self {
             total,
-            declaring,
-            fine_only: claim_split[0],
-            coarse_only: claim_split[1],
-            both: claim_split[2],
-            functional,
-            auto_start,
-            background,
-            bg_auto_start,
-            table1,
-            intervals,
+            declaring: 0,
+            fine_only: 0,
+            coarse_only: 0,
+            both: 0,
+            functional: 0,
+            auto_start: 0,
+            background: 0,
+            bg_auto_start: 0,
+            table1: TABLE1_PAPER.iter().map(|&(claim, combo, _)| (claim, combo, 0)).collect(),
+            intervals: INTERVALS_PAPER.iter().map(|&(secs, _)| (secs, 0)).collect(),
+        };
+        let mut d = 0usize;
+        for i in 0..total {
+            if !slot_declares(s, i) {
+                continue;
+            }
+            let role = role_from_ordinal(s, d);
+            d += 1;
+            q.declaring += 1;
+            match role.claim {
+                LocationClaim::FineOnly => q.fine_only += 1,
+                LocationClaim::CoarseOnly => q.coarse_only += 1,
+                LocationClaim::FineAndCoarse => q.both += 1,
+                LocationClaim::None => {}
+            }
+            if role.functional {
+                q.functional += 1;
+            }
+            if role.auto_start {
+                q.auto_start += 1;
+            }
+            if role.background {
+                q.background += 1;
+                if role.auto_start {
+                    q.bg_auto_start += 1;
+                }
+                q.table1[role.cell].2 += 1;
+                q.intervals[role.interval].1 += 1;
+            }
         }
+        q
     }
 
     /// Background apps per claim row of Table I.
@@ -283,7 +481,8 @@ pub struct GroundTruth {
     pub bg_interval_s: Option<i64>,
 }
 
-/// A corpus entry: the app, its store category, and the planted truth.
+/// A corpus entry: the app, its store category, the planted truth, and
+/// (when the sharing knob selected it) the shared SDK fragment it links.
 #[derive(Debug, Clone)]
 pub struct MarketApp {
     /// The installable app.
@@ -292,6 +491,10 @@ pub struct MarketApp {
     pub category: Category,
     /// Ground truth for calibration checks.
     pub truth: GroundTruth,
+    /// The shared SDK fragment linked into this app, if any. The static
+    /// analyzer wires its entry into the launcher activity; the fragment
+    /// is sink-free on reachable paths so classifications are unaffected.
+    pub sdk: Option<Arc<SdkLib>>,
 }
 
 /// Corpus generator configuration.
@@ -299,8 +502,15 @@ pub struct MarketApp {
 pub struct CorpusConfig {
     /// Apps per category (paper: 100).
     pub apps_per_category: usize,
-    /// RNG seed for the assignment shuffles.
+    /// RNG seed for all per-slot draws.
     pub seed: u64,
+    /// Percent of apps (0–100) that embed the shared SDK fragment.
+    pub sdk_share_percent: u8,
+    /// Market crawl epoch this corpus represents; 0 is the initial crawl.
+    pub snapshot: u32,
+    /// Parts-per-million chance per epoch that an app ships an update
+    /// (which redraws its behavioral RNG).
+    pub churn_ppm: u32,
 }
 
 impl CorpusConfig {
@@ -310,6 +520,9 @@ impl CorpusConfig {
         Self {
             apps_per_category: 100,
             seed: 0x5EED_AB99,
+            sdk_share_percent: 0,
+            snapshot: 0,
+            churn_ppm: 10_000,
         }
     }
 
@@ -327,6 +540,38 @@ impl CorpusConfig {
         }
     }
 
+    /// Same corpus with `percent` of apps embedding the shared SDK.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    #[must_use]
+    pub fn with_sdk_share(mut self, percent: u8) -> Self {
+        assert!(percent <= 100, "sdk share is a percentage");
+        self.sdk_share_percent = percent;
+        self
+    }
+
+    /// The same market as crawled at a later `snapshot` epoch: apps hit by
+    /// churn in epochs `1..=snapshot` have shipped updates.
+    #[must_use]
+    pub fn at_snapshot(mut self, snapshot: u32) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
+    /// Same corpus with a different per-epoch update probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppm > 1_000_000`.
+    #[must_use]
+    pub fn with_churn_ppm(mut self, ppm: u32) -> Self {
+        assert!(ppm <= 1_000_000, "churn is parts-per-million");
+        self.churn_ppm = ppm;
+        self
+    }
+
     /// Total apps this configuration generates.
     #[must_use]
     pub fn total(&self) -> usize {
@@ -340,188 +585,198 @@ impl Default for CorpusConfig {
     }
 }
 
-/// Generates the corpus described by `cfg`. Deterministic per seed.
+// Domain-separation tags for the per-slot hashes.
+const TAG_BEHAVIOR: u8 = 0xB1;
+const TAG_SDK: u8 = 0x5D;
+const TAG_CHURN: u8 = 0xC4;
+
+/// Seeded per-slot hash: every per-app draw is keyed off
+/// `(seed, index, extra, tag)` so slots are independent of each other and
+/// of the corpus size.
+fn slot_hash(seed: u64, index: usize, extra: u32, tag: u8) -> u64 {
+    let mut buf = [0u8; 21];
+    buf[..8].copy_from_slice(&seed.to_le_bytes());
+    buf[8..16].copy_from_slice(&(index as u64).to_le_bytes());
+    buf[16..20].copy_from_slice(&extra.to_le_bytes());
+    if let Some(last) = buf.last_mut() {
+        *last = tag;
+    }
+    ir::fnv1a(&buf)
+}
+
+/// How many update epochs in `1..=cfg.snapshot` hit slot `index` — the
+/// app's "version". A bumped version redraws the slot's behavioral RNG.
+#[must_use]
+pub fn app_version(cfg: &CorpusConfig, index: usize) -> u32 {
+    (1..=cfg.snapshot).filter(|&epoch| churn_hit(cfg, index, epoch)).count() as u32
+}
+
+fn churn_hit(cfg: &CorpusConfig, index: usize, epoch: u32) -> bool {
+    slot_hash(cfg.seed, index, epoch, TAG_CHURN) % 1_000_000 < u64::from(cfg.churn_ppm)
+}
+
+/// Whether slot `index` shipped any update between the two snapshots.
+/// O(|snapshot delta|) — the version gate incremental sweeps use to skip
+/// digest computation for the overwhelming majority of apps.
+#[must_use]
+pub fn version_changed(prev: &CorpusConfig, next: &CorpusConfig, index: usize) -> bool {
+    let (lo, hi) = if prev.snapshot <= next.snapshot {
+        (prev.snapshot, next.snapshot)
+    } else {
+        (next.snapshot, prev.snapshot)
+    };
+    ((lo + 1)..=hi).any(|epoch| churn_hit(next, index, epoch))
+}
+
+fn slot_has_sdk(cfg: &CorpusConfig, index: usize) -> bool {
+    slot_hash(cfg.seed, index, 0, TAG_SDK) % 100 < u64::from(cfg.sdk_share_percent)
+}
+
+/// Package name of slot `index` — stable across scales and snapshots.
+#[must_use]
+pub fn package_at(index: usize) -> String {
+    format!("com.{}.app{:03}", ALL_CATEGORIES[index % NCATS].slug(), index / NCATS)
+}
+
+/// Materializes slot `index` under `cfg` given its scheduled role.
+fn materialize(cfg: &CorpusConfig, index: usize, role: Option<DeclaringRole>) -> MarketApp {
+    let category = ALL_CATEGORIES[index % NCATS];
+    let version = app_version(cfg, index);
+    let mut rng = StdRng::seed_from_u64(slot_hash(cfg.seed, index, version, TAG_BEHAVIOR));
+    let (claim, behavior, functional, auto_start, combo, bg_interval, service) = match role {
+        Some(role) if role.background => {
+            let combo = TABLE1_PAPER[role.cell].1;
+            let interval = INTERVALS_PAPER[role.interval].0;
+            let fg_interval = rng.gen_range(1..=30);
+            let behavior = LocationBehavior::requester(combo.providers().iter().copied(), fg_interval)
+                .auto_start(role.auto_start)
+                .background_interval(interval);
+            (role.claim, behavior, true, role.auto_start, Some(combo), Some(interval), true)
+        }
+        Some(role) if role.functional => {
+            let combo = pick_fg_combo(role.claim, &mut rng);
+            let interval = rng.gen_range(1..=60);
+            let behavior = LocationBehavior::requester(combo.providers().iter().copied(), interval).auto_start(role.auto_start);
+            (role.claim, behavior, true, role.auto_start, Some(combo), None, false)
+        }
+        // over-privileged inert app: declares but never requests
+        Some(role) => (role.claim, LocationBehavior::inert(), false, false, None, None, false),
+        None => (
+            LocationClaim::None,
+            LocationBehavior::inert(),
+            false,
+            false,
+            None,
+            None,
+            false,
+        ),
+    };
+    let mut builder = AppBuilder::new(package_at(index))
+        .location_claim(claim)
+        .permission(Permission::Internet)
+        .component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN))
+        .location_service(service)
+        .behavior(behavior);
+    if rng.gen::<f64>() < 0.5 {
+        builder = builder.permission(Permission::AccessNetworkState);
+    }
+    if service {
+        builder = builder.permission(Permission::WakeLock);
+    }
+    // background auto-start apps register at boot, so they declare
+    // the receiver + permission pair real Android requires
+    if service && auto_start {
+        builder = builder
+            .component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(ACTION_BOOT_COMPLETED))
+            .permission(Permission::ReceiveBootCompleted);
+    }
+    let sdk = slot_has_sdk(cfg, index).then(crate::sdk::shared);
+    MarketApp {
+        app: builder.build(),
+        category,
+        truth: GroundTruth {
+            claim,
+            functional,
+            auto_start,
+            combo,
+            bg_interval_s: bg_interval,
+        },
+        sdk,
+    }
+}
+
+/// A lazy walk over the corpus in index order; see [`stream`].
+#[derive(Debug, Clone)]
+pub struct CorpusStream {
+    cfg: CorpusConfig,
+    next: usize,
+    declaring_seen: usize,
+}
+
+impl Iterator for CorpusStream {
+    type Item = MarketApp;
+
+    fn next(&mut self) -> Option<MarketApp> {
+        if self.next >= self.cfg.total() {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        let s = schedule();
+        let role = if slot_declares(s, index) {
+            let role = role_from_ordinal(s, self.declaring_seen);
+            self.declaring_seen += 1;
+            Some(role)
+        } else {
+            None
+        };
+        Some(materialize(&self.cfg, index, role))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.total() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CorpusStream {}
+
+/// Streams the corpus one app at a time without materializing it.
+/// Collecting the stream is bit-identical to [`generate`], and any prefix
+/// is bit-identical to the same prefix of a larger `apps_per_category` —
+/// the property that lets million-app sweeps run in constant memory.
+#[must_use]
+pub fn stream(cfg: &CorpusConfig) -> CorpusStream {
+    CorpusStream {
+        cfg: *cfg,
+        next: 0,
+        declaring_seen: 0,
+    }
+}
+
+/// Random access: the app the stream would yield at `index`, in
+/// O(categories) time.
+///
+/// # Panics
+///
+/// Panics if `index >= cfg.total()`.
+#[must_use]
+pub fn app_at(cfg: &CorpusConfig, index: usize) -> MarketApp {
+    assert!(index < cfg.total(), "index {index} out of corpus bounds");
+    let s = schedule();
+    let role = if slot_declares(s, index) {
+        Some(role_from_ordinal(s, declaring_ordinal(s, index)))
+    } else {
+        None
+    };
+    materialize(cfg, index, role)
+}
+
+/// Generates the corpus described by `cfg`. Deterministic per seed;
+/// equal to collecting [`stream`].
 #[must_use]
 pub fn generate(cfg: &CorpusConfig) -> Vec<MarketApp> {
-    let quotas = Quotas::scaled(cfg.total());
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    // Slot list: (category, rank within category).
-    let mut slots: Vec<(Category, usize)> = Vec::with_capacity(cfg.total());
-    for cat in ALL_CATEGORIES {
-        for rank in 0..cfg.apps_per_category {
-            slots.push((cat, rank));
-        }
-    }
-
-    // Pick which slots declare a location permission, weighted by category
-    // affinity (Efraimidis–Spirakis weighted sampling without replacement).
-    let mut keyed: Vec<(f64, usize)> = slots
-        .iter()
-        .enumerate()
-        .map(|(i, (cat, _))| {
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            ((-u.ln()) / cat.location_affinity(), i)
-        })
-        .collect();
-    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
-    let mut declaring_idx: Vec<usize> = keyed.iter().take(quotas.declaring).map(|&(_, i)| i).collect();
-    declaring_idx.shuffle(&mut rng);
-
-    // Segment the declaring apps: background | foreground-only functional |
-    // inert over-privileged.
-    let bg_idx = &declaring_idx[..quotas.background];
-    let fg_idx = &declaring_idx[quotas.background..quotas.functional];
-    let inert_idx = &declaring_idx[quotas.functional..];
-
-    // Per-app plans, defaulting to "not declaring".
-    #[derive(Clone)]
-    struct Plan {
-        claim: LocationClaim,
-        behavior: LocationBehavior,
-        functional: bool,
-        auto_start: bool,
-        combo: Option<ProviderCombo>,
-        bg_interval: Option<i64>,
-        service: bool,
-    }
-    let mut plans: Vec<Plan> = vec![
-        Plan {
-            claim: LocationClaim::None,
-            behavior: LocationBehavior::inert(),
-            functional: false,
-            auto_start: false,
-            combo: None,
-            bg_interval: None,
-            service: false,
-        };
-        slots.len()
-    ];
-
-    // --- Background apps: Table I cells drive claim + combo. ---
-    let mut bg_assignments: Vec<(LocationClaim, ProviderCombo)> = Vec::with_capacity(quotas.background);
-    for &(claim, combo, count) in &quotas.table1 {
-        for _ in 0..count {
-            bg_assignments.push((claim, combo));
-        }
-    }
-    debug_assert_eq!(bg_assignments.len(), quotas.background);
-    bg_assignments.shuffle(&mut rng);
-
-    let mut bg_intervals: Vec<i64> = Vec::with_capacity(quotas.background);
-    for &(secs, count) in &quotas.intervals {
-        for _ in 0..count {
-            bg_intervals.push(secs);
-        }
-    }
-    debug_assert_eq!(bg_intervals.len(), quotas.background);
-    bg_intervals.shuffle(&mut rng);
-
-    for (k, &slot) in bg_idx.iter().enumerate() {
-        let (claim, combo) = bg_assignments[k];
-        let interval = bg_intervals[k];
-        let fg_interval = rng.gen_range(1..=30);
-        let behavior = LocationBehavior::requester(combo.providers().iter().copied(), fg_interval)
-            .auto_start(k < quotas.bg_auto_start)
-            .background_interval(interval);
-        plans[slot] = Plan {
-            claim,
-            auto_start: behavior.is_auto_start(),
-            behavior,
-            functional: true,
-            combo: Some(combo),
-            bg_interval: Some(interval),
-            service: true,
-        };
-    }
-
-    // --- Remaining claim pool for foreground-only + inert apps. ---
-    let mut claim_pool: Vec<LocationClaim> = Vec::new();
-    let used_fine = quotas.table1_row_total(LocationClaim::FineOnly);
-    let used_coarse = quotas.table1_row_total(LocationClaim::CoarseOnly);
-    let used_both = quotas.table1_row_total(LocationClaim::FineAndCoarse);
-    claim_pool.extend(std::iter::repeat_n(
-        LocationClaim::FineOnly,
-        quotas.fine_only.saturating_sub(used_fine),
-    ));
-    claim_pool.extend(std::iter::repeat_n(
-        LocationClaim::CoarseOnly,
-        quotas.coarse_only.saturating_sub(used_coarse),
-    ));
-    claim_pool.extend(std::iter::repeat_n(
-        LocationClaim::FineAndCoarse,
-        quotas.both.saturating_sub(used_both),
-    ));
-    // Rounding at tiny scales can leave the pool short; pad with the modal
-    // claim.
-    while claim_pool.len() < fg_idx.len() + inert_idx.len() {
-        claim_pool.push(LocationClaim::FineAndCoarse);
-    }
-    claim_pool.shuffle(&mut rng);
-    let mut claim_iter = claim_pool.into_iter();
-
-    // --- Foreground-only functional apps. ---
-    let fg_auto_quota = quotas.auto_start.saturating_sub(quotas.bg_auto_start).min(fg_idx.len());
-    for (k, &slot) in fg_idx.iter().enumerate() {
-        let claim = claim_iter.next().expect("claim pool sized above");
-        let combo = pick_fg_combo(claim, &mut rng);
-        let interval = rng.gen_range(1..=60);
-        let behavior = LocationBehavior::requester(combo.providers().iter().copied(), interval).auto_start(k < fg_auto_quota);
-        plans[slot] = Plan {
-            claim,
-            auto_start: behavior.is_auto_start(),
-            behavior,
-            functional: true,
-            combo: Some(combo),
-            bg_interval: None,
-            service: false,
-        };
-    }
-
-    // --- Over-privileged inert apps: declare but never request. ---
-    for &slot in inert_idx {
-        let claim = claim_iter.next().expect("claim pool sized above");
-        plans[slot].claim = claim;
-    }
-
-    // --- Materialize apps. ---
-    slots
-        .iter()
-        .zip(plans)
-        .map(|(&(category, rank), plan)| {
-            let package = format!("com.{}.app{rank:03}", category.slug());
-            let mut builder = AppBuilder::new(package)
-                .location_claim(plan.claim)
-                .permission(Permission::Internet)
-                .component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN))
-                .location_service(plan.service)
-                .behavior(plan.behavior);
-            if rng.gen::<f64>() < 0.5 {
-                builder = builder.permission(Permission::AccessNetworkState);
-            }
-            if plan.service {
-                builder = builder.permission(Permission::WakeLock);
-            }
-            // background auto-start apps register at boot, so they declare
-            // the receiver + permission pair real Android requires
-            if plan.service && plan.auto_start {
-                builder = builder
-                    .component(Component::new(ComponentKind::Receiver, ".BootReceiver").with_action(ACTION_BOOT_COMPLETED))
-                    .permission(Permission::ReceiveBootCompleted);
-            }
-            MarketApp {
-                app: builder.build(),
-                category,
-                truth: GroundTruth {
-                    claim: plan.claim,
-                    functional: plan.functional,
-                    auto_start: plan.auto_start,
-                    combo: plan.combo,
-                    bg_interval_s: plan.bg_interval,
-                },
-            }
-        })
-        .collect()
+    stream(cfg).collect()
 }
 
 /// Combo choice for foreground-only requesters, respecting the claim.
@@ -567,6 +822,13 @@ mod tests {
         assert_eq!(q.table1_row_total(LocationClaim::FineAndCoarse), 78);
         let iv_total: usize = q.intervals.iter().map(|&(_, c)| c).sum();
         assert_eq!(iv_total, 102);
+        // every Table I cell lands on its paper integer exactly
+        for (planted, paper) in q.table1.iter().zip(&TABLE1_PAPER) {
+            assert_eq!(planted, paper);
+        }
+        for (planted, paper) in q.intervals.iter().zip(&INTERVALS_PAPER) {
+            assert_eq!(planted, paper);
+        }
     }
 
     #[test]
@@ -595,6 +857,19 @@ mod tests {
             assert_eq!(t1, q.background, "table1 cells must sum to bg count at {per_cat}");
             let iv: usize = q.intervals.iter().map(|&(_, c)| c).sum();
             assert_eq!(iv, q.background);
+        }
+    }
+
+    #[test]
+    fn all_reach_classes_appear_from_small_scales_up() {
+        // the cross-validation suites rely on every class existing even in
+        // small corpora — the chained-ordinal schedule guarantees it
+        for per_cat in [4usize, 6, 8, 12] {
+            let q = Quotas::scaled(per_cat * 28);
+            assert!(q.declaring > q.functional, "inert apps at {per_cat}");
+            assert!(q.functional > q.background, "fg-only apps at {per_cat}");
+            assert!(q.background > q.bg_auto_start, "bg-capable apps at {per_cat}");
+            assert!(q.bg_auto_start > 0, "auto-start apps at {per_cat}");
         }
     }
 
@@ -698,5 +973,106 @@ mod tests {
         assert_eq!(out[3], 0, "zero-weight cell must stay zero");
         let out = apportion(&[1, 1, 1], 0);
         assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn interleave_is_quota_exact_over_a_period() {
+        for counts in [
+            vec![175, 176, 684],
+            vec![7, 3, 4, 2, 1, 1, 6, 32, 9, 7, 14, 5, 4, 6, 1],
+            vec![20, 15, 12, 12, 6, 5, 6, 5, 4, 9, 7, 1],
+        ] {
+            let table = interleave(&counts);
+            assert_eq!(table.len(), counts.iter().sum::<usize>());
+            for (k, &c) in counts.iter().enumerate() {
+                let got = table.iter().filter(|&&x| x as usize == k).count();
+                assert_eq!(got, c, "bucket {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_access_matches_stream() {
+        let cfg = CorpusConfig::scaled(7).with_sdk_share(35).at_snapshot(2);
+        for (i, entry) in stream(&cfg).enumerate() {
+            let direct = app_at(&cfg, i);
+            assert_eq!(direct.app, entry.app, "slot {i}");
+            assert_eq!(direct.truth, entry.truth, "slot {i}");
+            assert_eq!(direct.sdk.is_some(), entry.sdk.is_some(), "slot {i}");
+            assert_eq!(entry.app.manifest().package(), package_at(i));
+        }
+    }
+
+    #[test]
+    fn stream_prefix_is_stable_under_larger_totals() {
+        let small = CorpusConfig::scaled(4).with_sdk_share(50);
+        let big = CorpusConfig {
+            apps_per_category: 11,
+            ..small
+        };
+        for (i, (s, b)) in stream(&small).zip(stream(&big)).enumerate() {
+            assert_eq!(s.app, b.app, "slot {i}");
+            assert_eq!(s.truth, b.truth, "slot {i}");
+            assert_eq!(s.sdk.is_some(), b.sdk.is_some(), "slot {i}");
+        }
+        assert_eq!(stream(&small).len(), small.total());
+    }
+
+    #[test]
+    fn sdk_share_knob_controls_membership() {
+        let none = generate(&CorpusConfig::scaled(5));
+        assert!(none.iter().all(|e| e.sdk.is_none()), "default share is 0");
+        let all = generate(&CorpusConfig::scaled(5).with_sdk_share(100));
+        assert!(all.iter().all(|e| e.sdk.is_some()));
+        let cfg = CorpusConfig::scaled(10).with_sdk_share(50);
+        let half = generate(&cfg);
+        let n = half.iter().filter(|e| e.sdk.is_some()).count();
+        let total = cfg.total();
+        assert!(n > total * 35 / 100 && n < total * 65 / 100, "{n}/{total} apps with sdk");
+        // membership is a per-slot property: snapshots don't change it
+        let later = generate(&cfg.at_snapshot(4));
+        for (a, b) in half.iter().zip(&later) {
+            assert_eq!(a.sdk.is_some(), b.sdk.is_some());
+        }
+    }
+
+    #[test]
+    fn snapshots_churn_behaviors_but_preserve_the_funnel() {
+        let cfg = CorpusConfig::scaled(6).with_churn_ppm(200_000);
+        let t0 = generate(&cfg);
+        let t3 = generate(&cfg.at_snapshot(3));
+        let mut changed = 0usize;
+        for (i, (a, b)) in t0.iter().zip(&t3).enumerate() {
+            // roles are scheduled per slot, so the funnel never moves
+            assert_eq!(a.truth.claim, b.truth.claim, "slot {i}");
+            assert_eq!(a.truth.functional, b.truth.functional, "slot {i}");
+            assert_eq!(a.truth.auto_start, b.truth.auto_start, "slot {i}");
+            assert_eq!(a.truth.bg_interval_s, b.truth.bg_interval_s, "slot {i}");
+            changed += usize::from(a.app != b.app);
+            assert_eq!(
+                version_changed(&cfg, &cfg.at_snapshot(3), i),
+                app_version(&cfg.at_snapshot(3), i) > 0,
+                "slot {i}"
+            );
+        }
+        // 20 % churn over three epochs must have updated *something*
+        assert!(changed > 0, "churn changed no app");
+        assert!(changed < t0.len(), "churn changed every app");
+    }
+
+    #[test]
+    fn version_gate_is_sound() {
+        // whenever the materialized app differs between snapshots, the
+        // version gate must have flagged the slot (never vice versa
+        // misses): unchanged version implies bit-identical app
+        let base = CorpusConfig::scaled(5).with_churn_ppm(300_000);
+        let next = base.at_snapshot(2);
+        for i in 0..base.total() {
+            if !version_changed(&base, &next, i) {
+                let a = app_at(&base, i);
+                let b = app_at(&next, i);
+                assert_eq!(a.app, b.app, "slot {i} changed without a version bump");
+            }
+        }
     }
 }

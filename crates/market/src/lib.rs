@@ -45,8 +45,11 @@ pub mod dynamic_analysis;
 pub mod obs;
 pub mod reach;
 pub mod report;
+pub mod sdk;
 pub mod static_analysis;
 pub mod stats;
+pub mod summary;
+pub mod sweep;
 
 use corpus::CorpusConfig;
 

@@ -1,6 +1,6 @@
 //! Telemetry statics for the market crate.
 
-use backwatch_obs::Counter;
+use backwatch_obs::{Counter, Histogram};
 use std::sync::Once;
 
 /// Apps run through the dynamic-analysis protocol.
@@ -21,6 +21,21 @@ pub static REACH_UNKNOWN_COMBO: Counter = Counter::new();
 pub static STATIC_PARSE_FAILURES: Counter = Counter::new();
 /// Ratio computations that hit a zero denominator and returned 0.0.
 pub static STATIC_ZERO_DENOMINATOR: Counter = Counter::new();
+/// Per-class summary lookups served from the content-hash cache.
+pub static REACH_CACHE_HITS: Counter = Counter::new();
+/// Per-class summary lookups that had to compute a fresh summary.
+pub static REACH_CACHE_MISSES: Counter = Counter::new();
+/// Apps an *incremental* sweep actually re-analyzed because their
+/// app-level digest changed (cold sweeps do not count — they are not
+/// re-analyses).
+pub static REACH_APPS_REANALYZED: Counter = Counter::new();
+
+/// Bucket bounds, in wall-clock seconds, for one whole-corpus sweep:
+/// sub-second small corpora up to multi-minute million-app sweeps.
+static SWEEP_BOUNDS_S: [u64; 9] = [1, 2, 5, 10, 30, 60, 120, 300, 600];
+
+/// Wall-clock seconds one corpus sweep (cold or incremental) took.
+pub static REACH_SWEEP_SECONDS: Histogram = Histogram::new(&SWEEP_BOUNDS_S);
 
 static REGISTER: Once = Once::new();
 
@@ -61,6 +76,26 @@ pub fn register() {
             "market.reach.unknown_combo_total",
             "functional apps whose provider set matches no Table I combo",
             &REACH_UNKNOWN_COMBO,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.cache_hits_total",
+            "per-class summary lookups served from the content-hash cache",
+            &REACH_CACHE_HITS,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.cache_misses_total",
+            "per-class summary lookups that computed a fresh summary",
+            &REACH_CACHE_MISSES,
+        );
+        backwatch_obs::register_counter(
+            "market.reach.apps_reanalyzed_total",
+            "apps an incremental sweep re-analyzed after a digest change",
+            &REACH_APPS_REANALYZED,
+        );
+        backwatch_obs::register_histogram(
+            "market.reach.sweep_seconds",
+            "wall-clock seconds one corpus sweep took",
+            &REACH_SWEEP_SECONDS,
         );
         backwatch_obs::register_counter(
             "market.static.parse_failures_total",

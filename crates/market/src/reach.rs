@@ -26,6 +26,7 @@
 //! than aborting the sweep.
 
 use crate::corpus::{MarketApp, ProviderCombo};
+use crate::sdk::SdkLib;
 use crate::stats::ProviderTable;
 use backwatch_android::app::{App, ComponentKind, Manifest};
 use backwatch_android::ir::{self, IrInstr, IrProgram};
@@ -296,6 +297,57 @@ pub fn analyze_program(manifest: &Manifest, program: &IrProgram) -> ProgramAnaly
     }
 }
 
+/// Lowers a corpus entry's own code and, when it links the shared SDK,
+/// wires the fragment's boot call into every launcher activity's
+/// `onCreate` — the build-system step that makes library code reachable
+/// from app startup. The fragment's *classes* are not appended here; see
+/// [`analyze_entry`] for the composed program.
+pub(crate) fn lower_with_sdk(entry: &MarketApp) -> IrProgram {
+    let mut program = ir::lower(&entry.app);
+    if let Some(sdk) = &entry.sdk {
+        wire_sdk(&mut program, entry.app.manifest(), sdk);
+    }
+    program
+}
+
+fn wire_sdk(program: &mut IrProgram, manifest: &Manifest, sdk: &SdkLib) {
+    let (sdk_class, sdk_method) = sdk.entry();
+    for component in manifest.components() {
+        if component.kind != ComponentKind::Activity {
+            continue;
+        }
+        let class_path = component.class_path(manifest.package());
+        if let Some(class) = program.classes.iter_mut().find(|c| c.name == class_path) {
+            if let Some(method) = class.methods.iter_mut().find(|m| m.name == "onCreate") {
+                method.instrs.push(IrInstr::Invoke {
+                    class: sdk_class.to_owned(),
+                    method: sdk_method.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Analyzes one corpus entry end to end, *including* its linked SDK
+/// fragment: the composed program (own classes with the SDK boot call
+/// wired in, plus the fragment's classes) goes through the same text
+/// round-trip and classification as [`analyze_app`]. Entries without an
+/// SDK behave exactly like [`analyze_app`].
+#[must_use]
+pub fn analyze_entry(entry: &MarketApp) -> ReachFinding {
+    analyze_entry_inner(entry).0
+}
+
+/// [`analyze_entry`] plus whether the IR text round-trip failed.
+pub(crate) fn analyze_entry_inner(entry: &MarketApp) -> (ReachFinding, bool) {
+    crate::obs::register();
+    let mut program = lower_with_sdk(entry);
+    if let Some(sdk) = &entry.sdk {
+        program.classes.extend(sdk.program().classes.iter().cloned());
+    }
+    finish_app_analysis(entry.app.manifest(), &ir::render(&program))
+}
+
 /// Analyzes one app end to end: lower to IR, round-trip through the text
 /// format, analyze. A program that fails the round-trip is counted and
 /// classified as a non-accessor (the sweep equivalent of a decompilation
@@ -308,9 +360,13 @@ pub fn analyze_app(app: &App) -> ReachFinding {
 /// [`analyze_app`] plus whether the IR text round-trip failed.
 fn analyze_app_inner(app: &App) -> (ReachFinding, bool) {
     crate::obs::register();
-    let manifest = app.manifest();
-    let text = ir::render(&ir::lower(app));
-    let (analysis, parse_failed) = match ir::parse(&text) {
+    finish_app_analysis(app.manifest(), &ir::render(&ir::lower(app)))
+}
+
+/// The shared tail of [`analyze_app`] and [`analyze_entry`]: parse the
+/// rendered IR text and classify it against the manifest.
+fn finish_app_analysis(manifest: &Manifest, text: &str) -> (ReachFinding, bool) {
+    let (analysis, parse_failed) = match ir::parse(text) {
         Ok(program) => (analyze_program(manifest, &program), false),
         Err(_) => {
             crate::obs::REACH_PARSE_FAILURES.inc();
@@ -350,7 +406,7 @@ pub fn analyze(corpus: &[MarketApp]) -> ReachReport {
     let findings: Vec<ReachFinding> = corpus
         .iter()
         .map(|e| {
-            let (f, failed) = analyze_app_inner(&e.app);
+            let (f, failed) = analyze_entry_inner(e);
             parse_failures += usize::from(failed);
             f
         })
@@ -573,6 +629,42 @@ mod tests {
             let f = analyze_app(&app);
             assert_eq!(f.class, expected, "behavior {:?}", app.behavior());
         }
+    }
+
+    #[test]
+    fn sdk_fragment_never_changes_classification() {
+        // the standard fragment is sink-free on reachable paths: linking
+        // it (at 100 % share) must leave every classification and
+        // provider set exactly where the bare analysis puts it
+        let corpus = generate(&CorpusConfig::scaled(5).with_sdk_share(100));
+        for entry in &corpus {
+            assert!(entry.sdk.is_some());
+            let bare = analyze_app(&entry.app);
+            let composed = analyze_entry(entry);
+            assert_eq!(bare.class, composed.class, "{}", bare.package);
+            assert_eq!(bare.providers, composed.providers, "{}", bare.package);
+        }
+    }
+
+    #[test]
+    fn sink_bearing_fragment_is_seen_by_the_analysis() {
+        let corpus = generate(&CorpusConfig::scaled(5));
+        // a declaring-but-inert app with the sink-bearing test SDK wired
+        // into its activity must become foreground-only via fragment code
+        let inert = corpus
+            .iter()
+            .find(|e| e.truth.claim.declares_location() && !e.truth.functional)
+            .unwrap();
+        let mut doctored = inert.clone();
+        doctored.sdk = Some(crate::sdk::shared_with_sink());
+        let f = analyze_entry(&doctored);
+        assert_eq!(f.class, ReachClass::ForegroundOnly, "{}", f.package);
+        assert_eq!(f.providers, BTreeSet::from([ProviderKind::Gps]));
+        // while the permission gate still holds for non-declaring hosts
+        let none = corpus.iter().find(|e| !e.truth.claim.declares_location()).unwrap();
+        let mut gated = none.clone();
+        gated.sdk = Some(crate::sdk::shared_with_sink());
+        assert_eq!(analyze_entry(&gated).class, ReachClass::NonAccessor);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Streamed-corpus equivalence: `corpus::stream` must be a drop-in for
+//! `corpus::generate` — same apps, same order, same ground truth, same
+//! SDK membership — and any prefix of the stream must be stable when the
+//! corpus grows (apps are addressed by schedule slot, so adding ranks
+//! never perturbs earlier ones). The first property is pinned
+//! element-for-element at paper scale; the second is a property test
+//! over sizes, seeds, and knob settings.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_market::corpus::{app_at, generate, stream, CorpusConfig, MarketApp};
+use proptest::prelude::*;
+
+fn assert_same_entry(a: &MarketApp, b: &MarketApp, i: usize) {
+    assert_eq!(a.app, b.app, "app at index {i}");
+    assert_eq!(a.category, b.category, "category at index {i}");
+    assert_eq!(a.truth, b.truth, "ground truth at index {i}");
+    assert_eq!(
+        a.sdk.as_ref().map(|s| s.digest()),
+        b.sdk.as_ref().map(|s| s.digest()),
+        "SDK membership at index {i}"
+    );
+}
+
+#[test]
+fn stream_collects_to_generate_at_paper_scale() {
+    let cfg = CorpusConfig::paper_scale().with_sdk_share(90);
+    let streamed: Vec<MarketApp> = stream(&cfg).collect();
+    let generated = generate(&cfg);
+    assert_eq!(streamed.len(), cfg.total());
+    assert_eq!(generated.len(), cfg.total());
+    for (i, (s, g)) in streamed.iter().zip(&generated).enumerate() {
+        assert_same_entry(s, g, i);
+    }
+}
+
+#[test]
+fn stream_length_is_exact() {
+    let cfg = CorpusConfig::scaled(9).with_sdk_share(25);
+    let mut s = stream(&cfg);
+    assert_eq!(s.len(), cfg.total());
+    let mut drained = 0usize;
+    while let Some(entry) = s.next() {
+        drained += 1;
+        assert_eq!(s.len(), cfg.total() - drained);
+        // the stream is random-access consistent while it drains
+        assert_eq!(entry.app, app_at(&cfg, drained - 1).app);
+    }
+    assert_eq!(drained, cfg.total());
+}
+
+#[test]
+fn sdk_fragment_is_shared_not_duplicated() {
+    let cfg = CorpusConfig::scaled(4).with_sdk_share(100);
+    let corpus: Vec<MarketApp> = stream(&cfg).collect();
+    let mut linked = corpus.iter().filter_map(|e| e.sdk.as_ref());
+    let first = linked.next().expect("full share links every app");
+    for other in linked {
+        assert!(
+            std::sync::Arc::ptr_eq(first, other),
+            "one fragment allocation serves the whole corpus"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Growing the market never rewrites history: the first `total`
+    /// apps of a larger corpus are bit-identical to the smaller corpus,
+    /// across seeds, SDK share, and snapshot epochs.
+    #[test]
+    fn any_prefix_is_stable_under_larger_totals(
+        small in 1usize..=8,
+        extra in 1usize..=8,
+        seed in any::<u64>(),
+        share in 0u8..=100,
+        snapshot in 0u32..=3,
+    ) {
+        let a = CorpusConfig { apps_per_category: small, seed, sdk_share_percent: share, snapshot, churn_ppm: 10_000 };
+        let b = CorpusConfig { apps_per_category: small + extra, ..a };
+        let full: Vec<MarketApp> = stream(&a).collect();
+        let prefix: Vec<MarketApp> = stream(&b).take(a.total()).collect();
+        prop_assert_eq!(full.len(), prefix.len());
+        for (i, (f, p)) in full.iter().zip(&prefix).enumerate() {
+            assert_same_entry(f, p, i);
+        }
+    }
+}
