@@ -81,7 +81,7 @@ pub fn assess(observed: &Profile, profiles: &[Profile], matcher: &Matcher, weigh
             entropy_bits: 0.0,
         };
     }
-    let posterior = entropy::normalize(&weights).expect("weights are strictly positive");
+    let posterior = posterior_from_weights(&weights);
     let h = entropy::shannon_bits(&posterior);
     let n = profiles.len();
     let degree = if n <= 1 {
@@ -94,6 +94,22 @@ pub fn assess(observed: &Profile, profiles: &[Profile], matcher: &Matcher, weigh
         posterior,
         degree,
         entropy_bits: h,
+    }
+}
+
+/// Normalizes match weights into a posterior. A weight vector can sum to
+/// zero (e.g. `InverseChiSquare` with an infinite statistic clamps every
+/// entry to 0.0); the adversary then has no basis to prefer any candidate,
+/// so the posterior degrades to uniform over the anonymity set — counted,
+/// never a panic.
+fn posterior_from_weights(weights: &[f64]) -> Vec<f64> {
+    match entropy::normalize(weights) {
+        Some(p) => p,
+        None => {
+            crate::obs::register();
+            crate::obs::ANONYMITY_DEGENERATE.inc();
+            vec![1.0 / weights.len() as f64; weights.len()]
+        }
     }
 }
 
@@ -178,6 +194,27 @@ mod tests {
             let sum: f64 = out.posterior.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "{weighting:?}");
         }
+    }
+
+    #[test]
+    fn degenerate_all_zero_weights_fall_back_to_uniform() {
+        // InverseChiSquare with an infinite statistic clamps every weight
+        // to exactly 0.0; the posterior must degrade to uniform, not panic.
+        let p = posterior_from_weights(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(p, vec![0.25; 4]);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_single_zero_weight_is_certainty() {
+        let p = posterior_from_weights(&[0.0]);
+        assert_eq!(p, vec![1.0]);
+    }
+
+    #[test]
+    fn positive_weights_normalize_as_before() {
+        let p = posterior_from_weights(&[1.0, 3.0]);
+        assert!((p[0] - 0.25).abs() < 1e-12 && (p[1] - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! toolbox: [`timeconfusion`] (Hoh et al.'s time-to-confusion) and
 //! [`reident`] (Zang & Bolot's top-N location anonymity sets).
 //!
+//! Two richer adversary channels extend the single-app threat model:
+//! [`pooling`] merges per-app fix streams across apps that embed the same
+//! tracking SDK (ad-network aggregation), and [`leakage`] models network
+//! traffic that exfiltrates coordinates truncated to d decimal digits at
+//! interval i, with a containment adversary whose candidate sets are
+//! provably monotone in both knobs.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,10 +49,12 @@ pub mod adversary;
 pub mod anonymity;
 pub mod diary;
 pub mod hisbin;
+pub mod leakage;
 pub mod metrics;
 pub mod obs;
 pub mod pattern;
 pub mod poi;
+pub mod pooling;
 pub mod reident;
 pub mod report;
 pub mod risk;

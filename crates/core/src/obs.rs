@@ -46,6 +46,30 @@ pub static STREAM_DECODE_FAILURES: Counter = Counter::new();
 /// Advisory high-water mark of fixes buffered by any single streaming
 /// engine (entry/exit windows; the PoI accumulator is constant-size).
 pub static STREAM_PEAK_BUFFER: Gauge = Gauge::new();
+/// SDK pools merged by the cross-app adversary (one per shared-SDK group
+/// with at least one collecting member).
+pub static POOL_MERGES: Counter = Counter::new();
+/// Per-app fix streams folded into pooled streams.
+pub static POOL_STREAMS: Counter = Counter::new();
+/// Fixes in merged pooled streams (after cross-app deduplication).
+pub static POOL_FIXES: Counter = Counter::new();
+/// Fixes observed by more than one pooled app and collapsed by the merge.
+pub static POOL_DUPLICATES: Counter = Counter::new();
+/// SDK-member apps that contributed no fixes (embedded but never ran).
+pub static POOL_SILENT: Counter = Counter::new();
+/// Pooled-stream replays in which His_bin fired against the target.
+pub static POOL_DETECTIONS: Counter = Counter::new();
+/// Traffic-leakage channel applications (one per observed trace).
+pub static LEAK_OBSERVATIONS: Counter = Counter::new();
+/// Fixes that crossed the leakage channel (sampled, then truncated).
+pub static LEAK_FIXES: Counter = Counter::new();
+/// Candidate-set queries answered by the containment adversary.
+pub static LEAK_CANDIDATE_SETS: Counter = Counter::new();
+/// Total candidates across all containment queries.
+pub static LEAK_CANDIDATES: Counter = Counter::new();
+/// Degenerate all-zero weight vectors in the anonymity posterior,
+/// recovered with a uniform posterior instead of panicking.
+pub static ANONYMITY_DEGENERATE: Counter = Counter::new();
 
 /// Registers this crate's metrics with the global registry. Idempotent and
 /// cheap (a `Once`); called from the extractor and matcher constructors so
@@ -110,6 +134,57 @@ pub fn register() {
             "core.stream.peak_buffer_current",
             "high-water mark of fixes buffered by a streaming engine",
             &STREAM_PEAK_BUFFER,
+        );
+        register_counter("core.pool_adversary.merges_total", "SDK pools merged", &POOL_MERGES);
+        register_counter(
+            "core.pool_adversary.pooled_streams_total",
+            "per-app fix streams folded into pools",
+            &POOL_STREAMS,
+        );
+        register_counter(
+            "core.pool_adversary.pooled_fixes_total",
+            "fixes in merged pooled streams",
+            &POOL_FIXES,
+        );
+        register_counter(
+            "core.pool_adversary.duplicate_fixes_total",
+            "cross-app duplicate fixes collapsed by the merge",
+            &POOL_DUPLICATES,
+        );
+        register_counter(
+            "core.pool_adversary.silent_members_total",
+            "SDK members that contributed no fixes",
+            &POOL_SILENT,
+        );
+        register_counter(
+            "core.pool_adversary.detections_total",
+            "pooled replays in which His_bin fired",
+            &POOL_DETECTIONS,
+        );
+        register_counter(
+            "core.leakage.observations_total",
+            "traffic-leakage channel applications",
+            &LEAK_OBSERVATIONS,
+        );
+        register_counter(
+            "core.leakage.fixes_leaked_total",
+            "fixes that crossed the leakage channel",
+            &LEAK_FIXES,
+        );
+        register_counter(
+            "core.leakage.candidate_sets_total",
+            "containment candidate-set queries",
+            &LEAK_CANDIDATE_SETS,
+        );
+        register_counter(
+            "core.leakage.candidates_total",
+            "candidates across all containment queries",
+            &LEAK_CANDIDATES,
+        );
+        register_counter(
+            "core.anonymity.degenerate_weights_total",
+            "all-zero weight vectors recovered with a uniform posterior",
+            &ANONYMITY_DEGENERATE,
         );
     });
 }

@@ -1,0 +1,273 @@
+//! Cross-app stream pooling: the ad-SDK adversary.
+//!
+//! The paper's threat model is one background app reading GPS. An
+//! ad-network adversary is stronger: every app that embeds its tracking
+//! SDK reports the fixes it collects, so the adversary sees the *union*
+//! of k per-app streams of the same user (arXiv 1903.09916 direction).
+//!
+//! A per-app stream is a sorted set of indices into the user's full
+//! trace — which fixes that app's polling schedule collected.
+//! [`pool_streams`] groups streams by SDK identity and merges each
+//! group's indices into one timestamp-ordered, deduplicated pooled
+//! stream. The merge is *order-canonical*: the result is a sorted unique
+//! union, so it is invariant under permutation of the input streams, and
+//! pooling a single stream returns exactly that stream's indices —
+//! [`detect_pooled`] on a k=1 pool is therefore bit-identical to the
+//! single-app adversary (the differential suite in
+//! `tests/adversary_equivalence.rs` pins this under `--release`).
+//!
+//! Apps without an SDK stay solo (the classic single-app channel); SDK
+//! members that never collected a fix are counted as silent — they embed
+//! the fragment but were never scheduled to run.
+
+use crate::hisbin::{detect_incremental, Detection, Matcher};
+use crate::pattern::{PatternKind, Profile};
+use crate::poi::{SpatioTemporalExtractor, Stay};
+use backwatch_geo::{Grid, Seconds};
+use backwatch_trace::SoaProjectedTrace;
+use std::collections::BTreeMap;
+
+/// One app's collected fix stream over a single user's trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppStream {
+    /// Corpus slot (or any caller-chosen app identity).
+    pub app_id: u32,
+    /// Identity of the tracking SDK the app embeds, if any
+    /// (`SdkLib::digest` in the market corpus).
+    pub sdk: Option<u64>,
+    /// Sorted, deduplicated indices into the user's trace.
+    indices: Vec<u32>,
+}
+
+impl AppStream {
+    /// Builds a stream, normalizing `indices` to sorted unique order so
+    /// every downstream merge is canonical.
+    #[must_use]
+    pub fn new(app_id: u32, sdk: Option<u64>, mut indices: Vec<u32>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        Self { app_id, sdk, indices }
+    }
+
+    /// The fix indices this app collected (sorted unique).
+    #[must_use]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+}
+
+/// A merged stream: every fix any member app of one SDK reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pool {
+    /// The shared SDK identity.
+    pub sdk: u64,
+    /// Member apps that contributed fixes, sorted by id.
+    pub app_ids: Vec<u32>,
+    /// Sorted unique union of the members' fix indices.
+    pub indices: Vec<u32>,
+}
+
+/// Classification of a set of app streams into adversary channels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolSet {
+    /// One merged stream per SDK with at least one collecting member,
+    /// sorted by SDK identity.
+    pub pools: Vec<Pool>,
+    /// SDK members that contributed no fixes (embedded, never ran).
+    pub silent_members: usize,
+    /// Apps without any SDK: they stay on the single-app channel.
+    pub solo_apps: usize,
+}
+
+/// Groups `streams` by SDK identity and merges each group.
+///
+/// Canonical regardless of input order: pools are keyed and sorted by SDK
+/// identity, member ids are sorted, and each merged index list is the
+/// sorted unique union of its members.
+#[must_use]
+pub fn pool_streams(streams: &[AppStream]) -> PoolSet {
+    crate::obs::register();
+    let mut groups: BTreeMap<u64, Vec<&AppStream>> = BTreeMap::new();
+    let mut silent = 0usize;
+    let mut solo = 0usize;
+    for s in streams {
+        match s.sdk {
+            Some(_) if s.indices.is_empty() => silent += 1,
+            Some(sdk) => groups.entry(sdk).or_default().push(s),
+            None => solo += 1,
+        }
+    }
+    let mut pools = Vec::with_capacity(groups.len());
+    for (sdk, members) in groups {
+        let input_fixes: usize = members.iter().map(|m| m.indices.len()).sum();
+        let mut indices = Vec::with_capacity(input_fixes);
+        for m in &members {
+            indices.extend_from_slice(&m.indices);
+        }
+        indices.sort_unstable();
+        indices.dedup();
+        let mut app_ids: Vec<u32> = members.iter().map(|m| m.app_id).collect();
+        app_ids.sort_unstable();
+        crate::obs::POOL_MERGES.inc();
+        crate::obs::POOL_STREAMS.add(members.len() as u64);
+        crate::obs::POOL_FIXES.add(indices.len() as u64);
+        crate::obs::POOL_DUPLICATES.add((input_fixes - indices.len()) as u64);
+        pools.push(Pool { sdk, app_ids, indices });
+    }
+    crate::obs::POOL_SILENT.add(silent as u64);
+    PoolSet {
+        pools,
+        silent_members: silent,
+        solo_apps: solo,
+    }
+}
+
+/// Indices an app polling every `interval` seconds with phase `offset`
+/// collects from a trace with the given fix `times`.
+///
+/// Residue scheme: the app samples at absolute seconds
+/// `t0 + offset + m·interval` (t0 = first fix time); a fix is kept
+/// iff its timestamp is exactly one of those instants. Gaps in the trace
+/// simply yield no fix for that instant. `times` must be strictly
+/// increasing (the [`backwatch_trace::Trace`] invariant).
+///
+/// Two apps with the same interval but different offsets see disjoint
+/// slices of a 1 Hz trace — pooling them densifies the sampling toward
+/// `interval / k`, which is exactly the X10 experiment's mechanism.
+#[must_use]
+pub fn phase_indices(times: &[i64], interval: Seconds, offset: Seconds) -> Vec<u32> {
+    let (interval_s, offset_s) = (interval.get(), offset.get());
+    assert!(interval_s > 0, "polling interval must be positive");
+    assert!(
+        (0..interval_s).contains(&offset_s),
+        "phase offset must lie within one interval"
+    );
+    let Some(&t0) = times.first() else {
+        return Vec::new();
+    };
+    times
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| {
+            let dt = t - t0;
+            dt >= offset_s && (dt - offset_s) % interval_s == 0
+        })
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Replays a pooled (or single-app) stream through the existing
+/// pattern-based re-identification machinery.
+///
+/// Extracts stays from the `indices` slice of the projected trace and
+/// runs the incremental His_bin detector against `profile`. Returns the
+/// extracted stays alongside the detection so callers can read off the
+/// firing stay's wall-clock time.
+#[must_use]
+pub fn detect_pooled(
+    extractor: &SpatioTemporalExtractor,
+    soa: &SoaProjectedTrace,
+    indices: &[u32],
+    grid: &Grid,
+    kind: PatternKind,
+    matcher: &Matcher,
+    profile: &Profile,
+) -> (Vec<Stay>, Option<Detection>) {
+    crate::obs::register();
+    let stays = extractor.extract_sampled_soa(soa, indices);
+    let detection = detect_incremental(&stays, indices.len(), grid, kind, matcher, profile);
+    if detection.is_some() {
+        crate::obs::POOL_DETECTIONS.inc();
+    }
+    (stays, detection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(app: u32, sdk: Option<u64>, idx: &[u32]) -> AppStream {
+        AppStream::new(app, sdk, idx.to_vec())
+    }
+
+    #[test]
+    fn new_normalizes_to_sorted_unique() {
+        let s = stream(0, None, &[5, 1, 3, 1, 5]);
+        assert_eq!(s.indices(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn merge_is_sorted_unique_union() {
+        let set = pool_streams(&[stream(0, Some(7), &[0, 4, 8]), stream(1, Some(7), &[2, 4, 6])]);
+        assert_eq!(set.pools.len(), 1);
+        assert_eq!(set.pools[0].indices, vec![0, 2, 4, 6, 8]);
+        assert_eq!(set.pools[0].app_ids, vec![0, 1]);
+        assert_eq!(set.pools[0].sdk, 7);
+    }
+
+    #[test]
+    fn merge_is_permutation_invariant() {
+        let a = stream(0, Some(1), &[0, 3]);
+        let b = stream(1, Some(1), &[1, 3]);
+        let c = stream(2, Some(2), &[2]);
+        let fwd = pool_streams(&[a.clone(), b.clone(), c.clone()]);
+        let rev = pool_streams(&[c, b, a]);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn single_stream_pool_is_that_stream() {
+        let s = stream(9, Some(5), &[1, 2, 3]);
+        let set = pool_streams(std::slice::from_ref(&s));
+        assert_eq!(set.pools[0].indices, s.indices());
+    }
+
+    #[test]
+    fn classification_counts_silent_and_solo() {
+        let set = pool_streams(&[
+            stream(0, Some(1), &[0]),
+            stream(1, Some(1), &[]), // embedded but never ran
+            stream(2, None, &[1, 2]),
+        ]);
+        assert_eq!(set.pools.len(), 1);
+        assert_eq!(set.silent_members, 1);
+        assert_eq!(set.solo_apps, 1);
+    }
+
+    #[test]
+    fn distinct_sdks_never_cross_merge() {
+        let set = pool_streams(&[stream(0, Some(1), &[0]), stream(1, Some(2), &[1])]);
+        assert_eq!(set.pools.len(), 2);
+        assert_eq!(set.pools[0].sdk, 1);
+        assert_eq!(set.pools[1].sdk, 2);
+    }
+
+    #[test]
+    fn phase_indices_picks_the_offset_residue() {
+        let times: Vec<i64> = (100..120).collect();
+        assert_eq!(phase_indices(&times, Seconds::new(5), Seconds::new(0)), vec![0, 5, 10, 15]);
+        assert_eq!(phase_indices(&times, Seconds::new(5), Seconds::new(2)), vec![2, 7, 12, 17]);
+    }
+
+    #[test]
+    fn phase_indices_skips_gaps() {
+        let times = vec![0, 1, 2, 10, 11, 20];
+        // samples at 0, 5, 10, 15, 20: instants 5 and 15 fall in gaps
+        assert_eq!(phase_indices(&times, Seconds::new(5), Seconds::new(0)), vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn phase_indices_on_empty_trace_is_empty() {
+        assert!(phase_indices(&[], Seconds::new(60), Seconds::new(0)).is_empty());
+    }
+
+    #[test]
+    fn offset_streams_of_one_interval_partition_the_trace() {
+        let times: Vec<i64> = (0..1000).collect();
+        let mut union: Vec<u32> = (0..4)
+            .flat_map(|o| phase_indices(&times, Seconds::new(4), Seconds::new(o)))
+            .collect();
+        union.sort_unstable();
+        assert_eq!(union, (0..1000u32).collect::<Vec<_>>());
+    }
+}

@@ -43,6 +43,52 @@ impl Lppm for GridTruncation {
     }
 }
 
+/// Decimal-digit truncation: every released coordinate keeps only `d`
+/// decimal digits.
+///
+/// This is the same lossy transform [`backwatch_core::leakage`] models as
+/// an adversary-side *observation channel* (truncated coordinates leaking
+/// through network traffic); deployed deliberately on the release path it
+/// doubles as a defense. Sharing the transform keeps the X11 sweep and
+/// the defense ablation measuring the same channel.
+#[derive(Debug, Clone, Copy)]
+pub struct DecimalTruncation {
+    decimals: u8,
+    name: &'static str,
+}
+
+impl DecimalTruncation {
+    /// Truncates to `decimals` decimal digits (0 ≤ d ≤ 9).
+    #[must_use]
+    pub fn new(decimals: u8) -> Self {
+        assert!(decimals <= 9, "decimal truncation beyond 9 digits is meaningless");
+        Self {
+            decimals,
+            name: "decimal-truncation",
+        }
+    }
+
+    /// The retained decimal digits.
+    #[must_use]
+    pub fn decimals(&self) -> u8 {
+        self.decimals
+    }
+}
+
+impl Lppm for DecimalTruncation {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn apply(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Trace {
+        backwatch_core::leakage::observe(
+            trace,
+            backwatch_geo::Seconds::new(1),
+            backwatch_core::leakage::Precision::Decimals(self.decimals),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +131,29 @@ mod tests {
         let g = Grid::new(LatLon::new(39.9, 116.4).unwrap(), backwatch_geo::Meters::new(2000.0));
         let mut rng = StdRng::seed_from_u64(0);
         let out = GridTruncation::new(g).apply(&trace(), &mut rng);
+        let first = out.points()[0].pos;
+        assert!(out.iter().all(|p| p.pos == first));
+    }
+
+    #[test]
+    fn decimal_truncation_keeps_length_times_and_digit_budget() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = DecimalTruncation::new(2).apply(&trace(), &mut rng);
+        assert_eq!(out.len(), 100);
+        for (a, b) in trace().iter().zip(out.iter()) {
+            assert_eq!(a.time, b.time);
+            // truncation never moves a coordinate by a full cell
+            assert!((a.pos.lat() - b.pos.lat()).abs() < 0.01);
+            assert!((a.pos.lon() - b.pos.lon()).abs() < 0.01);
+            // and the result sits on the 0.01-degree lattice
+            assert!((b.pos.lat() * 100.0 - (b.pos.lat() * 100.0).round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarse_decimal_truncation_collapses_the_routine() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = DecimalTruncation::new(0).apply(&trace(), &mut rng);
         let first = out.points()[0].pos;
         assert!(out.iter().all(|p| p.pos == first));
     }

@@ -2,8 +2,8 @@
 //! content recorded in `EXPERIMENTS.md`.
 
 use backwatch_experiments::{
-    ext_ablation, ext_defense, ext_fgbg, ext_reident, ext_static_reach, ext_ttc, fig2, fig3, fig4, fig5, obs, prepare,
-    ExperimentConfig,
+    ext_ablation, ext_defense, ext_fgbg, ext_leakage, ext_reident, ext_sdk_pool, ext_static_reach, ext_ttc, fig2, fig3, fig4,
+    fig5, obs, prepare, ExperimentConfig,
 };
 use backwatch_market::{breakdown, corpus::CorpusConfig, reach, report, run_study};
 use std::time::Instant;
@@ -117,6 +117,20 @@ fn main() {
     let ablation = ext_ablation::run(&exp_cfg, &users);
     println!("{}", ext_ablation::render(&ablation));
     eprintln!("[ext_ablation: {:?}]", t10.elapsed());
+
+    let t11 = Instant::now();
+    let sdk_pool = ext_sdk_pool::run(&exp_cfg, &market_cfg);
+    println!("{}", ext_sdk_pool::render(&sdk_pool));
+    eprintln!("[ext_sdk_pool: {:?}]", t11.elapsed());
+
+    let t12 = Instant::now();
+    let leakage = ext_leakage::run(&exp_cfg);
+    println!("{}", ext_leakage::render(&leakage));
+    assert!(
+        ext_leakage::containment_grid_is_monotone(&leakage),
+        "containment Deg_anonymity grid must be monotone"
+    );
+    eprintln!("[ext_leakage: {:?}]", t12.elapsed());
 
     print!("{}", obs::snapshot_text());
 

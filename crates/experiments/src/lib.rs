@@ -13,8 +13,10 @@
 pub mod ext_ablation;
 pub mod ext_defense;
 pub mod ext_fgbg;
+pub mod ext_leakage;
 pub mod ext_reach_scale;
 pub mod ext_reident;
+pub mod ext_sdk_pool;
 pub mod ext_serve;
 pub mod ext_static_reach;
 pub mod ext_streaming;

@@ -1,0 +1,229 @@
+//! Adversarial corpus for SDK-membership classification: every fixture
+//! under `tests/sdk_pool_corpus/` is a market slice expressed as app
+//! streams — zero-SDK markets, 100%-share markets, users whose apps span
+//! two trackers, silent members that embed the sink-bearing fragment but
+//! never ran, fully-overlapping schedules. Each fixture declares the
+//! expected channel classification in an inert `#expect:` first-line
+//! directive, and this test holds [`backwatch_core::pooling::pool_streams`]
+//! to it — including the exact `core.pool_adversary.*` counter deltas.
+//!
+//! Add a fixture by dropping a `.streams` file in the directory — no code
+//! change needed. Grammar: `app <id> sdk=<token>|solo indices=<csv>`,
+//! `#`-lines are comments.
+//!
+//! Two corpus-level tests pin the same classes at the market end: the
+//! `sdk_share_percent` schedule produces no members at 0% and all
+//! members at 100%.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_core::pooling::{pool_streams, AppStream};
+use backwatch_market::corpus::{stream, CorpusConfig};
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// The channel classification a fixture's `#expect:` directive declares.
+#[derive(Debug, PartialEq, Eq)]
+struct Expect {
+    pools: usize,
+    silent: usize,
+    solo: usize,
+    merged: usize,
+    dups: usize,
+}
+
+fn parse_directive(fixture: &str, text: &str) -> Expect {
+    let first = text.lines().next().unwrap_or_default();
+    let rest = first
+        .strip_prefix("#expect:")
+        .unwrap_or_else(|| panic!("{fixture}: first line must be an #expect: directive, got {first:?}"));
+    let mut fields: HashMap<&str, usize> = HashMap::new();
+    for pair in rest.split_whitespace() {
+        let (key, value) = pair
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{fixture}: directive field {pair:?} is not key=value"));
+        let value = value
+            .parse()
+            .unwrap_or_else(|_| panic!("{fixture}: non-numeric directive value in {pair:?}"));
+        assert!(
+            fields.insert(key, value).is_none(),
+            "{fixture}: duplicate directive key {key}"
+        );
+    }
+    let mut take = |key: &str| {
+        fields
+            .remove(key)
+            .unwrap_or_else(|| panic!("{fixture}: directive missing {key}="))
+    };
+    let expect = Expect {
+        pools: take("pools"),
+        silent: take("silent"),
+        solo: take("solo"),
+        merged: take("merged"),
+        dups: take("dups"),
+    };
+    assert!(fields.is_empty(), "{fixture}: unknown directive keys {:?}", fields.keys());
+    expect
+}
+
+/// Parses `app <id> sdk=<token>|solo indices=<csv>` lines. SDK tokens
+/// are interned to stable u64 identities in order of first appearance.
+fn parse_streams(fixture: &str, text: &str) -> Vec<AppStream> {
+    let mut sdk_ids: HashMap<String, u64> = HashMap::new();
+    let mut streams = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        assert_eq!(
+            parts.next(),
+            Some("app"),
+            "{fixture}: stream line must start with `app`: {line:?}"
+        );
+        let app_id: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("{fixture}: bad app id in {line:?}"));
+        let sdk = match parts.next() {
+            Some("solo") => None,
+            Some(tok) => {
+                let name = tok
+                    .strip_prefix("sdk=")
+                    .unwrap_or_else(|| panic!("{fixture}: expected sdk=<token> or solo in {line:?}"));
+                let next = sdk_ids.len() as u64 + 1;
+                Some(*sdk_ids.entry(name.to_owned()).or_insert(next))
+            }
+            None => panic!("{fixture}: truncated stream line {line:?}"),
+        };
+        let csv = parts
+            .next()
+            .and_then(|t| t.strip_prefix("indices="))
+            .unwrap_or_else(|| panic!("{fixture}: expected indices=<csv> in {line:?}"));
+        let indices: Vec<u32> = csv
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("{fixture}: bad index {s:?} in {line:?}")))
+            .collect();
+        assert!(parts.next().is_none(), "{fixture}: trailing tokens in {line:?}");
+        streams.push(AppStream::new(app_id, sdk, indices));
+    }
+    streams
+}
+
+#[test]
+fn every_stream_fixture_classifies_as_declared() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/sdk_pool_corpus");
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("sdk_pool_corpus directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "streams"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 6,
+        "sdk_pool corpus shrank to {} fixtures — expected the full adversarial set",
+        fixtures.len()
+    );
+
+    for path in fixtures {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: unreadable fixture: {e}"));
+        let expect = parse_directive(&name, &text);
+        let streams = parse_streams(&name, &text);
+
+        let merges_before = backwatch_core::obs::POOL_MERGES.get();
+        let fixes_before = backwatch_core::obs::POOL_FIXES.get();
+        let dups_before = backwatch_core::obs::POOL_DUPLICATES.get();
+        let silent_before = backwatch_core::obs::POOL_SILENT.get();
+
+        let set = pool_streams(&streams);
+
+        assert_eq!(set.pools.len(), expect.pools, "{name}: wrong pool count");
+        assert_eq!(set.silent_members, expect.silent, "{name}: wrong silent-member count");
+        assert_eq!(set.solo_apps, expect.solo, "{name}: wrong solo-app count");
+        let merged: usize = set.pools.iter().map(|p| p.indices.len()).sum();
+        assert_eq!(merged, expect.merged, "{name}: wrong merged fix total");
+        let input: usize = streams.iter().filter(|s| s.sdk.is_some()).map(|s| s.indices().len()).sum();
+        assert_eq!(input - merged, expect.dups, "{name}: wrong duplicate count");
+
+        // the classification is mirrored one-to-one into telemetry
+        assert_eq!(
+            backwatch_core::obs::POOL_MERGES.get() - merges_before,
+            expect.pools as u64,
+            "{name}: merges_total delta"
+        );
+        assert_eq!(
+            backwatch_core::obs::POOL_FIXES.get() - fixes_before,
+            expect.merged as u64,
+            "{name}: pooled_fixes_total delta"
+        );
+        assert_eq!(
+            backwatch_core::obs::POOL_DUPLICATES.get() - dups_before,
+            expect.dups as u64,
+            "{name}: duplicate_fixes_total delta"
+        );
+        assert_eq!(
+            backwatch_core::obs::POOL_SILENT.get() - silent_before,
+            expect.silent as u64,
+            "{name}: silent_members_total delta"
+        );
+
+        // classification is pure: a second pass agrees exactly
+        assert_eq!(set, pool_streams(&streams), "{name}: pool_streams is not idempotent");
+
+        // every pool's members really share the pool's SDK and every
+        // merged index came from some member
+        for pool in &set.pools {
+            for s in streams.iter().filter(|s| pool.app_ids.contains(&s.app_id)) {
+                assert_eq!(s.sdk, Some(pool.sdk), "{name}: member {} in the wrong pool", s.app_id);
+                assert!(
+                    s.indices().iter().all(|i| pool.indices.binary_search(i).is_ok()),
+                    "{name}: member {} has fixes missing from its pool",
+                    s.app_id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_share_zero_schedules_no_sdk_members() {
+    let cfg = CorpusConfig::scaled(8).with_sdk_share(0);
+    assert!(
+        stream(&cfg).all(|app| app.sdk.is_none()),
+        "share=0 must embed the SDK nowhere"
+    );
+}
+
+#[test]
+fn corpus_share_full_schedules_every_app() {
+    let cfg = CorpusConfig::scaled(8).with_sdk_share(100);
+    let mut total = 0usize;
+    for app in stream(&cfg) {
+        total += 1;
+        assert!(app.sdk.is_some(), "share=100 must embed the SDK everywhere");
+    }
+    assert_eq!(total, cfg.total(), "the stream must cover the whole corpus");
+}
+
+#[test]
+fn corpus_membership_nests_across_shares() {
+    // the schedule is a hash threshold: an app embedded at 25% stays
+    // embedded at every higher share, which is what makes the X10 sweep
+    // monotone across its share axis
+    let lo: Vec<bool> = stream(&CorpusConfig::scaled(8).with_sdk_share(25))
+        .map(|a| a.sdk.is_some())
+        .collect();
+    let hi: Vec<bool> = stream(&CorpusConfig::scaled(8).with_sdk_share(75))
+        .map(|a| a.sdk.is_some())
+        .collect();
+    assert_eq!(lo.len(), hi.len());
+    for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+        assert!(!l || h, "app {i} was scheduled at share=25 but not share=75");
+    }
+    assert!(lo.iter().filter(|&&b| b).count() < hi.iter().filter(|&&b| b).count());
+}

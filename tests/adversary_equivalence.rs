@@ -1,0 +1,232 @@
+//! Differential adversary-equivalence suite: pooling with k=1 must be
+//! *bit-identical* to the existing single-app adversary — same stays,
+//! same detection verdicts, same inference outcome, same telemetry
+//! tallies — and pooled output must be invariant under permutation of
+//! the input app streams. These properties pin the pooled channel to the
+//! validated single-app channel: any future drift in the merge or the
+//! replay path breaks this suite before it can skew an experiment.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch::model::adversary::ProfileStore;
+use backwatch::model::anonymity::Weighting;
+use backwatch::model::hisbin::{detect_incremental, Matcher};
+use backwatch::model::pattern::{PatternKind, Profile};
+use backwatch::model::poi::{ExtractorParams, SpatioTemporalExtractor};
+use backwatch::model::pooling::{detect_pooled, phase_indices, pool_streams, AppStream};
+use backwatch::prelude::{Grid, Meters, Seconds, SynthConfig};
+use backwatch::trace::synth::generate_user;
+use backwatch::trace::SoaProjectedTrace;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Global-counter deltas are only meaningful if no other test in this
+/// process is bumping them concurrently, so every test in this file
+/// serializes on one lock.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The counters both adversary paths drive; the pooled path additionally
+/// bumps `core.pool_adversary.*`, which is deliberately not compared.
+const TALLY_NAMES: [&str; 4] = ["poi_passes", "poi_points", "poi_stays", "hisbin_compares"];
+
+fn tally_snapshot() -> [u64; 4] {
+    use backwatch::model::obs;
+    [
+        obs::POI_PASSES.get(),
+        obs::POI_POINTS.get(),
+        obs::POI_STAYS.get(),
+        obs::HISBIN_COMPARES.get(),
+    ]
+}
+
+struct Fixture {
+    extractor: SpatioTemporalExtractor,
+    soa: SoaProjectedTrace,
+    times: Vec<i64>,
+    grid: Grid,
+    matcher: Matcher,
+    profile: Profile,
+    store: ProfileStore,
+    kind: PatternKind,
+}
+
+fn fixture(user: u32, kind: PatternKind) -> Fixture {
+    let mut cfg = SynthConfig::small();
+    cfg.n_users = 4;
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
+    let trace = generate_user(&cfg, user % cfg.n_users).trace;
+    let times: Vec<i64> = trace.points().iter().map(|p| p.time.as_secs()).collect();
+    let soa = SoaProjectedTrace::project(&trace);
+    let full = extractor.extract_soa(&soa);
+    let profile = Profile::from_stays(kind, &full, &grid);
+    let mut store = ProfileStore::new(kind);
+    for u in 0..cfg.n_users {
+        let stays = extractor.extract(&generate_user(&cfg, u).trace);
+        store.insert(u, Profile::from_stays(kind, &stays, &grid));
+    }
+    Fixture {
+        extractor,
+        soa,
+        times,
+        grid,
+        matcher: Matcher::paper(),
+        profile,
+        store,
+        kind,
+    }
+}
+
+/// Runs the single-app adversary and the k=1 pooled adversary over the
+/// same stream and asserts every observable output is bit-identical.
+fn assert_k1_bit_identical(f: &Fixture, indices: Vec<u32>) {
+    // single-app path, tallied
+    let before = tally_snapshot();
+    let single_stays = f.extractor.extract_sampled_soa(&f.soa, &indices);
+    let single_det = detect_incremental(&single_stays, indices.len(), &f.grid, f.kind, &f.matcher, &f.profile);
+    let single_observed = Profile::from_stays(f.kind, &single_stays, &f.grid);
+    let single_inference = f.store.infer(&single_observed, &f.matcher, Weighting::PaperChiSquare);
+    let after = tally_snapshot();
+    let single_delta: Vec<u64> = (0..TALLY_NAMES.len()).map(|i| after[i] - before[i]).collect();
+
+    // pooled path with exactly one member stream, tallied
+    let stream = AppStream::new(7, Some(0xad5d), indices.clone());
+    let set = pool_streams(std::slice::from_ref(&stream));
+    assert_eq!(set.pools.len(), 1, "one SDK stream must form one pool");
+    assert_eq!(set.pools[0].indices, indices, "k=1 pool must be the stream itself");
+    let before = tally_snapshot();
+    let (pooled_stays, pooled_det) = detect_pooled(
+        &f.extractor,
+        &f.soa,
+        &set.pools[0].indices,
+        &f.grid,
+        f.kind,
+        &f.matcher,
+        &f.profile,
+    );
+    let pooled_observed = Profile::from_stays(f.kind, &pooled_stays, &f.grid);
+    let pooled_inference = f.store.infer(&pooled_observed, &f.matcher, Weighting::PaperChiSquare);
+    let after = tally_snapshot();
+    let pooled_delta: Vec<u64> = (0..TALLY_NAMES.len()).map(|i| after[i] - before[i]).collect();
+
+    assert_eq!(single_stays, pooled_stays, "stays must be bit-identical");
+    assert_eq!(single_det, pooled_det, "detection verdicts must be bit-identical");
+    assert_eq!(single_observed, pooled_observed, "observed profiles must be bit-identical");
+    assert_eq!(single_inference, pooled_inference, "inference outcomes must be bit-identical");
+    for (i, name) in TALLY_NAMES.iter().enumerate() {
+        assert_eq!(
+            single_delta[i], pooled_delta[i],
+            "telemetry tally {name} diverged between the two adversaries"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite 1 core property: for every user, sampling schedule, and
+    /// pattern kind, the k=1 pooled adversary is the single-app
+    /// adversary, bit for bit — verdicts, metric values, telemetry.
+    #[test]
+    fn k1_pooling_is_bit_identical_to_single_app(
+        user in 0u32..4,
+        interval_idx in 0usize..5,
+        offset_frac in 0u32..8,
+        pattern2 in any::<bool>(),
+    ) {
+        let _guard = serial();
+        let interval = [1i64, 5, 60, 600, 1800][interval_idx];
+        let kind = if pattern2 { PatternKind::MovementPattern } else { PatternKind::RegionVisits };
+        let f = fixture(user, kind);
+        let offset = (i64::from(offset_frac) * interval / 8).min(interval - 1);
+        let indices = phase_indices(&f.times, Seconds::new(interval), Seconds::new(offset));
+        assert_k1_bit_identical(&f, indices);
+    }
+
+    /// Pooled output is canonical: shuffling the member streams (and
+    /// fragmenting their indices differently) changes nothing.
+    #[test]
+    fn pooling_is_invariant_under_stream_permutation(
+        user in 0u32..4,
+        k in 2usize..6,
+        rotate in 0usize..6,
+        sdk_idx in 0usize..3,
+    ) {
+        let _guard = serial();
+        let sdk = [1u64, 0xad5d, u64::MAX][sdk_idx];
+        let f = fixture(user, PatternKind::MovementPattern);
+        // k offset streams of one interval: overlapping is fine, the
+        // merge must dedup and order canonically either way
+        let interval = 60i64;
+        let mut streams: Vec<AppStream> = (0..k)
+            .map(|j| {
+                let offset = (j as i64 * 17) % interval;
+                AppStream::new(j as u32, Some(sdk), phase_indices(&f.times, Seconds::new(interval), Seconds::new(offset)))
+            })
+            .collect();
+        let forward = pool_streams(&streams);
+        streams.rotate_left(rotate % k);
+        streams.reverse();
+        let shuffled = pool_streams(&streams);
+        prop_assert_eq!(&forward, &shuffled);
+
+        // and the downstream adversary sees identical output either way
+        let (stays_f, det_f) = detect_pooled(
+            &f.extractor, &f.soa, &forward.pools[0].indices,
+            &f.grid, f.kind, &f.matcher, &f.profile,
+        );
+        let (stays_s, det_s) = detect_pooled(
+            &f.extractor, &f.soa, &shuffled.pools[0].indices,
+            &f.grid, f.kind, &f.matcher, &f.profile,
+        );
+        prop_assert_eq!(stays_f, stays_s);
+        prop_assert_eq!(det_f, det_s);
+    }
+
+    /// Duplicated streams add nothing: pooling a stream with a copy of
+    /// itself equals pooling it alone (union idempotence).
+    #[test]
+    fn duplicate_streams_are_absorbed(
+        user in 0u32..4,
+        interval_idx in 0usize..3,
+    ) {
+        let _guard = serial();
+        let interval = [5i64, 60, 600][interval_idx];
+        let f = fixture(user, PatternKind::RegionVisits);
+        let indices = phase_indices(&f.times, Seconds::new(interval), Seconds::new(0));
+        let one = pool_streams(&[AppStream::new(0, Some(9), indices.clone())]);
+        let twice = pool_streams(&[
+            AppStream::new(0, Some(9), indices.clone()),
+            AppStream::new(1, Some(9), indices),
+        ]);
+        prop_assert_eq!(&one.pools[0].indices, &twice.pools[0].indices);
+    }
+}
+
+#[test]
+fn k1_identity_holds_on_the_full_trace() {
+    let _guard = serial();
+    let f = fixture(0, PatternKind::MovementPattern);
+    let indices: Vec<u32> = (0..f.times.len() as u32).collect();
+    assert_k1_bit_identical(&f, indices);
+}
+
+#[test]
+fn empty_stream_is_silent_and_single_app_sees_nothing() {
+    let _guard = serial();
+    let f = fixture(1, PatternKind::RegionVisits);
+    // pooled side: an SDK member that never collected a fix is silent,
+    // not a pool — there is no channel to replay
+    let set = pool_streams(&[AppStream::new(7, Some(0xad5d), Vec::new())]);
+    assert!(set.pools.is_empty(), "an empty stream must not form a pool");
+    assert_eq!(set.silent_members, 1);
+    // single-app side on the same (empty) stream: no stays, no detection
+    let stays = f.extractor.extract_sampled_soa(&f.soa, &[]);
+    assert!(stays.is_empty());
+    let det = detect_incremental(&stays, 0, &f.grid, f.kind, &f.matcher, &f.profile);
+    assert_eq!(det, None);
+}

@@ -127,3 +127,125 @@ fn simplification_preserves_poi_extraction() {
         slim.len()
     );
 }
+
+// --- degenerate Deg_anonymity regressions -------------------------------
+//
+// The anonymity machinery must never panic or emit NaN on hostile inputs:
+// empty candidate sets, single candidates, exact-duplicate traces (which
+// drive every chi-square weight to zero under the paper's weighting).
+
+#[test]
+fn empty_store_inference_matches_nothing_without_panicking() {
+    use backwatch::model::adversary::ProfileStore;
+    use backwatch::model::anonymity::Weighting;
+    use backwatch::model::hisbin::Matcher;
+
+    let (cfg, users) = population();
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let stays = extractor.extract(&users[0].trace);
+    let observed = Profile::from_stays(PatternKind::RegionVisits, &stays, &grid);
+
+    let store = ProfileStore::new(PatternKind::RegionVisits);
+    let inference = store.infer(&observed, &Matcher::paper(), Weighting::PaperChiSquare);
+    assert!(inference.matched_users.is_empty());
+    assert_eq!(inference.degree(), None, "an empty candidate set has no degree");
+    assert_eq!(inference.identified_user(), None);
+}
+
+#[test]
+fn empty_observation_matches_no_profile() {
+    use backwatch::model::adversary::ProfileStore;
+    use backwatch::model::anonymity::Weighting;
+    use backwatch::model::hisbin::Matcher;
+
+    let (cfg, users) = population();
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let mut store = ProfileStore::new(PatternKind::RegionVisits);
+    for (u, user) in users.iter().enumerate() {
+        let stays = extractor.extract(&user.trace);
+        store.insert(u as u32, Profile::from_stays(PatternKind::RegionVisits, &stays, &grid));
+    }
+    let empty = Profile::new(PatternKind::RegionVisits);
+    let inference = store.infer(&empty, &Matcher::paper(), Weighting::PaperChiSquare);
+    assert!(inference.matched_users.is_empty(), "nothing collected must reveal nothing");
+    assert_eq!(inference.degree(), None);
+}
+
+#[test]
+fn single_candidate_collapses_to_zero_degree() {
+    use backwatch::model::adversary::ProfileStore;
+    use backwatch::model::anonymity::Weighting;
+    use backwatch::model::hisbin::Matcher;
+
+    let (cfg, users) = population();
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let stays = extractor.extract(&users[0].trace);
+    let profile = Profile::from_stays(PatternKind::RegionVisits, &stays, &grid);
+
+    let mut store = ProfileStore::new(PatternKind::RegionVisits);
+    store.insert(42, profile.clone());
+    let inference = store.infer(&profile, &Matcher::paper(), Weighting::PaperChiSquare);
+    assert_eq!(inference.identified_user(), Some(42));
+    let degree = inference.degree().expect("a match must carry a degree");
+    assert!(degree.is_finite(), "degree must be finite, got {degree}");
+    assert_eq!(degree, 0.0, "a unique candidate is zero anonymity");
+}
+
+#[test]
+fn duplicate_traces_yield_uniform_posterior_not_a_panic() {
+    use backwatch::model::anonymity::{assess, Weighting};
+    use backwatch::model::hisbin::Matcher;
+
+    let (cfg, users) = population();
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let stays = extractor.extract(&users[0].trace);
+    let profile = Profile::from_stays(PatternKind::RegionVisits, &stays, &grid);
+
+    // two byte-identical candidates: the observation equals both, every
+    // chi-square statistic is exactly 0 — the adversary has no basis to
+    // prefer either, so the posterior must degrade to uniform over the
+    // anonymity set, never to a panic or NaN
+    let outcome = assess(
+        &profile,
+        &[profile.clone(), profile.clone()],
+        &Matcher::paper(),
+        Weighting::PaperChiSquare,
+    );
+    assert_eq!(outcome.matched, vec![0, 1], "both duplicates must match");
+    let total: f64 = outcome.posterior.iter().sum();
+    assert!((total - 1.0).abs() < 1e-12, "posterior must sum to 1, got {total}");
+    for p in &outcome.posterior {
+        assert!(p.is_finite() && *p >= 0.0, "posterior entry {p} is not a probability");
+        assert!((p - 0.5).abs() < 1e-12, "all-zero weights must fall back to uniform");
+    }
+    let degree = outcome.degree.expect("duplicates still carry a degree");
+    assert!((degree - 1.0).abs() < 1e-12, "uniform over the full set is total anonymity");
+}
+
+#[test]
+fn inverse_weighting_on_duplicates_stays_finite() {
+    use backwatch::model::anonymity::{assess, Weighting};
+    use backwatch::model::hisbin::Matcher;
+
+    let (cfg, users) = population();
+    let grid = Grid::new(cfg.city_center, Meters::new(250.0));
+    let extractor = SpatioTemporalExtractor::new(ExtractorParams::paper_set1());
+    let stays = extractor.extract(&users[0].trace);
+    let profile = Profile::from_stays(PatternKind::RegionVisits, &stays, &grid);
+
+    let outcome = assess(
+        &profile,
+        &[profile.clone(), profile.clone(), profile.clone()],
+        &Matcher::paper(),
+        Weighting::InverseChiSquare,
+    );
+    assert_eq!(outcome.matched.len(), 3);
+    assert!(outcome.posterior.iter().all(|p| p.is_finite()));
+    assert!(outcome.entropy_bits.is_finite());
+    let degree = outcome.degree.expect("matches carry a degree");
+    assert!(degree.is_finite() && (0.0..=1.0).contains(&degree));
+}
