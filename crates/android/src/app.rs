@@ -213,6 +213,58 @@ impl ManifestBuilder {
     }
 }
 
+/// What an app does with the fixes it collects — the exfiltration ground
+/// truth the taint pass recovers statically.
+///
+/// `via_sdk` routes the upload through the embedded ad-SDK's tracker
+/// (`ir::SDK_GEO_CLASS`) instead of an app-owned connection; the flow
+/// then crosses the app→SDK fragment boundary before reaching the
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Exfiltration {
+    /// Fixes never leave the device.
+    None,
+    /// Coordinates are truncated to `decimals` digits before upload.
+    Sanitized {
+        /// Decimal digits kept on the wire (0..=`ir::MAX_SANITIZER_DEGREE`).
+        decimals: u8,
+        /// Upload through the shared ad SDK rather than directly.
+        via_sdk: bool,
+    },
+    /// Full-precision coordinates are uploaded.
+    Raw {
+        /// Upload through the shared ad SDK rather than directly.
+        via_sdk: bool,
+    },
+}
+
+impl Exfiltration {
+    /// Whether any fix leaves the device.
+    #[must_use]
+    pub fn exfiltrates(&self) -> bool {
+        !matches!(self, Exfiltration::None)
+    }
+
+    /// The sanitizer degree applied on the upload path, if sanitized.
+    #[must_use]
+    pub fn decimals(&self) -> Option<u8> {
+        match self {
+            Exfiltration::Sanitized { decimals, .. } => Some(*decimals),
+            _ => None,
+        }
+    }
+
+    /// Whether the upload is routed through the shared ad SDK.
+    #[must_use]
+    pub fn via_sdk(&self) -> bool {
+        match self {
+            Exfiltration::None => false,
+            Exfiltration::Sanitized { via_sdk, .. } | Exfiltration::Raw { via_sdk } => *via_sdk,
+        }
+    }
+}
+
 /// What the app actually does with location at run time — the ground truth
 /// that dynamic analysis recovers.
 ///
@@ -234,6 +286,7 @@ pub struct LocationBehavior {
     foreground_interval_s: i64,
     background_interval_s: Option<i64>,
     auto_start: bool,
+    exfiltration: Exfiltration,
 }
 
 impl LocationBehavior {
@@ -246,6 +299,7 @@ impl LocationBehavior {
             foreground_interval_s: 0,
             background_interval_s: None,
             auto_start: false,
+            exfiltration: Exfiltration::None,
         }
     }
 
@@ -265,6 +319,7 @@ impl LocationBehavior {
             foreground_interval_s: interval_s,
             background_interval_s: None,
             auto_start: false,
+            exfiltration: Exfiltration::None,
         }
     }
 
@@ -289,6 +344,34 @@ impl LocationBehavior {
         assert!(self.requests_location(), "an inert app cannot poll in background");
         self.background_interval_s = Some(interval_s);
         self
+    }
+
+    /// Sets what the app does with collected fixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the behavior is inert (an app that never obtains a fix
+    /// has nothing to exfiltrate) or a sanitized degree exceeds
+    /// `ir::MAX_SANITIZER_DEGREE`.
+    #[must_use]
+    pub fn exfiltrate(mut self, exfiltration: Exfiltration) -> Self {
+        if exfiltration.exfiltrates() {
+            assert!(self.requests_location(), "an inert app cannot exfiltrate location");
+        }
+        if let Some(d) = exfiltration.decimals() {
+            assert!(
+                d <= crate::ir::MAX_SANITIZER_DEGREE,
+                "sanitizer degree {d} exceeds the recognized maximum"
+            );
+        }
+        self.exfiltration = exfiltration;
+        self
+    }
+
+    /// What the app does with the fixes it collects.
+    #[must_use]
+    pub fn exfiltration(&self) -> Exfiltration {
+        self.exfiltration
     }
 
     /// Whether the app functionally requests location at all.
@@ -482,6 +565,38 @@ mod tests {
     #[should_panic(expected = "inert app")]
     fn inert_cannot_go_background() {
         let _ = LocationBehavior::inert().background_interval(10);
+    }
+
+    #[test]
+    fn exfiltration_flags() {
+        let b = LocationBehavior::requester([ProviderKind::Gps], 10);
+        assert_eq!(b.exfiltration(), Exfiltration::None);
+        assert!(!b.exfiltration().exfiltrates());
+        let b = b.exfiltrate(Exfiltration::Sanitized {
+            decimals: 3,
+            via_sdk: true,
+        });
+        assert!(b.exfiltration().exfiltrates());
+        assert_eq!(b.exfiltration().decimals(), Some(3));
+        assert!(b.exfiltration().via_sdk());
+        let raw = Exfiltration::Raw { via_sdk: false };
+        assert_eq!(raw.decimals(), None);
+        assert!(!raw.via_sdk());
+    }
+
+    #[test]
+    #[should_panic(expected = "inert app cannot exfiltrate")]
+    fn inert_cannot_exfiltrate() {
+        let _ = LocationBehavior::inert().exfiltrate(Exfiltration::Raw { via_sdk: false });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the recognized maximum")]
+    fn oversharp_sanitizer_degree_panics() {
+        let _ = LocationBehavior::requester([ProviderKind::Gps], 10).exfiltrate(Exfiltration::Sanitized {
+            decimals: 5,
+            via_sdk: false,
+        });
     }
 
     #[test]

@@ -1,12 +1,17 @@
-//! A smali-like app IR: classes, methods, and the two instruction kinds
-//! the static analyzer reads (string constants and invokes).
+//! A smali-like app IR: classes, methods, and the instruction kinds the
+//! static analyzers read — string constants and invokes for the
+//! reachability pass, plus the minimal dataflow instructions
+//! (`move-result`, `return-value`, `sput`/`sget` statics) the
+//! interprocedural taint pass needs to follow a location fix from a
+//! source call to a network sink.
 //!
 //! The paper's §III static stage decompiles APKs with Apktool and walks
 //! the smali output for location-API call sites. We reproduce that
 //! channel with a deliberately tiny IR: enough structure to carry call
-//! edges and provider string constants, with a deterministic text format
-//! so fixture apps can be checked in as corpora (like the dumpsys corpus)
-//! and so `parse ∘ render` is the identity.
+//! edges, provider string constants, and value flow, with a
+//! deterministic text format so fixture apps can be checked in as
+//! corpora (like the dumpsys corpus) and so `parse ∘ render` is the
+//! identity.
 //!
 //! The text format, one directive or instruction per line:
 //!
@@ -14,6 +19,9 @@
 //! .class com/example/nav/MainActivity
 //!     .method onCreate
 //!         const-string "gps"
+//!         invoke android/location/LocationManager getLastKnownLocation
+//!         move-result
+//!         sput com/example/nav/MainActivity lastFix
 //!         invoke com/example/nav/AppController start
 //!     .end method
 //! .end class
@@ -56,21 +64,141 @@ pub fn is_sink(class: &str, method: &str) -> bool {
     SINKS.iter().any(|&(c, m)| c == class && m == method)
 }
 
-/// One IR instruction — only the two kinds the analyzer consumes.
+/// The location *source* signatures of the taint pass: calls whose
+/// result value carries a raw coordinate. Both are also reachability
+/// [`SINKS`] — an app cannot obtain a fix without touching a tracked
+/// location API, which is what makes "taint-positive ⊆
+/// reachability-positive" structural rather than coincidental.
+pub const SOURCES: [(&str, &str); 2] = [
+    (LOCATION_MANAGER_CLASS, "getLastKnownLocation"),
+    (FUSED_CLIENT_CLASS, "getLastLocation"),
+];
+
+/// The listener-callback method name the framework invokes with a fresh
+/// fix. The taint pass seeds app-defined methods of this name with raw
+/// taint — but only when some reachable context actually registered a
+/// listener (`requestLocationUpdates`), mirroring how the framework only
+/// delivers fixes to registered listeners.
+pub const LISTENER_CALLBACK: &str = "onLocationChanged";
+
+/// Whether `(class, method)` is a location source (signature match, like
+/// [`is_sink`]).
+#[must_use]
+pub fn is_source(class: &str, method: &str) -> bool {
+    SOURCES.iter().any(|&(c, m)| c == class && m == method)
+}
+
+/// `java/net/URL` — network sink host class.
+pub const URL_CLASS: &str = "java/net/URL";
+/// `java/net/HttpURLConnection` — network sink host class.
+pub const HTTP_URL_CONNECTION_CLASS: &str = "java/net/HttpURLConnection";
+/// `java/net/Socket` — network sink host class.
+pub const SOCKET_CLASS: &str = "java/net/Socket";
+/// The ad framework's request class: `setLocation` hands coordinates to
+/// the ad network, the signature the ad-SDK aggregation literature keys
+/// on (arXiv 1903.09916).
+pub const AD_REQUEST_CLASS: &str = "com/google/ads/AdRequest";
+
+/// The *network sink* signatures of the taint pass: calls whose argument
+/// value leaves the device. An app whose taint reaches one of these
+/// exfiltrates; the degree of the weakest sanitizer on the path decides
+/// at what precision.
+pub const NET_SINKS: [(&str, &str); 4] = [
+    (URL_CLASS, "openConnection"),
+    (HTTP_URL_CONNECTION_CLASS, "getOutputStream"),
+    (SOCKET_CLASS, "getOutputStream"),
+    (AD_REQUEST_CLASS, "setLocation"),
+];
+
+/// Whether `(class, method)` is a network sink (signature match).
+#[must_use]
+pub fn is_net_sink(class: &str, method: &str) -> bool {
+    NET_SINKS.iter().any(|&(c, m)| c == class && m == method)
+}
+
+/// The coordinate-truncation helper class whose methods are the
+/// recognized sanitizers.
+pub const SANITIZER_CLASS: &str = "com/locutil/CoordTrim";
+
+/// The largest sanitizer degree — `truncate4` keeps 4 decimal digits,
+/// matching `core::leakage::MAX_DECIMALS`: anything finer is
+/// indistinguishable from raw for the containment adversary, so the
+/// static lattice stops where the dynamic channel model does.
+pub const MAX_SANITIZER_DEGREE: u8 = 4;
+
+/// The *sanitizer* signatures: coordinate-truncation helpers, each
+/// carrying the static precision degree `d` (decimal digits kept) its
+/// result is degraded to. `truncate0` keeps whole degrees (coarsest),
+/// `truncate4` is the finest recognized degradation.
+pub const SANITIZERS: [(&str, &str, u8); 5] = [
+    (SANITIZER_CLASS, "truncate0", 0),
+    (SANITIZER_CLASS, "truncate1", 1),
+    (SANITIZER_CLASS, "truncate2", 2),
+    (SANITIZER_CLASS, "truncate3", 3),
+    (SANITIZER_CLASS, "truncate4", 4),
+];
+
+/// The static degree of `(class, method)` if it is a recognized
+/// sanitizer, `None` otherwise (signature match).
+#[must_use]
+pub fn sanitizer_degree(class: &str, method: &str) -> Option<u8> {
+    SANITIZERS
+        .iter()
+        .find(|&&(c, m, _)| c == class && m == method)
+        .map(|&(_, _, d)| d)
+}
+
+/// The shared ad-SDK's geo-tracking forwarder: apps hand coordinates to
+/// this embedded-library entry point, which forwards them to the ad
+/// framework's [`AD_REQUEST_CLASS`]`.setLocation` network sink. It is
+/// deliberately *not* a signature sink itself — a taint pass only sees
+/// the leak by following the call into the SDK fragment, which is what
+/// makes the cached per-fragment taint facts load-bearing.
+pub const SDK_GEO_CLASS: &str = "com/adnet/track/Geo";
+
+/// The method name on [`SDK_GEO_CLASS`] apps call to report a fix.
+pub const SDK_GEO_METHOD: &str = "report";
+
+/// One IR instruction — only the kinds the analyzers consume.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IrInstr {
     /// `const-string "..."` — a string constant (provider names end up
-    /// here, exactly where smali puts them).
+    /// here, exactly where smali puts them). To the taint pass this is a
+    /// strong update: the working value becomes a constant, killing any
+    /// taint it carried.
     ConstString(String),
     /// `invoke <class> <method>` — a call edge. Virtual dispatch,
     /// reflection, and ICC are all collapsed into this one edge kind;
-    /// DESIGN.md §10 records the soundness caveats.
+    /// DESIGN.md §10 records the soundness caveats. The call consumes
+    /// the working value as its argument and leaves its result pending
+    /// until a `move-result`.
     Invoke {
         /// Target class path (slash-separated).
         class: String,
         /// Target method name.
         method: String,
+    },
+    /// `move-result` — binds the pending result of the most recent
+    /// `invoke` as the working value (smali's `move-result-object`).
+    MoveResult,
+    /// `return-value` — returns the working value to the caller.
+    ReturnValue,
+    /// `sput <class> <field>` — stores the working value into a static
+    /// field.
+    Sput {
+        /// Declaring class path of the static field.
+        class: String,
+        /// Field name.
+        field: String,
+    },
+    /// `sget <class> <field>` — loads a static field as the working
+    /// value.
+    Sget {
+        /// Declaring class path of the static field.
+        class: String,
+        /// Field name.
+        field: String,
     },
 }
 
@@ -158,6 +286,10 @@ pub fn render(program: &IrProgram) -> String {
                 match instr {
                     IrInstr::ConstString(s) => out.push_str(&format!("        const-string \"{s}\"\n")),
                     IrInstr::Invoke { class, method } => out.push_str(&format!("        invoke {class} {method}\n")),
+                    IrInstr::MoveResult => out.push_str("        move-result\n"),
+                    IrInstr::ReturnValue => out.push_str("        return-value\n"),
+                    IrInstr::Sput { class, field } => out.push_str(&format!("        sput {class} {field}\n")),
+                    IrInstr::Sget { class, field } => out.push_str(&format!("        sget {class} {field}\n")),
                 }
             }
             out.push_str("    .end method\n");
@@ -288,6 +420,34 @@ fn parse_inner(text: &str) -> Result<IrProgram, ParseIrError> {
                 class: target_class.to_owned(),
                 method: target_method.to_owned(),
             });
+        } else if line == "move-result" {
+            method
+                .as_mut()
+                .ok_or_else(|| err("move-result outside a method".to_owned()))?
+                .instrs
+                .push(IrInstr::MoveResult);
+        } else if line == "return-value" {
+            method
+                .as_mut()
+                .ok_or_else(|| err("return-value outside a method".to_owned()))?
+                .instrs
+                .push(IrInstr::ReturnValue);
+        } else if let Some(rest) = line.strip_prefix("sput ").or_else(|| line.strip_prefix("sget ")) {
+            let is_put = line.starts_with("sput ");
+            let op = if is_put { "sput" } else { "sget" };
+            let m = method.as_mut().ok_or_else(|| err(format!("{op} outside a method")))?;
+            let mut parts = rest.split_whitespace();
+            let (target_class, target_field) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(c), Some(f), None) => (c, f),
+                _ => return Err(err(format!("{op} expects <class> <field>, got {rest:?}"))),
+            };
+            let class = target_class.to_owned();
+            let field = target_field.to_owned();
+            m.instrs.push(if is_put {
+                IrInstr::Sput { class, field }
+            } else {
+                IrInstr::Sget { class, field }
+            });
         } else {
             return Err(err(format!("unrecognized line {line:?}")));
         }
@@ -332,6 +492,10 @@ const TAG_CLASS: u8 = 0x01;
 const TAG_METHOD: u8 = 0x02;
 const TAG_CONST_STRING: u8 = 0x03;
 const TAG_INVOKE: u8 = 0x04;
+const TAG_MOVE_RESULT: u8 = 0x05;
+const TAG_RETURN_VALUE: u8 = 0x06;
+const TAG_SPUT: u8 = 0x07;
+const TAG_SGET: u8 = 0x08;
 
 fn digest_token(hash: u64, tag: u8, parts: &[&str]) -> u64 {
     let mut h = fnv1a_step(hash, &[tag]);
@@ -350,6 +514,10 @@ fn digest_class_into(mut hash: u64, class: &IrClass) -> u64 {
             hash = match instr {
                 IrInstr::ConstString(s) => digest_token(hash, TAG_CONST_STRING, &[s]),
                 IrInstr::Invoke { class, method } => digest_token(hash, TAG_INVOKE, &[class, method]),
+                IrInstr::MoveResult => digest_token(hash, TAG_MOVE_RESULT, &[]),
+                IrInstr::ReturnValue => digest_token(hash, TAG_RETURN_VALUE, &[]),
+                IrInstr::Sput { class, field } => digest_token(hash, TAG_SPUT, &[class, field]),
+                IrInstr::Sget { class, field } => digest_token(hash, TAG_SGET, &[class, field]),
             };
         }
     }
@@ -522,6 +690,41 @@ pub fn lower(app: &App) -> IrProgram {
                 method: "getLastLocation".to_owned(),
             });
         }
+        // exfiltration tail: bind a fresh fix (`move-result`), optionally
+        // push it through the declared truncation helper, stash it in the
+        // static the uploader snapshots, then hand off to the uploader.
+        // This is the dataflow the taint pass must follow end to end:
+        // source → move-result → (sanitize) → sput → sget → return-value
+        // → network sink, across three methods and a static field.
+        let exfil = behavior.exfiltration();
+        let uploader = format!("{pkg_path}/Uploader");
+        if exfil.exfiltrates() {
+            let (src_class, src_method) = if behavior.providers().contains(&ProviderKind::Fused) {
+                (FUSED_CLIENT_CLASS, "getLastLocation")
+            } else {
+                (LOCATION_MANAGER_CLASS, "getLastKnownLocation")
+            };
+            fetch.push(IrInstr::Invoke {
+                class: src_class.to_owned(),
+                method: src_method.to_owned(),
+            });
+            fetch.push(IrInstr::MoveResult);
+            if let Some(d) = exfil.decimals() {
+                fetch.push(IrInstr::Invoke {
+                    class: SANITIZER_CLASS.to_owned(),
+                    method: format!("truncate{d}"),
+                });
+                fetch.push(IrInstr::MoveResult);
+            }
+            fetch.push(IrInstr::Sput {
+                class: helper.clone(),
+                field: "lastFix".to_owned(),
+            });
+            fetch.push(IrInstr::Invoke {
+                class: uploader.clone(),
+                method: "send".to_owned(),
+            });
+        }
         // retry loop: fetch ↔ retry is a deliberate call-graph cycle
         fetch.push(IrInstr::Invoke {
             class: helper.clone(),
@@ -531,10 +734,47 @@ pub fn lower(app: &App) -> IrProgram {
             class: helper.clone(),
             method: "fetch".to_owned(),
         }];
-        classes.push(IrClass::new(
-            helper,
-            vec![IrMethod::new("fetch", fetch), IrMethod::new("retry", retry)],
-        ));
+        let mut helper_methods = vec![IrMethod::new("fetch", fetch), IrMethod::new("retry", retry)];
+        if exfil.exfiltrates() {
+            helper_methods.push(IrMethod::new(
+                "snapshot",
+                vec![
+                    IrInstr::Sget {
+                        class: helper.clone(),
+                        field: "lastFix".to_owned(),
+                    },
+                    IrInstr::ReturnValue,
+                ],
+            ));
+        }
+        classes.push(IrClass::new(helper.clone(), helper_methods));
+        if exfil.exfiltrates() {
+            // SDK-routed apps hand the fix to the embedded tracker, which
+            // forwards it to the ad network inside the fragment; direct
+            // uploaders open their own connection.
+            let (net_class, net_method) = if exfil.via_sdk() {
+                (SDK_GEO_CLASS, SDK_GEO_METHOD)
+            } else {
+                (HTTP_URL_CONNECTION_CLASS, "getOutputStream")
+            };
+            classes.push(IrClass::new(
+                uploader,
+                vec![IrMethod::new(
+                    "send",
+                    vec![
+                        IrInstr::Invoke {
+                            class: helper,
+                            method: "snapshot".to_owned(),
+                        },
+                        IrInstr::MoveResult,
+                        IrInstr::Invoke {
+                            class: net_class.to_owned(),
+                            method: net_method.to_owned(),
+                        },
+                    ],
+                )],
+            ));
+        }
     } else {
         // decoy: the sink is *present* but unreachable from any entry point
         classes.push(IrClass::new(
@@ -615,6 +855,10 @@ mod tests {
             ".class a/B\n.method m\ninvoke onlyone\n",          // invoke arity
             ".class a/B\n.method m\ninvoke a b c\n",            // invoke arity (too many)
             ".class a/B\n.method m\nmov r0 r1\n",               // unknown instruction
+            ".class a/B\n.method m\nsput onlyone\n",            // sput arity
+            ".class a/B\n.method m\nsget a b c\n",              // sget arity (too many)
+            "move-result\n",                                    // dataflow instr outside method
+            ".class a/B\nreturn-value\n.end class\n",           // dataflow instr outside method
             ".class a/B\n",                                     // unterminated class
             ".class a/B\n.method m\n",                          // unterminated method
             ".end class\n",                                     // close without open
@@ -630,6 +874,78 @@ mod tests {
         assert!(is_sink(FUSED_CLIENT_CLASS, "getLastLocation"));
         assert!(!is_sink("com/x/MyManager", "requestLocationUpdates"));
         assert!(!is_sink(LOCATION_MANAGER_CLASS, "addGpsStatusListener"));
+    }
+
+    #[test]
+    fn taint_tables_match_signatures_not_names() {
+        // every source is also a reachability sink: taint ⊆ reach holds
+        // structurally because obtaining a fix touches a tracked API
+        for &(c, m) in &SOURCES {
+            assert!(is_sink(c, m), "{c}.{m} must be a reach sink");
+            assert!(is_source(c, m));
+        }
+        assert!(!is_source(LOCATION_MANAGER_CLASS, "requestLocationUpdates"));
+        assert!(!is_source("com/x/MyManager", "getLastKnownLocation"));
+        assert!(is_net_sink(URL_CLASS, "openConnection"));
+        assert!(is_net_sink(AD_REQUEST_CLASS, "setLocation"));
+        assert!(!is_net_sink("com/x/Url", "openConnection"));
+        // net sinks and location sinks are disjoint signature sets
+        for &(c, m) in &NET_SINKS {
+            assert!(!is_sink(c, m));
+        }
+        assert_eq!(sanitizer_degree(SANITIZER_CLASS, "truncate0"), Some(0));
+        assert_eq!(sanitizer_degree(SANITIZER_CLASS, "truncate4"), Some(MAX_SANITIZER_DEGREE));
+        assert_eq!(sanitizer_degree(SANITIZER_CLASS, "truncate5"), None);
+        assert_eq!(sanitizer_degree("com/x/CoordTrim", "truncate2"), None);
+        for &(_, _, d) in &SANITIZERS {
+            assert!(d <= MAX_SANITIZER_DEGREE);
+        }
+    }
+
+    #[test]
+    fn dataflow_instructions_round_trip() {
+        let p = IrProgram {
+            classes: vec![IrClass::new(
+                "a/B",
+                vec![IrMethod::new(
+                    "m",
+                    vec![
+                        IrInstr::Invoke {
+                            class: LOCATION_MANAGER_CLASS.to_owned(),
+                            method: "getLastKnownLocation".to_owned(),
+                        },
+                        IrInstr::MoveResult,
+                        IrInstr::Sput {
+                            class: "a/B".to_owned(),
+                            field: "lastFix".to_owned(),
+                        },
+                        IrInstr::Sget {
+                            class: "a/B".to_owned(),
+                            field: "lastFix".to_owned(),
+                        },
+                        IrInstr::ReturnValue,
+                    ],
+                )],
+            )],
+        };
+        let text = render(&p);
+        assert_eq!(parse(&text).unwrap(), p);
+        assert_eq!(render(&parse(&text).unwrap()), text);
+        // sput and sget with identical operands must not digest equal
+        let mut gets = p.clone();
+        gets.classes[0].methods[0].instrs[2] = IrInstr::Sget {
+            class: "a/B".to_owned(),
+            field: "lastFix".to_owned(),
+        };
+        assert_ne!(digest_program(&gets), digest_program(&p));
+        // the operandless instructions are digest-distinct too
+        let mr = IrProgram {
+            classes: vec![IrClass::new("a/B", vec![IrMethod::new("m", vec![IrInstr::MoveResult])])],
+        };
+        let rv = IrProgram {
+            classes: vec![IrClass::new("a/B", vec![IrMethod::new("m", vec![IrInstr::ReturnValue])])],
+        };
+        assert_ne!(digest_program(&mr), digest_program(&rv));
     }
 
     fn bg_app() -> App {
@@ -688,6 +1004,81 @@ mod tests {
     fn lowered_ir_round_trips_through_text() {
         let p = lower(&bg_app());
         assert_eq!(parse(&render(&p)).unwrap(), p);
+    }
+
+    fn exfil_app(exfil: crate::app::Exfiltration) -> App {
+        AppBuilder::new("com.x.nav")
+            .location_claim(LocationClaim::FineAndCoarse)
+            .component(Component::new(ComponentKind::Activity, ".MainActivity").with_action(ACTION_MAIN))
+            .behavior(LocationBehavior::requester([ProviderKind::Gps], 5).exfiltrate(exfil))
+            .build()
+    }
+
+    #[test]
+    fn lowered_exfiltrating_app_wires_the_full_dataflow_chain() {
+        use crate::app::Exfiltration;
+        let p = lower(&exfil_app(Exfiltration::Sanitized {
+            decimals: 2,
+            via_sdk: false,
+        }));
+        let fetch = p.class("com/x/nav/LocationHelper").unwrap().method("fetch").unwrap();
+        let tail: Vec<IrInstr> = fetch.instrs.iter().skip(fetch.instrs.len() - 7).cloned().collect();
+        assert_eq!(
+            tail,
+            vec![
+                IrInstr::Invoke {
+                    class: LOCATION_MANAGER_CLASS.to_owned(),
+                    method: "getLastKnownLocation".to_owned(),
+                },
+                IrInstr::MoveResult,
+                IrInstr::Invoke {
+                    class: SANITIZER_CLASS.to_owned(),
+                    method: "truncate2".to_owned(),
+                },
+                IrInstr::MoveResult,
+                IrInstr::Sput {
+                    class: "com/x/nav/LocationHelper".to_owned(),
+                    field: "lastFix".to_owned(),
+                },
+                IrInstr::Invoke {
+                    class: "com/x/nav/Uploader".to_owned(),
+                    method: "send".to_owned(),
+                },
+                IrInstr::Invoke {
+                    class: "com/x/nav/LocationHelper".to_owned(),
+                    method: "retry".to_owned(),
+                },
+            ]
+        );
+        // the uploader snapshots the static and hands it to the net sink
+        let send = p.class("com/x/nav/Uploader").unwrap().method("send").unwrap();
+        assert_eq!(
+            send.instrs,
+            vec![
+                IrInstr::Invoke {
+                    class: "com/x/nav/LocationHelper".to_owned(),
+                    method: "snapshot".to_owned(),
+                },
+                IrInstr::MoveResult,
+                IrInstr::Invoke {
+                    class: HTTP_URL_CONNECTION_CLASS.to_owned(),
+                    method: "getOutputStream".to_owned(),
+                },
+            ]
+        );
+        let snapshot = p.class("com/x/nav/LocationHelper").unwrap().method("snapshot").unwrap();
+        assert!(snapshot.instrs.contains(&IrInstr::ReturnValue));
+        // raw SDK-routed apps target the embedded tracker instead
+        let p = lower(&exfil_app(Exfiltration::Raw { via_sdk: true }));
+        let send = p.class("com/x/nav/Uploader").unwrap().method("send").unwrap();
+        assert!(send.instrs.contains(&IrInstr::Invoke {
+            class: SDK_GEO_CLASS.to_owned(),
+            method: SDK_GEO_METHOD.to_owned(),
+        }));
+        assert!(!render(&p).contains("truncate"));
+        // non-exfiltrating apps emit no uploader at all
+        let p = lower(&exfil_app(Exfiltration::None));
+        assert!(p.class("com/x/nav/Uploader").is_none());
     }
 
     #[test]

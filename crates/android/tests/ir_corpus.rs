@@ -13,8 +13,10 @@
 //! change needed. Directive lines start with `#`, which the grammar
 //! treats as comments, so the full file (directives included) is fed to
 //! `parse`. A second optional `#class:` directive carries the expected
-//! reachability class; it is consumed by the market crate's
-//! `reach_corpus` test, not here.
+//! reachability class, and a third optional `#taint:` directive (plus
+//! `#taint-sdk: shared` to compose the shared SDK fragment) the expected
+//! taint class; they are consumed by the market crate's `reach_corpus`
+//! and `taint_corpus` tests, not here.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
 
@@ -59,7 +61,7 @@ fn every_ir_fixture_parses_or_errors_without_panicking() {
         .collect();
     fixtures.sort();
     assert!(
-        fixtures.len() >= 14,
+        fixtures.len() >= 20,
         "ir corpus shrank to {} fixtures — expected the full adversarial set",
         fixtures.len()
     );

@@ -2,8 +2,8 @@
 //! content recorded in `EXPERIMENTS.md`.
 
 use backwatch_experiments::{
-    ext_ablation, ext_defense, ext_fgbg, ext_leakage, ext_reident, ext_sdk_pool, ext_static_reach, ext_ttc, fig2, fig3, fig4,
-    fig5, obs, prepare, ExperimentConfig,
+    ext_ablation, ext_defense, ext_fgbg, ext_leakage, ext_reident, ext_sdk_pool, ext_static_reach, ext_taint, ext_ttc, fig2,
+    fig3, fig4, fig5, obs, prepare, ExperimentConfig,
 };
 use backwatch_market::{breakdown, corpus::CorpusConfig, reach, report, run_study};
 use std::time::Instant;
@@ -131,6 +131,25 @@ fn main() {
         "containment Deg_anonymity grid must be monotone"
     );
     eprintln!("[ext_leakage: {:?}]", t12.elapsed());
+
+    let t13 = Instant::now();
+    // X12 at the run's own market scale; the million-app headline lives
+    // in the dedicated ext_taint binary
+    let taint_cfg = ext_taint::TaintScaleConfig {
+        corpus: market_cfg.with_sdk_share(90).with_churn_ppm(10_000),
+        threads: exp_cfg.threads,
+        stride: 9,
+        leak: exp_cfg.clone(),
+    };
+    let taint = ext_taint::run(&taint_cfg);
+    println!("{}", ext_taint::render(&taint_cfg, &taint));
+    assert_eq!(taint.subset_violations, 0, "taint class contradicted reachability");
+    assert_eq!(taint.slice_mismatches, 0, "cached taint diverged from the uncached oracle");
+    assert_eq!(
+        taint.degree_disagreements, 0,
+        "static sanitizer degree disagreed with the dynamic adversary"
+    );
+    eprintln!("[ext_taint: {:?}]", t13.elapsed());
 
     print!("{}", obs::snapshot_text());
 

@@ -20,6 +20,7 @@ pub mod ext_sdk_pool;
 pub mod ext_serve;
 pub mod ext_static_reach;
 pub mod ext_streaming;
+pub mod ext_taint;
 pub mod ext_ttc;
 pub mod fig2;
 pub mod fig3;

@@ -33,7 +33,9 @@
 
 use crate::category::{Category, ALL_CATEGORIES};
 use crate::sdk::SdkLib;
-use backwatch_android::app::{App, AppBuilder, Component, ComponentKind, LocationBehavior, ACTION_BOOT_COMPLETED, ACTION_MAIN};
+use backwatch_android::app::{
+    App, AppBuilder, Component, ComponentKind, Exfiltration, LocationBehavior, ACTION_BOOT_COMPLETED, ACTION_MAIN,
+};
 use backwatch_android::ir;
 use backwatch_android::permission::{LocationClaim, Permission};
 use backwatch_android::provider::ProviderKind;
@@ -479,6 +481,9 @@ pub struct GroundTruth {
     pub combo: Option<ProviderCombo>,
     /// Its background polling interval (if it polls in background).
     pub bg_interval_s: Option<i64>,
+    /// What the app does with the fixes it reads: nothing, a sanitized
+    /// upload, or a raw upload — what a perfect taint analysis recovers.
+    pub exfil: Exfiltration,
 }
 
 /// A corpus entry: the app, its store category, the planted truth, and
@@ -589,6 +594,7 @@ impl Default for CorpusConfig {
 const TAG_BEHAVIOR: u8 = 0xB1;
 const TAG_SDK: u8 = 0x5D;
 const TAG_CHURN: u8 = 0xC4;
+const TAG_EXFIL: u8 = 0xEF;
 
 /// Seeded per-slot hash: every per-app draw is keyed off
 /// `(seed, index, extra, tag)` so slots are independent of each other and
@@ -632,6 +638,25 @@ fn slot_has_sdk(cfg: &CorpusConfig, index: usize) -> bool {
     slot_hash(cfg.seed, index, 0, TAG_SDK) % 100 < u64::from(cfg.sdk_share_percent)
 }
 
+/// What a *functional* slot does with its fixes: 40% keep them on
+/// device, 40% upload sanitized (degree drawn uniformly from the five
+/// recognized sanitizers), 20% upload raw. SDK-linked apps route the
+/// upload through the fragment's geo forwarder, exercising the cached
+/// transfer tables; the draw is snapshot-independent like the SDK draw,
+/// so churn redraws behavior without moving the taint mix.
+fn slot_exfil(cfg: &CorpusConfig, index: usize) -> Exfiltration {
+    let h = slot_hash(cfg.seed, index, 0, TAG_EXFIL);
+    let via_sdk = slot_has_sdk(cfg, index);
+    match h % 100 {
+        0..=39 => Exfiltration::None,
+        40..=79 => Exfiltration::Sanitized {
+            decimals: ((h / 100) % 5) as u8,
+            via_sdk,
+        },
+        _ => Exfiltration::Raw { via_sdk },
+    }
+}
+
 /// Package name of slot `index` — stable across scales and snapshots.
 #[must_use]
 pub fn package_at(index: usize) -> String {
@@ -671,6 +696,12 @@ fn materialize(cfg: &CorpusConfig, index: usize, role: Option<DeclaringRole>) ->
             false,
         ),
     };
+    let exfil = if functional {
+        slot_exfil(cfg, index)
+    } else {
+        Exfiltration::None
+    };
+    let behavior = behavior.exfiltrate(exfil);
     let mut builder = AppBuilder::new(package_at(index))
         .location_claim(claim)
         .permission(Permission::Internet)
@@ -700,6 +731,7 @@ fn materialize(cfg: &CorpusConfig, index: usize, role: Option<DeclaringRole>) ->
             auto_start,
             combo,
             bg_interval_s: bg_interval,
+            exfil,
         },
         sdk,
     }

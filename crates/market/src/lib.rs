@@ -18,6 +18,9 @@
 //! - [`reach`] — the interprocedural static stage: lower each app to the
 //!   smali-like IR, discover entry points from its manifest components,
 //!   and classify by which entry points reach a location-API sink.
+//! - [`taint`] — the refinement of [`reach`]: summary-based taint
+//!   tracking from location sources through sanitizers to network
+//!   sinks, classifying *what leaves the device and at what precision*.
 //! - [`dynamic_analysis`] — the device step: install, launch, trigger,
 //!   background, read `dumpsys`, parse what it says.
 //! - [`stats`] — aggregation into the paper's headline numbers, Table I,
@@ -50,6 +53,7 @@ pub mod static_analysis;
 pub mod stats;
 pub mod summary;
 pub mod sweep;
+pub mod taint;
 
 use corpus::CorpusConfig;
 

@@ -29,6 +29,18 @@ pub static REACH_CACHE_MISSES: Counter = Counter::new();
 /// app-level digest changed (cold sweeps do not count — they are not
 /// re-analyses).
 pub static REACH_APPS_REANALYZED: Counter = Counter::new();
+/// Apps classified by the interprocedural taint pass.
+pub static TAINT_APPS_CLASSIFIED: Counter = Counter::new();
+/// Apps the taint pass classified no-access.
+pub static TAINT_NO_ACCESS: Counter = Counter::new();
+/// Apps that read location but never reach a network sink.
+pub static TAINT_ACCESS_ONLY: Counter = Counter::new();
+/// Apps in either exfiltration class (sanitized or raw).
+pub static TAINT_HITS: Counter = Counter::new();
+/// Apps whose every leaking path passed a sanitizer.
+pub static TAINT_EXFIL_SANITIZED: Counter = Counter::new();
+/// Apps leaking raw, full-precision location.
+pub static TAINT_EXFIL_RAW: Counter = Counter::new();
 
 /// Bucket bounds, in wall-clock seconds, for one whole-corpus sweep:
 /// sub-second small corpora up to multi-minute million-app sweeps.
@@ -96,6 +108,36 @@ pub fn register() {
             "market.reach.sweep_seconds",
             "wall-clock seconds one corpus sweep took",
             &REACH_SWEEP_SECONDS,
+        );
+        backwatch_obs::register_counter(
+            "market.taint.apps_classified_total",
+            "apps classified by the interprocedural taint pass",
+            &TAINT_APPS_CLASSIFIED,
+        );
+        backwatch_obs::register_counter(
+            "market.taint.no_access_total",
+            "apps the taint pass classified no-access",
+            &TAINT_NO_ACCESS,
+        );
+        backwatch_obs::register_counter(
+            "market.taint.access_only_total",
+            "apps that read location but never reach a network sink",
+            &TAINT_ACCESS_ONLY,
+        );
+        backwatch_obs::register_counter(
+            "market.taint.hits_total",
+            "apps in either exfiltration class, sanitized or raw",
+            &TAINT_HITS,
+        );
+        backwatch_obs::register_counter(
+            "market.taint.exfil_sanitized_total",
+            "apps whose every leaking path passed a sanitizer",
+            &TAINT_EXFIL_SANITIZED,
+        );
+        backwatch_obs::register_counter(
+            "market.taint.exfil_raw_total",
+            "apps leaking raw full-precision location",
+            &TAINT_EXFIL_RAW,
         );
         backwatch_obs::register_counter(
             "market.static.parse_failures_total",

@@ -345,7 +345,8 @@ pub(crate) fn analyze_entry_inner(entry: &MarketApp) -> (ReachFinding, bool) {
     if let Some(sdk) = &entry.sdk {
         program.classes.extend(sdk.program().classes.iter().cloned());
     }
-    finish_app_analysis(entry.app.manifest(), &ir::render(&program))
+    let (finding, parse_failed, _) = finish_app_analysis(entry.app.manifest(), &ir::render(&program));
+    (finding, parse_failed)
 }
 
 /// Analyzes one app end to end: lower to IR, round-trip through the text
@@ -360,14 +361,20 @@ pub fn analyze_app(app: &App) -> ReachFinding {
 /// [`analyze_app`] plus whether the IR text round-trip failed.
 fn analyze_app_inner(app: &App) -> (ReachFinding, bool) {
     crate::obs::register();
-    finish_app_analysis(app.manifest(), &ir::render(&ir::lower(app)))
+    let (finding, parse_failed, _) = finish_app_analysis(app.manifest(), &ir::render(&ir::lower(app)));
+    (finding, parse_failed)
 }
 
 /// The shared tail of [`analyze_app`] and [`analyze_entry`]: parse the
-/// rendered IR text and classify it against the manifest.
-fn finish_app_analysis(manifest: &Manifest, text: &str) -> (ReachFinding, bool) {
-    let (analysis, parse_failed) = match ir::parse(text) {
-        Ok(program) => (analyze_program(manifest, &program), false),
+/// rendered IR text and classify it against the manifest. Also hands the
+/// parsed program back so the taint oracle can refine the finding
+/// without a second parse (and without a second chance to diverge).
+pub(crate) fn finish_app_analysis(manifest: &Manifest, text: &str) -> (ReachFinding, bool, Option<IrProgram>) {
+    let (analysis, parse_failed, parsed) = match ir::parse(text) {
+        Ok(program) => {
+            let analysis = analyze_program(manifest, &program);
+            (analysis, false, Some(program))
+        }
         Err(_) => {
             crate::obs::REACH_PARSE_FAILURES.inc();
             (
@@ -378,6 +385,7 @@ fn finish_app_analysis(manifest: &Manifest, text: &str) -> (ReachFinding, bool) 
                     missing_components: 0,
                 },
                 true,
+                None,
             )
         }
     };
@@ -395,6 +403,7 @@ fn finish_app_analysis(manifest: &Manifest, text: &str) -> (ReachFinding, bool) 
             combo,
         },
         parse_failed,
+        parsed,
     )
 }
 

@@ -3,7 +3,7 @@
 //! Real markets ship the same ad/analytics library inside thousands of
 //! apps, which is exactly what makes per-class summary caching pay off:
 //! the library's classes hash to the same digests in every app that
-//! embeds them. This module is that library, once — a fixed ~48-class
+//! embeds them. This module is that library, once — a fixed ~49-class
 //! [`IrProgram`] fragment that [`crate::corpus`] links into a configured
 //! share of the corpus and [`crate::reach`] wires into each host app's
 //! launcher activity.
@@ -27,7 +27,7 @@ pub const ENTRY_CLASS: &str = "com/adnet/core/Sdk";
 pub const ENTRY_METHOD: &str = "boot";
 
 /// How many ad-unit filler classes the fragment carries. Together with
-/// the core/net/metrics/radar classes this puts the fragment at 48
+/// the core/net/metrics/radar/track classes this puts the fragment at 49
 /// classes — the same order of magnitude as the host apps' own code, so
 /// cache hit rates at high sharing are dominated by fragment reuse.
 const AD_UNITS: usize = 40;
@@ -166,6 +166,17 @@ fn build(boot_calls_radar: bool) -> IrProgram {
             vec![konst("gps"), invoke(ir::LOCATION_MANAGER_CLASS, "requestLocationUpdates")],
         )],
     ));
+    // the geo forwarder hosts hand coordinates to: whatever taint its
+    // argument carries goes straight to the ad-request upload. Dead from
+    // `boot`, so linking the fragment still never changes a ReachClass —
+    // only apps that *call* it exfiltrate through it.
+    classes.push(IrClass::new(
+        ir::SDK_GEO_CLASS,
+        vec![IrMethod::new(
+            ir::SDK_GEO_METHOD,
+            vec![invoke(ir::AD_REQUEST_CLASS, "setLocation")],
+        )],
+    ));
     IrProgram { classes }
 }
 
@@ -203,9 +214,10 @@ mod tests {
     #[test]
     fn fragment_has_expected_shape() {
         let sdk = shared();
-        assert_eq!(sdk.class_count(), 48);
+        assert_eq!(sdk.class_count(), 49);
         assert!(sdk.defines_class(ENTRY_CLASS));
         assert!(sdk.defines_class("com/adnet/radar/DeadRadar"));
+        assert!(sdk.defines_class(ir::SDK_GEO_CLASS));
         assert!(!sdk.defines_class("com/adnet/radar/Ghost"));
         // the entry is a real method
         let entry = sdk.program().class(ENTRY_CLASS).and_then(|c| c.method(ENTRY_METHOD));

@@ -25,6 +25,7 @@
 use crate::corpus::MarketApp;
 use crate::reach::{ReachClass, ReachFinding};
 use crate::sdk::SdkLib;
+use crate::taint::{self, FragTaint, TaintClass, TaintOp};
 use backwatch_android::app::{ComponentKind, Manifest};
 use backwatch_android::ir::{self, IrClass, IrInstr};
 use backwatch_android::permission::Permission;
@@ -45,6 +46,10 @@ pub struct MethodSummary {
     /// Provider names among the method's string constants — the
     /// provider evidence if `manager_sink` is set.
     pub const_providers: Vec<ProviderKind>,
+    /// The method's taint operations, pre-classified against the
+    /// signature tables — what the cached taint engine replays instead
+    /// of re-walking instructions.
+    pub taint_ops: Vec<TaintOp>,
 }
 
 /// Digest-keyed summary of one class: the unit of cache reuse.
@@ -79,6 +84,9 @@ fn summarize_method(instrs: &[IrInstr]) -> MethodSummary {
                     }
                 }
             }
+            // pure dataflow instructions: no call edges, no sink or
+            // provider evidence — they matter only to the taint ops below
+            IrInstr::MoveResult | IrInstr::ReturnValue | IrInstr::Sput { .. } | IrInstr::Sget { .. } => {}
         }
     }
     MethodSummary {
@@ -86,6 +94,7 @@ fn summarize_method(instrs: &[IrInstr]) -> MethodSummary {
         manager_sink,
         fused_sink,
         const_providers,
+        taint_ops: taint::ops_for_instrs(instrs),
     }
 }
 
@@ -124,6 +133,11 @@ pub struct FragmentSummary {
     /// Classes in the fragment (the cache counts one hit per class when
     /// a composed program reuses the fragment wholesale).
     pub class_count: usize,
+    /// Precomputed taint transfer table: the taint analogue of the
+    /// reachability facts, solved once per fragment digest at every
+    /// lattice input (sound for the same one-way-call reason, plus the
+    /// statics-free/no-callback assertions [`FragTaint::build`] makes).
+    pub taint: FragTaint,
     reach: HashMap<String, HashMap<String, FragReach>>,
 }
 
@@ -179,6 +193,7 @@ impl FragmentSummary {
         Self {
             digest: sdk.digest(),
             class_count: program.classes.len(),
+            taint: FragTaint::build(program),
             reach,
         }
     }
@@ -341,6 +356,9 @@ impl SummaryCache {
 pub struct CachedAnalysis {
     /// The finding — bit-identical to [`crate::reach::analyze_entry`].
     pub finding: ReachFinding,
+    /// The refining taint class — bit-identical to
+    /// [`crate::taint::analyze_entry`].
+    pub taint: TaintClass,
     /// Whether the own-code IR text round-trip failed.
     pub parse_failed: bool,
     /// Cache traffic this app generated.
@@ -550,6 +568,7 @@ pub fn analyze_entry_cached(entry: &MarketApp, cache: &SummaryCache) -> CachedAn
                 providers: BTreeSet::new(),
                 combo: None,
             },
+            taint: taint::record(TaintClass::NoAccess),
             parse_failed: true,
             tally,
             app_digest,
@@ -557,8 +576,18 @@ pub fn analyze_entry_cached(entry: &MarketApp, cache: &SummaryCache) -> CachedAn
     };
     let summaries: Vec<Arc<ClassSummary>> = own.classes.iter().map(|c| cache.class_summary(c, &mut tally)).collect();
     let finding = classify(manifest, &World::new(&summaries, fragment.as_deref()));
+    // the taint pass replays the cached per-method op streams over the
+    // same view shape, folding the fragment's precomputed transfer table
+    let methods = summaries.iter().flat_map(|cs| {
+        cs.methods
+            .iter()
+            .map(|(m, ms)| (cs.name.as_str(), m.as_str(), ms.taint_ops.as_slice()))
+    });
+    let view = taint::TaintView::new(methods, fragment.as_deref().map(|f| &f.taint));
+    let taint = taint::classify_with_view(manifest, &view, finding.class);
     CachedAnalysis {
         finding,
+        taint,
         parse_failed: false,
         tally,
         app_digest,

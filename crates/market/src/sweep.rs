@@ -21,7 +21,8 @@
 use crate::corpus::{app_at, package_at, version_changed, CorpusConfig, ProviderCombo};
 use crate::reach::{ReachClass, ReachFinding, ReachReport};
 use crate::stats::ProviderTable;
-use crate::summary::{analyze_entry_cached, app_digest, CacheTally, SummaryCache};
+use crate::summary::{analyze_entry_cached, app_digest, CacheTally, CachedAnalysis, SummaryCache};
+use crate::taint::TaintClass;
 use backwatch_android::permission::LocationClaim;
 use backwatch_android::provider::{ProviderKind, ALL_PROVIDERS};
 use std::collections::{BTreeMap, BTreeSet};
@@ -35,6 +36,8 @@ use std::time::{Duration, Instant};
 pub struct AppRecord {
     /// Assigned reachability class.
     pub class: ReachClass,
+    /// The refining taint class.
+    pub taint: TaintClass,
     /// Declared permission posture.
     pub claim: LocationClaim,
     /// Inferred provider set, as a bitmask over [`ALL_PROVIDERS`].
@@ -56,13 +59,14 @@ fn provider_mask(set: &BTreeSet<ProviderKind>) -> u8 {
 }
 
 impl AppRecord {
-    fn from_finding(finding: &ReachFinding, parse_failed: bool) -> Self {
+    fn from_analysis(analysis: &CachedAnalysis) -> Self {
         Self {
-            class: finding.class,
-            claim: finding.claim,
-            providers: provider_mask(&finding.providers),
-            combo: finding.combo,
-            parse_failed,
+            class: analysis.finding.class,
+            taint: analysis.taint,
+            claim: analysis.finding.claim,
+            providers: provider_mask(&analysis.finding.providers),
+            combo: analysis.finding.combo,
+            parse_failed: analysis.parse_failed,
         }
     }
 
@@ -93,6 +97,12 @@ pub struct Funnel {
     pub auto_start: usize,
     /// Own-code IR round-trip failures.
     pub parse_failures: usize,
+    /// Taint: apps that read location but never reach a network sink.
+    pub access_only: usize,
+    /// Taint: apps whose every leaking path passed a sanitizer.
+    pub exfil_sanitized: usize,
+    /// Taint: apps leaking raw location.
+    pub exfil_raw: usize,
 }
 
 /// Output of one sweep (cold or incremental) over one corpus snapshot.
@@ -129,8 +139,25 @@ impl SweepResult {
             f.background += usize::from(r.class.accesses_in_background());
             f.auto_start += usize::from(r.class == ReachClass::AutoStart);
             f.parse_failures += usize::from(r.parse_failed);
+            match r.taint {
+                TaintClass::AccessOnly => f.access_only += 1,
+                TaintClass::ExfiltratesSanitized(_) => f.exfil_sanitized += 1,
+                TaintClass::ExfiltratesRaw => f.exfil_raw += 1,
+                TaintClass::NoAccess => {}
+            }
         }
         f
+    }
+
+    /// How many records carry each taint class, keyed by the exact class
+    /// (sanitized degrees are separate keys).
+    #[must_use]
+    pub fn taint_histogram(&self) -> BTreeMap<TaintClass, usize> {
+        let mut hist = BTreeMap::new();
+        for r in &self.records {
+            *hist.entry(r.taint).or_insert(0) += 1;
+        }
+        hist
     }
 
     /// Reconstructs the full [`ReachFinding`] for one corpus index (the
@@ -246,11 +273,7 @@ pub fn sweep(cfg: &CorpusConfig, threads: usize, cache: &SummaryCache) -> SweepR
     let n = cfg.total();
     let out = run_workers(n, threads, |i| {
         let analysis = analyze_entry_cached(&app_at(cfg, i), cache);
-        (
-            AppRecord::from_finding(&analysis.finding, analysis.parse_failed),
-            analysis.app_digest,
-            analysis.tally,
-        )
+        (AppRecord::from_analysis(&analysis), analysis.app_digest, analysis.tally)
     });
     let mut records = Vec::with_capacity(n);
     let mut digests = Vec::with_capacity(n);
@@ -348,11 +371,7 @@ pub fn sweep_incremental(
             return Visit::Reused(prev_records[i], digest);
         }
         let analysis = analyze_entry_cached(&entry, cache);
-        Visit::Reanalyzed(
-            AppRecord::from_finding(&analysis.finding, analysis.parse_failed),
-            analysis.app_digest,
-            analysis.tally,
-        )
+        Visit::Reanalyzed(AppRecord::from_analysis(&analysis), analysis.app_digest, analysis.tally)
     });
 
     let mut tally = CacheTally::default();
@@ -405,10 +424,16 @@ mod tests {
     use crate::reach::analyze;
 
     fn assert_matches_oracle(result: &SweepResult, cfg: &CorpusConfig) {
-        let oracle = analyze(&generate(cfg));
+        let corpus = generate(cfg);
+        let oracle = analyze(&corpus);
         assert_eq!(result.records.len(), oracle.findings.len());
         for (i, expected) in oracle.findings.iter().enumerate() {
             assert_eq!(result.finding_at(i), *expected, "app {i}");
+        }
+        for (i, entry) in corpus.iter().enumerate() {
+            let record = result.records[i];
+            assert_eq!(record.taint, crate::taint::analyze_entry(entry).taint, "taint app {i}");
+            assert!(record.taint.refines(record.class), "refinement app {i}");
         }
         let report = result.report();
         assert_eq!(report.total, oracle.total);
@@ -506,5 +531,11 @@ mod tests {
         assert!(f.background >= f.auto_start);
         assert!(f.auto_start > 0, "scaled(7) schedules auto-start apps");
         assert_eq!(f.parse_failures, 0);
+        // the taint mix is scheduled over functional apps: every class
+        // shows up, and the split exhausts the functional count
+        assert!(f.access_only > 0 && f.exfil_sanitized > 0 && f.exfil_raw > 0);
+        assert_eq!(f.access_only + f.exfil_sanitized + f.exfil_raw, f.functional);
+        let hist = result.taint_histogram();
+        assert_eq!(hist.values().sum::<usize>(), f.total);
     }
 }

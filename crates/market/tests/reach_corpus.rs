@@ -74,7 +74,7 @@ fn fixture_classes_match_their_directives() {
         );
     }
     assert!(
-        classified >= 8,
+        classified >= 13,
         "only {classified} fixtures carry a #class: directive — expected the full classification set"
     );
 }

@@ -1,0 +1,87 @@
+//! Property suite for the interprocedural taint pass. Three invariants,
+//! each checked over randomly drawn corpora rather than hand-picked
+//! fixtures:
+//!
+//! 1. **Refinement**: the taint class never contradicts the reachability
+//!    class — `no_access` exactly on non-accessors — and the cached sweep
+//!    assigns the same class as the uncached oracle on every app.
+//! 2. **Thread invariance**: the per-app taint records of a parallel
+//!    sweep are bit-identical to the sequential sweep's.
+//! 3. **Incremental soundness**: an incremental re-sweep after churn
+//!    lands on the same taint classes as a cold sweep of the new
+//!    snapshot, at every churn rate drawn.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench/example target: panics are failures by design
+
+use backwatch_market::corpus::{stream, CorpusConfig};
+use backwatch_market::summary::SummaryCache;
+use backwatch_market::sweep::{sweep, sweep_incremental};
+use backwatch_market::taint::{self, TaintClass};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Taint refines reachability and the cached path agrees with the
+    /// oracle, app by app, whatever the corpus knobs.
+    #[test]
+    fn taint_refines_reach_and_matches_oracle(
+        size in 1usize..=6,
+        seed in any::<u64>(),
+        share in 0u8..=100,
+    ) {
+        let cfg = CorpusConfig { apps_per_category: size, seed, sdk_share_percent: share, snapshot: 0, churn_ppm: 10_000 };
+        let swept = sweep(&cfg, 2, &SummaryCache::new());
+        for (i, entry) in stream(&cfg).enumerate() {
+            let record = &swept.records[i];
+            let oracle = taint::analyze_entry(&entry);
+            prop_assert_eq!(record.taint, oracle.taint, "app {}", i);
+            prop_assert!(
+                record.taint.refines(record.class),
+                "app {}: taint {} contradicts reach {:?}", i, record.taint, record.class
+            );
+            // no-access and non-accessor are the same set of apps
+            prop_assert_eq!(
+                record.taint == TaintClass::NoAccess,
+                record.class == backwatch_market::reach::ReachClass::NonAccessor,
+                "app {}", i
+            );
+        }
+    }
+
+    /// Taint records are independent of the sweep's thread count.
+    #[test]
+    fn taint_records_are_thread_invariant(
+        size in 1usize..=5,
+        seed in any::<u64>(),
+        share in 0u8..=100,
+        threads in 2usize..=6,
+    ) {
+        let cfg = CorpusConfig { apps_per_category: size, seed, sdk_share_percent: share, snapshot: 0, churn_ppm: 10_000 };
+        let sequential = sweep(&cfg, 1, &SummaryCache::new());
+        let parallel = sweep(&cfg, threads, &SummaryCache::new());
+        prop_assert_eq!(&sequential.records, &parallel.records);
+        prop_assert_eq!(sequential.taint_histogram(), parallel.taint_histogram());
+    }
+
+    /// Incremental re-sweep after churn agrees with a cold sweep of the
+    /// new snapshot on every taint class, while re-analyzing only the
+    /// digest-changed slice.
+    #[test]
+    fn incremental_taint_equals_cold(
+        size in 1usize..=5,
+        seed in any::<u64>(),
+        share in 0u8..=100,
+        churn_ppm in prop_oneof![Just(0u32), 1u32..=200_000, Just(1_000_000u32)],
+    ) {
+        let base = CorpusConfig { apps_per_category: size, seed, sdk_share_percent: share, snapshot: 0, churn_ppm };
+        let next = base.at_snapshot(1);
+        let cache = SummaryCache::new();
+        let cold_base = sweep(&base, 2, &cache);
+        let (incremental, delta) = sweep_incremental(&next, &cold_base, 2, &cache);
+        let cold_next = sweep(&next, 2, &SummaryCache::new());
+        prop_assert_eq!(&incremental.records, &cold_next.records);
+        prop_assert_eq!(incremental.taint_histogram(), cold_next.taint_histogram());
+        prop_assert_eq!(incremental.analyzed, delta.digest_changed);
+    }
+}

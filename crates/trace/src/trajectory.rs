@@ -141,7 +141,11 @@ impl Trace {
     /// Total path length in meters (sum of consecutive great-circle hops).
     #[must_use]
     pub fn path_length_m(&self) -> f64 {
-        self.points.windows(2).map(|w| distance::haversine(w[0].pos, w[1].pos)).sum()
+        self.points
+            .iter()
+            .zip(self.points.iter().skip(1))
+            .map(|(a, b)| distance::haversine(a.pos, b.pos))
+            .sum()
     }
 
     /// The smallest box containing every fix, or `None` if empty.
